@@ -1,0 +1,34 @@
+// Reproduces paper Fig. 11: the fraction of GPU-offloaded conversion time
+// spent in host<->device transfers (H2D + D2H) rather than conversion
+// compute, per workload — the paper reports up to 75% with a geomean
+// around 50%, the argument for doing conversion in hardware next to the
+// accelerator.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "energy/energy_model.hpp"
+#include "mint/sw_offload.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace mt;
+  const EnergyParams e;
+
+  mt::bench::banner("Fig. 11: GPU offload transfer-to-total ratio (CSR -> CSC)");
+  std::printf("%-12s %10s %14s %14s %12s\n", "workload", "nnz",
+              "transfer (s)", "compute (s)", "transfer %");
+  std::vector<double> fracs;
+  for (const auto& w : table3_matrices()) {
+    const auto c = sw_conversion_cost(Format::kCSR, Format::kCSC, w.m, w.k,
+                                      w.nnz, DataType::kFp32,
+                                      HostPlatform::kGpu, e);
+    fracs.push_back(c.transfer_fraction());
+    std::printf("%-12s %10lld %14.6f %14.6f %12.1f\n", w.name.c_str(),
+                static_cast<long long>(w.nnz), c.transfer_s, c.compute_s,
+                100.0 * c.transfer_fraction());
+  }
+  std::printf("\ngeomean transfer fraction: %.1f%%   (paper: ~50%%, max ~75%%)\n",
+              100.0 * mt::bench::geomean(fracs));
+  return 0;
+}

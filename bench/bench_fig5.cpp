@@ -1,0 +1,77 @@
+// Reproduces paper Fig. 5: execution time, compute utilization and
+// memory(bus) utilization of four matmul ACF algorithms across density
+// regions. The paper measured cuBLAS/cuSPARSE on a Titan GPU; here the
+// same four algorithm choices run through the accelerator performance
+// model (DESIGN.md "Substitutions") — the series to compare is the
+// crossover structure, not absolute seconds.
+//
+// Scale note: the paper uses M=N=K=11k; we run M=N=K=2200 (1/5 linear
+// scale) so the 100%-density point stays within bench memory. Crossovers
+// depend on density, not the absolute dimension.
+#include <cstdio>
+#include <vector>
+
+#include "accel/perf_model.hpp"
+#include "bench_util.hpp"
+#include "workloads/synth.hpp"
+
+namespace {
+
+using namespace mt;
+
+struct Algo {
+  const char* label;
+  Format acf_a;
+  Format acf_b;
+  bool sparse_b;  // SpGEMM-style (B compressed) vs SpMM (B dense in PE)
+};
+
+}  // namespace
+
+int main() {
+  const index_t n = 2200;
+  const AccelConfig cfg = AccelConfig::paper_default();
+  const EnergyParams e;
+
+  const std::vector<Algo> algos = {
+      {"Dense(A)-Dense(B)-Dense(O)   [cuBLAS GEMM]", Format::kDense, Format::kDense, false},
+      {"CSR(A)-Dense(B)-Dense(O)     [cuSPARSE SpMM]", Format::kCSR, Format::kDense, false},
+      {"COO(A)-Dense(B)-Dense(O)     [cuSPARSE SpMM-COO]", Format::kCOO, Format::kDense, false},
+      {"CSR(A)-CSC(B)-Dense(O)       [cuSPARSE SpGEMM-like]", Format::kCSR, Format::kCSC, true},
+  };
+  const std::vector<double> densities = {1e-8, 1e-6, 1e-4, 1e-3,
+                                         0.01, 0.1,  0.5,  1.0};
+
+  mt::bench::banner("Fig. 5: matmul ACF comparison across density (model scale 2200^3)");
+  std::printf("%-12s %-52s %14s %10s %10s\n", "density", "algorithm (ACF)",
+              "exec time (s)", "PE util%", "bus util%");
+  for (double d : densities) {
+    const auto nnz = static_cast<std::int64_t>(
+        d * static_cast<double>(n) * static_cast<double>(n) + 0.5);
+    const auto a = synth_coo_matrix(n, n, std::max<std::int64_t>(nnz, 1), 42);
+    double best = 1e300;
+    const Algo* winner = nullptr;
+    for (const Algo& al : algos) {
+      PerfResult r;
+      if (al.sparse_b) {
+        const auto b = synth_coo_matrix(n, n, std::max<std::int64_t>(nnz, 1), 43);
+        r = model_matmul(a, b, al.acf_a, al.acf_b, cfg, e);
+      } else {
+        r = model_matmul_dense_b(a, n, al.acf_a, al.acf_b, cfg, e);
+      }
+      const double secs = e.seconds(r.total_cycles());
+      std::printf("%-12.1e %-52s %14.6f %10.2f %10.2f\n", d, al.label, secs,
+                  100.0 * r.pe_utilization, 100.0 * r.bus_occupancy);
+      if (secs < best) {
+        best = secs;
+        winner = &al;
+      }
+    }
+    std::printf("%-12s -> fastest: %s\n", "", winner->label);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 5a): Dense-Dense wins the high-density\n"
+      "band, compressed ACFs win the sparse bands, with the crossover in\n"
+      "the low single-digit-percent region for this accelerator model.\n");
+  return 0;
+}

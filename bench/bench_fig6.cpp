@@ -1,0 +1,75 @@
+// Reproduces paper Fig. 6: the walkthrough of three ACFs on the 4-PE
+// weight-stationary array (bandwidth five elements/cycle, eight-element
+// weight buffers). The headline numbers are the cycles to stream matrix
+// A: 8 (Dense), 3 (CSR), 4 (COO).
+#include <cstdio>
+
+#include "accel/cycle_sim.hpp"
+#include "bench_util.hpp"
+#include "kernels/gemm.hpp"
+
+namespace {
+
+using namespace mt;
+
+DenseMatrix fig6_a() {
+  DenseMatrix a(4, 8);
+  a.set(0, 0, 1.0f);
+  a.set(0, 2, 2.0f);
+  a.set(0, 4, 3.0f);
+  a.set(3, 5, 4.0f);
+  return a;
+}
+
+DenseMatrix fig6_b() {
+  DenseMatrix b(8, 4);
+  b.set(0, 0, 1.0f);
+  b.set(0, 1, 4.0f);
+  b.set(2, 0, 2.0f);
+  b.set(3, 2, 6.0f);
+  b.set(4, 0, 3.0f);
+  b.set(5, 2, 7.0f);
+  b.set(5, 3, 8.0f);
+  b.set(7, 1, 5.0f);
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = AccelConfig::walkthrough();
+  const auto a = fig6_a();
+  const auto b = fig6_b();
+  const auto want = gemm(a, b);
+
+  mt::bench::banner("Fig. 6: walkthrough — 4 PEs, 5-element bus, 8-element buffers");
+  std::printf("%-32s %8s %8s %8s %10s %10s\n", "ACF (A-B)", "stream",
+              "load", "drain", "bus occ%", "correct");
+  struct Case {
+    const char* label;
+    Format fa, fb;
+    int expect;
+  };
+  for (const Case& c : {Case{"Dense(A)-Dense(B)-Dense(O)", Format::kDense,
+                             Format::kDense, 8},
+                        Case{"CSR(A)-CSC(B)-Dense(O)", Format::kCSR,
+                             Format::kCSC, 3},
+                        Case{"COO(A)-Dense(B)-Dense(O)", Format::kCOO,
+                             Format::kDense, 4}}) {
+    const auto r = simulate_ws_matmul(a, b, c.fa, c.fb, cfg);
+    const bool ok = max_abs_diff(r.output, want) == 0.0;
+    std::printf("%-32s %8lld %8lld %8lld %10.1f %10s\n", c.label,
+                static_cast<long long>(r.phases.stream_cycles),
+                static_cast<long long>(r.phases.load_cycles),
+                static_cast<long long>(r.phases.drain_cycles),
+                100.0 * r.bus_occupancy, ok ? "yes" : "NO");
+    if (r.phases.stream_cycles != c.expect) {
+      std::printf("  !! expected %d streaming cycles (paper Fig. 6)\n", c.expect);
+      return 1;
+    }
+  }
+  std::printf(
+      "\nPaper: \"Overall Fig. 6a,b,c require 8, 3, and 4 cycles to send\n"
+      "matrix A respectively\" — reproduced exactly.\n");
+  return 0;
+}

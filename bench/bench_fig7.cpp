@@ -1,0 +1,34 @@
+// Reproduces paper Fig. 7b: area overhead of the flexible-ACF PE
+// extension (metadata comparators, one-hot-to-binary encoder, buffer flag
+// bits) over a base PE with a 128 B buffer and an 8-wide 32-bit vector
+// unit — the paper reports ~10%.
+#include <cstdio>
+
+#include "accel/area.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace mt;
+  AccelConfig cfg;
+  cfg.pe_buffer_bytes = 128;  // the Fig. 7b configuration
+  cfg.vector_width = 8;
+
+  const auto a = pe_area(cfg, /*multi_precision=*/false);
+  mt::bench::banner("Fig. 7b: extended PE area breakdown (128 B buffer, 8-wide fp32)");
+  std::printf("%-28s %12s\n", "component", "area (mm^2)");
+  std::printf("%-28s %12.5f\n", "vector MAC units", a.mac_mm2);
+  std::printf("%-28s %12.5f\n", "weight/metadata buffer", a.buffer_mm2);
+  std::printf("%-28s %12.5f\n", "control + output regs", a.control_mm2);
+  std::printf("%-28s %12.5f\n", "base PE total", a.base_mm2());
+  std::printf("%-28s %12.5f\n", "+ metadata comparators", a.comparators_mm2);
+  std::printf("%-28s %12.5f\n", "+ one-hot encoder/addrgen", a.encoder_mm2);
+  std::printf("%-28s %12.5f\n", "+ buffer flag bits", a.flags_mm2);
+  std::printf("%-28s %12.5f\n", "extended PE total", a.total_mm2());
+  std::printf("\nextension overhead: %.1f%%   (paper: ~10%%)\n",
+              100.0 * a.extension_overhead());
+
+  mt::bench::subhead("evaluation array (2048 multi-precision PEs, 16384 MACs)");
+  std::printf("array area: %.1f mm^2\n",
+              array_area_mm2(AccelConfig::paper_default()));
+  return 0;
+}

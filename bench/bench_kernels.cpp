@@ -1,0 +1,70 @@
+// Google-benchmark microbenchmarks of the software substrate: the
+// reference kernels and the direct format converters. These are the
+// measured-CPU numbers that back the Fig. 10 comparison and document the
+// throughput of the oracle implementations.
+#include <benchmark/benchmark.h>
+
+#include "convert/convert.hpp"
+#include "kernels/spgemm.hpp"
+#include "kernels/spmm.hpp"
+#include "workloads/synth.hpp"
+
+namespace {
+
+using namespace mt;
+
+void BM_CsrToCsc(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const auto csr = CsrMatrix::from_coo(synth_coo_matrix(n, n, n * n / 20, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr_to_csc(csr));
+  }
+  state.SetItemsProcessed(state.iterations() * csr.nnz());
+}
+BENCHMARK(BM_CsrToCsc)->Arg(512)->Arg(2048);
+
+void BM_RlcToCoo(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const auto rlc =
+      RlcMatrix::from_dense(synth_coo_matrix(n, n, n * n / 20, 2).to_dense());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rlc_to_coo(rlc));
+  }
+  state.SetItemsProcessed(state.iterations() * rlc.nnz());
+}
+BENCHMARK(BM_RlcToCoo)->Arg(512)->Arg(2048);
+
+void BM_DenseToCsr(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const auto d = synth_coo_matrix(n, n, n * n / 10, 3).to_dense();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense_to_csr(d));
+  }
+  state.SetItemsProcessed(state.iterations() * d.size());
+}
+BENCHMARK(BM_DenseToCsr)->Arg(512)->Arg(2048);
+
+void BM_SpmmCsrDense(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const auto a = CsrMatrix::from_coo(synth_coo_matrix(n, n, n * n / 20, 4));
+  const auto b = synth_coo_matrix(n, 64, n * 64, 5).to_dense();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmm_csr_dense(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
+}
+BENCHMARK(BM_SpmmCsrDense)->Arg(512)->Arg(1024);
+
+void BM_SpgemmCsr(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const auto a = CsrMatrix::from_coo(synth_coo_matrix(n, n, n * n / 50, 6));
+  const auto b = CsrMatrix::from_coo(synth_coo_matrix(n, n, n * n / 50, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spgemm_csr(a, b));
+  }
+}
+BENCHMARK(BM_SpgemmCsr)->Arg(512)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

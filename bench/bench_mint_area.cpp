@@ -1,0 +1,63 @@
+// Reproduces the paper's §VII-B MINT overhead numbers: the three design
+// points (MINT_b 0.95 / MINT_m 0.41 / MINT_mr 0.23 mm^2), the divide+mod
+// share of MINT_m (74% area / 65% power), the prefix-sum overlay
+// overheads, and MINT_m relative to the 16384-MAC accelerator.
+#include <cstdio>
+
+#include "accel/area.hpp"
+#include "bench_util.hpp"
+#include "mint/mint.hpp"
+#include "mint/prefix_sum.hpp"
+
+int main() {
+  using namespace mt;
+
+  mt::bench::banner("MINT design points (paper: 0.95 / 0.41 / 0.23 mm^2)");
+  std::printf("%-10s %12s %12s\n", "design", "area (mm^2)", "power (mW)");
+  for (MintDesign d : {MintDesign::kBaseline, MintDesign::kMerge,
+                       MintDesign::kMergeReuse}) {
+    std::printf("%-10s %12.3f %12.1f\n", std::string(name_of(d)).c_str(),
+                mint_area_mm2(d), mint_power_mw(d));
+  }
+  std::printf("\nMINT_m vs MINT_b area reduction: %.0f%%   (paper: ~57%%)\n",
+              100.0 * (1.0 - mint_area_mm2(MintDesign::kMerge) /
+                                 mint_area_mm2(MintDesign::kBaseline)));
+  std::printf("MINT_mr vs MINT_m area reduction: %.0f%%  (paper: ~45%%)\n",
+              100.0 * (1.0 - mint_area_mm2(MintDesign::kMergeReuse) /
+                                 mint_area_mm2(MintDesign::kMerge)));
+
+  mt::bench::subhead("divide + mod units within MINT_m (paper: 74% area, 65% power)");
+  std::printf("area share:  %.1f%%\npower share: %.1f%%\n",
+              100.0 * divmod_area_fraction(), 100.0 * divmod_power_fraction());
+
+  mt::bench::subhead("building blocks");
+  std::printf("%-18s %12s %12s %14s %8s\n", "block", "area (mm^2)",
+              "power (mW)", "thru (el/cyc)", "reusable");
+  for (Block b : kAllBlocks) {
+    const auto& s = block_spec(b);
+    std::printf("%-18s %12.3f %12.1f %14lld %8s\n",
+                std::string(name_of(b)).c_str(), s.area_mm2, s.power_mw,
+                static_cast<long long>(s.throughput),
+                reusable_in_accelerator(b) ? "yes" : "no");
+  }
+
+  mt::bench::subhead("prefix-sum overlays on the PE array (paper Fig. 9 / §VII-B)");
+  std::printf("%-18s %10s %10s %14s %12s\n", "design", "area +%", "power +%",
+              "latency(32)", "adders(32)");
+  for (PrefixDesign d : {PrefixDesign::kSerialChain, PrefixDesign::kWorkEfficient,
+                         PrefixDesign::kHighlyParallel}) {
+    const auto o = scan_overlay_overhead(d);
+    std::printf("%-18s %10.0f %10.0f %14lld %12lld\n",
+                std::string(name_of(d)).c_str(), 100.0 * o.area_frac,
+                100.0 * o.power_frac,
+                static_cast<long long>(scan_latency(32, d)),
+                static_cast<long long>(scan_adder_count(32, d)));
+  }
+
+  mt::bench::subhead("MINT_m vs evaluation accelerator (paper: 0.5% area)");
+  const double accel = array_area_mm2(AccelConfig::paper_default());
+  std::printf("accelerator array: %.1f mm^2, MINT_m: %.3f mm^2 -> %.2f%%\n",
+              accel, mint_area_mm2(MintDesign::kMerge),
+              100.0 * mint_area_mm2(MintDesign::kMerge) / accel);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Deep-learning scenario: pruned convolution via im2col on the
+// accelerator (the paper's §VII-D case study at example scale).
+//
+// Runs a real (small) convolution three ways — direct sliding window,
+// im2col + GEMM, and the cycle-level accelerator simulator — verifying
+// they agree, then shows how pruning the filters changes the formats
+// SAGE picks and the resulting EDP.
+#include <cstdio>
+
+#include "accel/cycle_sim.hpp"
+#include "common/prng.hpp"
+#include "sage/sage.hpp"
+#include "workloads/im2col.hpp"
+#include "workloads/synth.hpp"
+
+int main() {
+  using namespace mt;
+
+  // One CIFAR-scale conv layer: 16 input channels, 16x16 activations,
+  // 3x3 filters, 24 output channels.
+  const index_t c = 16, h = 16, wdt = 16, r = 3, s = 3, k_out = 24;
+  Prng rng(7);
+  DenseTensor3 input(c, h, wdt);
+  for (auto& v : input.values()) {
+    // ReLU-style activation sparsity: ~55% zeros.
+    v = rng.next_double() < 0.45 ? rng.next_value() : 0.0f;
+  }
+
+  for (double prune : {0.0, 0.5, 0.9}) {
+    DenseMatrix filters(k_out, c * r * s);
+    for (auto& v : filters.values()) {
+      v = rng.next_double() < (1.0 - prune) ? rng.next_value() : 0.0f;
+    }
+
+    // Functional: direct conv vs im2col+GEMM.
+    const auto direct = conv2d_reference(input, filters, r, s, 1);
+    const auto lowered = conv2d_im2col(input, filters, r, s, 1);
+    const bool ok_sw = max_abs_diff(direct, lowered) < 1e-3;
+
+    // Accelerator: stream the im2col activations, keep filters stationary.
+    const auto col = im2col(input, r, s, 1);           // (C*R*S) x (H*W)
+    // GEMM view: A = col^T (spatial x C*R*S), B = filters^T.
+    DenseMatrix a(col.cols(), col.rows());
+    for (index_t i = 0; i < col.rows(); ++i) {
+      for (index_t j = 0; j < col.cols(); ++j) a.set(j, i, col.at(i, j));
+    }
+    DenseMatrix b(filters.cols(), filters.rows());
+    for (index_t i = 0; i < filters.rows(); ++i) {
+      for (index_t j = 0; j < filters.cols(); ++j) b.set(j, i, filters.at(i, j));
+    }
+
+    AccelConfig cfg;
+    cfg.num_pes = k_out;
+    cfg.pe_buffer_bytes = c * r * s * 4 * 2;  // room for CSC pairs
+    const EnergyParams energy;
+    const auto choice = sage_select_matmul(CooMatrix::from_dense(a),
+                                           CooMatrix::from_dense(b), cfg,
+                                           energy);
+    const auto hw = simulate_ws_matmul(a, b, choice.acf_a, choice.acf_b, cfg);
+    // hw.output(spatial, k_out) must equal the direct conv.
+    double err = 0.0;
+    for (index_t f = 0; f < k_out; ++f) {
+      for (index_t p = 0; p < h * wdt; ++p) {
+        err = std::max(err, std::abs(static_cast<double>(hw.output.at(p, f)) -
+                                     direct.at(f, p / wdt, p % wdt)));
+      }
+    }
+
+    std::printf(
+        "prune %3.0f%% | weight nnz %5lld | sw ok %s | accel ok %s | %s | "
+        "EDP %.3e\n",
+        100.0 * prune, static_cast<long long>(filters.nnz()),
+        ok_sw ? "yes" : "NO", err < 1e-3 ? "yes" : "NO",
+        choice.describe().c_str(), choice.edp);
+  }
+  std::printf(
+      "\nTakeaway: as pruning deepens, SAGE shifts the weight operand from\n"
+      "Dense toward compressed stationary formats (the Fig. 14 effect).\n");
+  return 0;
+}

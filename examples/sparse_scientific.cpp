@@ -1,0 +1,56 @@
+// Scientific-computing scenario: SpGEMM across the sparsity spectrum.
+//
+// Walks three SuiteSparse-shaped workloads from Table III (dense journal,
+// mid-density cavity14, hyper-sparse m3plates), shows what formats SAGE
+// picks for each, and contrasts this work against a TPU-style fixed
+// Dense-Dense accelerator and an ExTensor-style MCF==ACF design — the
+// Fig. 12 story as a runnable program.
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "kernels/spgemm.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/synth.hpp"
+
+int main() {
+  using namespace mt;
+  const AccelConfig cfg = AccelConfig::paper_default();
+  const EnergyParams energy;
+
+  for (const char* name : {"journal", "cavity14", "m3plates"}) {
+    const auto& w = matrix_workload(name);
+    const auto a = synth_coo_matrix(w, 1);
+    const index_t n = factor_cols(w.m);
+    const auto b_nnz = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(w.density() * static_cast<double>(w.k) *
+                                     static_cast<double>(n)));
+    const auto b = synth_coo_matrix(w.k, n, b_nnz, 2);
+
+    std::printf("\n== %s  (%lldx%lld, %lld nnz, density %.4f%%) ==\n",
+                w.name.c_str(), static_cast<long long>(w.m),
+                static_cast<long long>(w.k), static_cast<long long>(w.nnz),
+                100.0 * w.density());
+
+    // Functional check at workload scale: SpGEMM through the software
+    // kernel library (the accelerator's correctness oracle).
+    const auto csr_a = CsrMatrix::from_coo(a);
+    const auto csr_b = CsrMatrix::from_coo(b);
+    const auto product = spgemm_csr(csr_a, csr_b);
+    std::printf("  SpGEMM product: %lld nonzeros (density %.4f%%)\n",
+                static_cast<long long>(product.nnz()),
+                100.0 * static_cast<double>(product.nnz()) /
+                    (static_cast<double>(w.m) * static_cast<double>(n)));
+
+    for (AccelType t : {AccelType::kFixFixNone, AccelType::kFlexFlexNone,
+                        AccelType::kFlexFlexHw}) {
+      const auto r = evaluate_baseline(t, a, b, cfg, energy);
+      std::printf("  %-26s EDP %10.3e  (%s)\n",
+                  std::string(name_of(t)).c_str(), r.edp,
+                  r.describe().c_str());
+    }
+  }
+  std::printf(
+      "\nTakeaway: no single format choice survives the density spectrum —\n"
+      "the flexible design tracks the best combination everywhere.\n");
+  return 0;
+}

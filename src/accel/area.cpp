@@ -1,0 +1,34 @@
+#include "accel/area.hpp"
+
+namespace mt {
+
+namespace {
+// 28 nm component constants (mm^2).
+constexpr double kMacFp32 = 0.0020;          // one fp32 MAC lane
+constexpr double kBufferPerByte = 0.000020;  // SRAM + periphery
+constexpr double kControl = 0.0020;          // FSM + output registers
+constexpr double kComparator = 0.00020;      // one metadata comparator lane
+constexpr double kEncoder = 0.00035;         // one-hot->binary + addr gen
+constexpr double kFlagPerByte = 0.0000020;   // 1 flag bit per buffer entry
+constexpr double kNocPerPe = 0.0008;         // bus/NoC slice per PE
+}  // namespace
+
+PeAreaBreakdown pe_area(const AccelConfig& cfg, bool multi_precision) {
+  PeAreaBreakdown a;
+  const double mac_scale = multi_precision ? 2.0 : 1.0;
+  a.mac_mm2 = kMacFp32 * mac_scale * static_cast<double>(cfg.vector_width);
+  a.buffer_mm2 = kBufferPerByte * static_cast<double>(cfg.pe_buffer_bytes);
+  a.control_mm2 = kControl;
+  // One comparator per vector lane so a full bus packet matches per cycle.
+  a.comparators_mm2 = kComparator * static_cast<double>(cfg.vector_width);
+  a.encoder_mm2 = kEncoder;
+  a.flags_mm2 = kFlagPerByte * static_cast<double>(cfg.pe_buffer_bytes);
+  return a;
+}
+
+double array_area_mm2(const AccelConfig& cfg, bool multi_precision) {
+  const auto pe = pe_area(cfg, multi_precision);
+  return (pe.total_mm2() + kNocPerPe) * static_cast<double>(cfg.num_pes);
+}
+
+}  // namespace mt

@@ -1,0 +1,37 @@
+// PE and array area model (paper Fig. 7b: the flexible-ACF extension adds
+// ~10% to a PE with a 128 B buffer and an 8-wide 32-bit vector unit).
+//
+// Component areas are 28 nm post-P&R estimates consistent with the
+// paper's synthesis point; what the evaluation consumes is the *ratio*
+// structure: extension overhead vs. base PE, and MINT vs. the whole
+// array (§VII-B "MINT_m consumes 0.5% of its area").
+#pragma once
+
+#include "accel/config.hpp"
+
+namespace mt {
+
+struct PeAreaBreakdown {
+  double mac_mm2 = 0.0;         // vector MAC units
+  double buffer_mm2 = 0.0;      // weight/metadata scratchpad
+  double control_mm2 = 0.0;     // sequencing, registers (Rreg/Creg/Oreg)
+  double comparators_mm2 = 0.0; // extension: metadata comparators
+  double encoder_mm2 = 0.0;     // extension: one-hot-to-binary + addr gen
+  double flags_mm2 = 0.0;       // extension: buffer entry flag bits
+
+  double base_mm2() const { return mac_mm2 + buffer_mm2 + control_mm2; }
+  double extension_mm2() const {
+    return comparators_mm2 + encoder_mm2 + flags_mm2;
+  }
+  double total_mm2() const { return base_mm2() + extension_mm2(); }
+  double extension_overhead() const { return extension_mm2() / base_mm2(); }
+};
+
+// Per-PE area; `multi_precision` models the evaluation accelerator's
+// (int16/int32 & bfp16/fp32) compute units, which roughly double MAC area.
+PeAreaBreakdown pe_area(const AccelConfig& cfg, bool multi_precision = false);
+
+// Whole-array area (PEs + NoC + global buffer amortization).
+double array_area_mm2(const AccelConfig& cfg, bool multi_precision = true);
+
+}  // namespace mt

@@ -1,0 +1,75 @@
+// Accelerator template configuration (paper §IV-A / §VII-A).
+//
+// The evaluation configuration gives every accelerator 16384 MAC units
+// (2048 PEs x 8-wide vector units, the paper's PE has "vector size of
+// eight 32-bit compute units"), 512 B of buffer per PE, and a 512-bit
+// input bus per cycle. The Fig. 6 walkthrough uses a scaled-down instance
+// (4 PEs, 5-element bus, 8-element buffers).
+#pragma once
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "formats/format.hpp"
+
+namespace mt {
+
+struct AccelConfig {
+  index_t num_pes = 2048;
+  index_t vector_width = 8;       // MACs per PE per cycle
+  index_t pe_buffer_bytes = 512;  // stationary data+metadata per PE
+  index_t bus_bits = 512;         // broadcast bandwidth per cycle
+  DataType dtype = DataType::kFp32;
+
+  // Matched-element throughput per PE (elements/cycle) when the stream or
+  // the stationary operand is compressed: each element traverses the
+  // indexing unit — comparator match, one-hot-to-binary encode, irregular
+  // buffer gather (paper Fig. 7a) — instead of the direct sequential
+  // access a Dense-Dense dataflow enjoys at full vector rate. Calibrated
+  // so SAGE reproduces Table III's ACF selections: Dense ACFs win above
+  // ~4% density, compressed ACFs below ~1% (crossover = rate/vector_width).
+  double index_match_rate = 0.25;
+
+  index_t total_macs() const { return num_pes * vector_width; }
+  index_t elem_bits() const { return bits_of(dtype); }
+
+  // Bus capacity in elements per cycle. The walkthrough's simplification
+  // (§IV-B): each metadata element occupies one element slot.
+  index_t bus_slots() const { return bus_bits / elem_bits(); }
+
+  // PE buffer capacity in elements (data or metadata, flag-partitioned).
+  index_t buffer_elems() const { return pe_buffer_bytes * 8 / elem_bits(); }
+
+  // Per-PE consumption rate for a given ACF combination: direct sequential
+  // access (Dense stream into Dense buffers) runs at vector rate; any
+  // compressed participant routes through the indexing unit.
+  double pe_consume_rate(Format acf_stream, Format acf_stationary) const {
+    const bool irregular =
+        acf_stream != Format::kDense || acf_stationary == Format::kCSC;
+    return irregular ? index_match_rate
+                     : static_cast<double>(vector_width);
+  }
+
+  void validate() const {
+    MT_REQUIRE(num_pes > 0 && vector_width > 0, "positive PE array");
+    MT_REQUIRE(index_match_rate > 0.0, "positive indexing-unit rate");
+    MT_REQUIRE(bus_slots() >= 3, "bus must carry at least one COO triplet");
+    MT_REQUIRE(buffer_elems() >= 2, "buffer must hold at least one pair");
+  }
+
+  // The paper's evaluation configuration (§VII-A).
+  static AccelConfig paper_default() { return {}; }
+
+  // The Fig. 6 walkthrough instance: 4 PEs, bandwidth of five elements
+  // per cycle, eight-element weight buffers.
+  static AccelConfig walkthrough() {
+    AccelConfig c;
+    c.num_pes = 4;
+    c.vector_width = 8;
+    c.pe_buffer_bytes = 8 * 4;  // eight fp32 elements
+    c.bus_bits = 5 * 32;        // five fp32 slots
+    return c;
+  }
+};
+
+}  // namespace mt

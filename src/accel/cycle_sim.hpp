@@ -1,0 +1,56 @@
+// Functional cycle-level simulation of the weight-stationary accelerator
+// with flexible-ACF PEs (paper §IV, Fig. 6).
+//
+// The simulator executes the walkthrough literally: operand B is loaded
+// stationary (one output column per PE, values plus metadata sharing the
+// flag-partitioned buffer), operand A is streamed over the broadcast bus
+// packet by packet, PEs match coordinates (direct indexing for Dense B,
+// comparator matching for CSC B) and accumulate into output registers.
+// It produces the real output matrix — checked against the software
+// kernels — together with exact phase cycle counts.
+//
+// Scope: a single tile (N <= num_pes, stationary operand fits the PE
+// buffers); the analytic PerfModel extends the same accounting to tiled
+// execution at scale and is cross-checked against this simulator.
+#pragma once
+
+#include "accel/config.hpp"
+#include "accel/stream.hpp"
+#include "formats/dense.hpp"
+
+namespace mt {
+
+// Phase latencies. Streaming and compute are pipelined against each other
+// (the walkthrough counts only bus cycles because its vector units keep
+// up), so the executed latency of the main phase is max(stream, compute).
+struct SimPhases {
+  std::int64_t load_cycles = 0;     // stationary operand into PE buffers
+  std::int64_t stream_cycles = 0;   // operand A over the bus
+  std::int64_t compute_cycles = 0;  // vector-MAC throughput bound
+  std::int64_t overlap_cycles = 0;  // sum over passes of max(stream, compute)
+  std::int64_t drain_cycles = 0;    // outputs to the global buffer
+
+  std::int64_t total_cycles() const {
+    return load_cycles + overlap_cycles + drain_cycles;
+  }
+};
+
+struct CycleSimResult {
+  DenseMatrix output;  // O = A * B, bit-equal to the software kernels
+  SimPhases phases;
+  std::int64_t performed_macs = 0;  // MACs executed (zero operands included)
+  std::int64_t useful_macs = 0;     // MACs with both operands nonzero
+  std::int64_t streamed_elems = 0;  // payload elements sent over the bus
+  double bus_occupancy = 0.0;       // payload slots used / slots available
+  double pe_utilization = 0.0;      // useful MACs / (cycles * MAC capacity)
+};
+
+// Runs O = A * B on the PE array. acf_a must be a streaming ACF
+// (Dense/CSR/COO), acf_b a stationary ACF (Dense/CSC). Requires a single
+// tile: B.cols() <= num_pes and each PE's stationary column fits its
+// buffer; throws otherwise (use PerfModel for tiled executions).
+CycleSimResult simulate_ws_matmul(const DenseMatrix& a, const DenseMatrix& b,
+                                  Format acf_a, Format acf_b,
+                                  const AccelConfig& cfg);
+
+}  // namespace mt

@@ -1,0 +1,472 @@
+#include "accel/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mt {
+
+namespace {
+
+// On-chip energy shared by all kernels: every performed MAC reads its
+// stationary operand from the PE buffer; every streamed element crosses
+// the bus; loads write buffers; drains write the global scratchpad.
+double onchip_energy(const EnergyParams& e, const AccelConfig& cfg,
+                     std::int64_t performed_macs, std::int64_t streamed,
+                     std::int64_t loaded, std::int64_t drained) {
+  const double mac = e.mac_energy_j(cfg.dtype);
+  const double sram_pe = e.sram_energy_j(cfg.dtype, /*small_buffer=*/true);
+  const double sram_gb = e.sram_energy_j(cfg.dtype, /*small_buffer=*/false);
+  const double noc = e.noc_j_per_32b_hop * bits_of(cfg.dtype) / 32.0;
+  return static_cast<double>(performed_macs) * (mac + sram_pe) +
+         static_cast<double>(streamed) * (noc + sram_gb) +
+         static_cast<double>(loaded) * (sram_pe + noc) +
+         static_cast<double>(drained) * sram_gb;
+}
+
+void finalize(PerfResult& r, const AccelConfig& cfg, const EnergyParams& e,
+              std::int64_t loaded, std::int64_t drained) {
+  const double cap_slots = static_cast<double>(r.phases.stream_cycles) *
+                           static_cast<double>(cfg.bus_slots());
+  r.bus_occupancy =
+      cap_slots == 0.0 ? 0.0 : static_cast<double>(r.streamed_elems) / cap_slots;
+  const double mac_capacity = static_cast<double>(r.total_cycles()) *
+                              static_cast<double>(cfg.total_macs());
+  r.pe_utilization =
+      mac_capacity == 0.0 ? 0.0
+                          : static_cast<double>(r.useful_macs) / mac_capacity;
+  r.compute_energy_j =
+      onchip_energy(e, cfg, r.performed_macs, r.streamed_elems, loaded, drained);
+}
+
+}  // namespace
+
+PerfResult model_matmul(const CooMatrix& a, const CooMatrix& b, Format acf_a,
+                        Format acf_b, const AccelConfig& cfg,
+                        const EnergyParams& energy) {
+  cfg.validate();
+  MT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  MT_REQUIRE(is_stream_acf(acf_a), "A must use a streaming ACF");
+  MT_REQUIRE(is_stationary_acf(acf_b), "B must use a stationary ACF");
+  MT_REQUIRE(a.is_row_major_sorted(), "A must be row-major sorted COO");
+
+  const index_t k = a.cols();
+  const index_t n = b.cols();
+  const index_t slots = cfg.bus_slots();
+  const index_t buf = cfg.buffer_elems();
+  const index_t cap = payload_per_packet(acf_a, cfg);
+
+  // Streamed-element multiplicity per K coordinate: how many A elements
+  // with column k cross the bus (nnz of A's column for compressed streams,
+  // one per row for Dense).
+  std::vector<std::int64_t> a_col_nnz(static_cast<std::size_t>(k), 0);
+  for (std::int64_t i = 0; i < a.nnz(); ++i) {
+    ++a_col_nnz[static_cast<std::size_t>(a.col_ids()[i])];
+  }
+
+  // K-pass height from buffer occupancy (paper §IV: "a buffer entry can be
+  // treated as either data or metadata"). Dense columns need one element
+  // per K row; CSC columns need two buffer elements per nonzero, so the
+  // pass height scales with 1/density of B.
+  index_t kt;
+  if (acf_b == Format::kDense) {
+    kt = std::min<index_t>(k, buf);
+  } else {
+    const double density_b =
+        static_cast<double>(b.nnz()) /
+        (static_cast<double>(k) * std::max<double>(1.0, static_cast<double>(n)));
+    const auto cap_pairs = static_cast<double>(buf / 2);
+    kt = density_b <= 0.0 ? k : static_cast<index_t>(cap_pairs / density_b);
+    kt = std::clamp<index_t>(kt, 1, k);
+  }
+
+  PerfResult res;
+  res.n_tiles = ceil_div(n, cfg.num_pes);
+  res.k_passes = ceil_div(k, kt);
+
+  // Bucket A's nonzeros by K pass, preserving row-major order within each
+  // bucket, so each pass is priced in O(bucket size) instead of O(nnz).
+  std::vector<std::vector<index_t>> a_rows_by_pass(
+      static_cast<std::size_t>(res.k_passes));
+  for (std::int64_t i = 0; i < a.nnz(); ++i) {
+    a_rows_by_pass[static_cast<std::size_t>(a.col_ids()[i] / kt)].push_back(
+        a.row_ids()[i]);
+  }
+  // Per-pass streaming stats for compressed streams.
+  struct PassStream {
+    std::int64_t cycles = 0;        // CSR packet count (row-break rule)
+    std::int64_t elems = 0;         // nonzeros streamed
+    std::int64_t rows_touched = 0;  // distinct rows
+  };
+  std::vector<PassStream> pass_stream(static_cast<std::size_t>(res.k_passes));
+  for (index_t p = 0; p < res.k_passes; ++p) {
+    auto& ps = pass_stream[static_cast<std::size_t>(p)];
+    const auto& rows = a_rows_by_pass[static_cast<std::size_t>(p)];
+    ps.elems = static_cast<std::int64_t>(rows.size());
+    std::int64_t run = 0;
+    index_t run_row = -1;
+    for (index_t r : rows) {
+      if (r != run_row) {
+        ps.cycles += ceil_div(run, cap);
+        run = 0;
+        run_row = r;
+        ++ps.rows_touched;
+      }
+      ++run;
+    }
+    ps.cycles += ceil_div(run, cap);
+  }
+
+  // Bucket B's nonzeros by K pass; column-major order is preserved so the
+  // per-PE maximum falls out of one sweep per (tile, pass).
+  std::vector<std::vector<std::pair<index_t, index_t>>> b_by_pass(
+      static_cast<std::size_t>(res.k_passes));
+  {
+    CooMatrix bc = b;
+    bc.sort_col_major();
+    for (std::int64_t i = 0; i < bc.nnz(); ++i) {
+      b_by_pass[static_cast<std::size_t>(bc.row_ids()[i] / kt)].emplace_back(
+          bc.col_ids()[i], bc.row_ids()[i]);
+    }
+  }
+
+  std::int64_t loaded_total = 0;
+  std::int64_t drained_total = 0;
+
+  for (index_t t = 0; t < res.n_tiles; ++t) {
+    const index_t j0 = t * cfg.num_pes;
+    const index_t j1 = std::min(j0 + cfg.num_pes, n);
+    for (index_t p = 0; p < res.k_passes; ++p) {
+      const index_t k0 = p * kt;
+      const index_t k1 = std::min(k0 + kt, k);
+      const auto& ps = pass_stream[static_cast<std::size_t>(p)];
+
+      // --- Stream ---
+      std::int64_t sc;
+      std::int64_t streamed;
+      std::int64_t rows_touched;
+      if (acf_a == Format::kDense) {
+        sc = a.rows() * ceil_div(k1 - k0, cap);
+        streamed = a.rows() * (k1 - k0);
+        rows_touched = a.rows();
+      } else if (acf_a == Format::kCSR) {
+        sc = ps.cycles;
+        streamed = ps.elems;
+        rows_touched = ps.rows_touched;
+      } else {  // COO: triplets may mix rows freely
+        sc = ceil_div(ps.elems, cap);
+        streamed = ps.elems;
+        rows_touched = ps.rows_touched;
+      }
+      res.phases.stream_cycles += sc;
+      res.streamed_elems += streamed;
+
+      // --- Load + match counting over B's nonzeros in this tile/pass ---
+      std::int64_t load_elems = 0;
+      std::int64_t max_pe_performed = 0;
+      std::int64_t tile_performed = 0;
+      std::int64_t tile_useful = 0;
+      {
+        std::int64_t cur_pe_perf = 0;
+        index_t cur_col = -1;
+        for (const auto& [j, kk] : b_by_pass[static_cast<std::size_t>(p)]) {
+          if (j < j0 || j >= j1) continue;
+          if (j != cur_col) {
+            max_pe_performed = std::max(max_pe_performed, cur_pe_perf);
+            cur_pe_perf = 0;
+            cur_col = j;
+          }
+          const std::int64_t useful = a_col_nnz[static_cast<std::size_t>(kk)];
+          const std::int64_t mult =
+              acf_a == Format::kDense ? a.rows() : useful;
+          if (acf_b == Format::kCSC) {
+            load_elems += 2;
+            cur_pe_perf += mult;
+            tile_performed += mult;
+          }
+          tile_useful += useful;
+        }
+        max_pe_performed = std::max(max_pe_performed, cur_pe_perf);
+      }
+      if (acf_b == Format::kDense) {
+        // Every PE holds the full K-range column and MACs every streamed
+        // element, zeros in the buffer included.
+        load_elems = (j1 - j0) * (k1 - k0);
+        max_pe_performed = streamed;
+        tile_performed = streamed * (j1 - j0);
+      }
+      res.performed_macs += tile_performed;
+      res.useful_macs += tile_useful;
+      loaded_total += load_elems;
+      res.phases.load_cycles += ceil_div(load_elems, slots);
+
+      const std::int64_t cc = static_cast<std::int64_t>(
+          std::ceil(static_cast<double>(max_pe_performed) /
+                    cfg.pe_consume_rate(acf_a, acf_b)));
+      res.phases.compute_cycles += cc;
+      res.phases.overlap_cycles += std::max(sc, cc);
+
+      const std::int64_t drained = rows_touched * (j1 - j0);
+      drained_total += drained;
+      res.phases.drain_cycles += ceil_div(drained, slots);
+    }
+  }
+
+  finalize(res, cfg, energy, loaded_total, drained_total);
+  return res;
+}
+
+PerfResult model_matmul_dense_b(const CooMatrix& a, index_t n, Format acf_a,
+                                Format acf_b, const AccelConfig& cfg,
+                                const EnergyParams& energy) {
+  cfg.validate();
+  MT_REQUIRE(n > 0, "positive output width");
+  MT_REQUIRE(is_stream_acf(acf_a), "A must use a streaming ACF");
+  MT_REQUIRE(is_stationary_acf(acf_b), "B must use a stationary ACF");
+  MT_REQUIRE(a.is_row_major_sorted(), "A must be row-major sorted COO");
+
+  const index_t k = a.cols();
+  const index_t slots = cfg.bus_slots();
+  const index_t buf = cfg.buffer_elems();
+  const index_t cap = payload_per_packet(acf_a, cfg);
+  // A fully dense column needs one buffer element per row under Dense ACF
+  // and a (row_id, value) pair per row under CSC (every row is a nonzero).
+  const index_t elems_per_row = acf_b == Format::kDense ? 1 : 2;
+  const index_t kt = std::clamp<index_t>(buf / elems_per_row, 1, k);
+
+  PerfResult res;
+  res.n_tiles = ceil_div(n, cfg.num_pes);
+  res.k_passes = ceil_div(k, kt);
+
+  // Per-pass stream stats of A (identical bucketing to model_matmul).
+  struct PassStream {
+    std::int64_t cycles = 0;
+    std::int64_t elems = 0;
+    std::int64_t rows_touched = 0;
+  };
+  std::vector<PassStream> pass_stream(static_cast<std::size_t>(res.k_passes));
+  {
+    std::vector<std::vector<index_t>> rows_by_pass(
+        static_cast<std::size_t>(res.k_passes));
+    for (std::int64_t i = 0; i < a.nnz(); ++i) {
+      rows_by_pass[static_cast<std::size_t>(a.col_ids()[i] / kt)].push_back(
+          a.row_ids()[i]);
+    }
+    for (index_t p = 0; p < res.k_passes; ++p) {
+      auto& ps = pass_stream[static_cast<std::size_t>(p)];
+      std::int64_t run = 0;
+      index_t run_row = -1;
+      for (index_t r : rows_by_pass[static_cast<std::size_t>(p)]) {
+        if (r != run_row) {
+          ps.cycles += ceil_div(run, cap);
+          run = 0;
+          run_row = r;
+          ++ps.rows_touched;
+        }
+        ++run;
+      }
+      ps.cycles += ceil_div(run, cap);
+      ps.elems =
+          static_cast<std::int64_t>(rows_by_pass[static_cast<std::size_t>(p)].size());
+    }
+  }
+
+  std::int64_t loaded_total = 0, drained_total = 0;
+  for (index_t t = 0; t < res.n_tiles; ++t) {
+    const index_t j0 = t * cfg.num_pes;
+    const index_t j1 = std::min(j0 + cfg.num_pes, n);
+    const index_t width = j1 - j0;
+    for (index_t p = 0; p < res.k_passes; ++p) {
+      const index_t k0 = p * kt;
+      const index_t k1 = std::min(k0 + kt, k);
+      const auto& ps = pass_stream[static_cast<std::size_t>(p)];
+
+      std::int64_t sc, streamed, rows_touched;
+      if (acf_a == Format::kDense) {
+        sc = a.rows() * ceil_div(k1 - k0, cap);
+        streamed = a.rows() * (k1 - k0);
+        rows_touched = a.rows();
+      } else if (acf_a == Format::kCSR) {
+        sc = ps.cycles;
+        streamed = ps.elems;
+        rows_touched = ps.rows_touched;
+      } else {
+        sc = ceil_div(ps.elems, cap);
+        streamed = ps.elems;
+        rows_touched = ps.rows_touched;
+      }
+      res.phases.stream_cycles += sc;
+      res.streamed_elems += streamed;
+
+      // B fully dense: every streamed element matches in every PE; useful
+      // equals performed for compressed streams (A's zeros never ship).
+      const std::int64_t load_elems = width * (k1 - k0) * elems_per_row;
+      loaded_total += load_elems;
+      res.phases.load_cycles += ceil_div(load_elems, slots);
+      res.performed_macs += streamed * width;
+      res.useful_macs += ps.elems * width;
+
+      const std::int64_t cc = static_cast<std::int64_t>(
+          std::ceil(static_cast<double>(streamed) /
+                    cfg.pe_consume_rate(acf_a, acf_b)));
+      res.phases.compute_cycles += cc;
+      res.phases.overlap_cycles += std::max(sc, cc);
+
+      const std::int64_t drained = rows_touched * width;
+      drained_total += drained;
+      res.phases.drain_cycles += ceil_div(drained, slots);
+    }
+  }
+  finalize(res, cfg, energy, loaded_total, drained_total);
+  return res;
+}
+
+std::int64_t tensor_stream_cycles(const CooTensor3& x, Format acf_t,
+                                  const AccelConfig& cfg) {
+  const index_t slots = cfg.bus_slots();
+  switch (acf_t) {
+    case Format::kDense: {
+      // Linearized cells with a positional header per packet.
+      const std::int64_t cells = x.dim_x() * x.dim_y() * x.dim_z();
+      return ceil_div(cells, slots - 1);
+    }
+    case Format::kCOO:
+      // (value, x, y, z) quadruples.
+      return ceil_div(x.nnz(), std::max<index_t>(1, slots / 4));
+    case Format::kCSF: {
+      // Tree stream: one x id per slice, (y id + fiber header) per fiber,
+      // (z id, value) per leaf.
+      std::int64_t n1 = 0, n2 = 0;
+      index_t px = -1, py = -1;
+      for (std::int64_t i = 0; i < x.nnz(); ++i) {
+        if (x.x_ids()[i] != px) {
+          ++n1;
+          px = x.x_ids()[i];
+          py = -1;
+        }
+        if (x.y_ids()[i] != py) {
+          ++n2;
+          py = x.y_ids()[i];
+        }
+      }
+      return ceil_div(n1 + 2 * n2 + 2 * x.nnz(), slots);
+    }
+    default:
+      MT_REQUIRE(false, "tensor ACF must be Dense/COO/CSF");
+  }
+  return 0;
+}
+
+PerfResult model_spttm(const CooTensor3& x, index_t r, Format acf_t,
+                       const AccelConfig& cfg, const EnergyParams& energy) {
+  cfg.validate();
+  MT_REQUIRE(r > 0, "positive factor rank");
+  const index_t slots = cfg.bus_slots();
+  const std::int64_t cells = x.dim_x() * x.dim_y() * x.dim_z();
+
+  PerfResult res;
+  res.n_tiles = ceil_div(r, cfg.num_pes);
+  // PE holds U(:, r): one dense column of Z elements.
+  res.k_passes = ceil_div(x.dim_z(), cfg.buffer_elems());
+
+  // Distinct (x,y) fibers = dense output rows to drain.
+  std::int64_t n2 = 0;
+  {
+    index_t px = -1, py = -1;
+    for (std::int64_t i = 0; i < x.nnz(); ++i) {
+      if (x.x_ids()[i] != px || x.y_ids()[i] != py) {
+        ++n2;
+        px = x.x_ids()[i];
+        py = x.y_ids()[i];
+      }
+    }
+  }
+
+  const std::int64_t sc = tensor_stream_cycles(x, acf_t, cfg);
+  std::int64_t loaded_total = 0, drained_total = 0;
+  for (std::int64_t t = 0; t < res.n_tiles; ++t) {
+    const index_t width = std::min<index_t>(cfg.num_pes, r - t * cfg.num_pes);
+    // The K (Z) passes partition the stream; their total equals one full
+    // tensor stream per output tile.
+    res.phases.stream_cycles += sc;
+    const std::int64_t streamed = acf_t == Format::kDense ? cells : x.nnz();
+    res.streamed_elems += streamed;
+    // Every streamed element MACs once in every PE of the tile (dense U
+    // never misses); Dense ACF also MACs the zeros it streams. Compressed
+    // streams pay the indexing-unit rate (coordinates gather irregularly).
+    const std::int64_t per_pe = streamed;
+    const std::int64_t cc = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(per_pe) /
+                  cfg.pe_consume_rate(acf_t, Format::kDense)));
+    res.phases.compute_cycles += cc;
+    res.phases.overlap_cycles += std::max(sc, cc);
+    res.performed_macs += per_pe * width;
+    res.useful_macs += x.nnz() * width;
+
+    const std::int64_t load_elems = static_cast<std::int64_t>(x.dim_z()) * width;
+    loaded_total += load_elems;
+    res.phases.load_cycles += ceil_div(load_elems, slots);
+
+    const std::int64_t rows = acf_t == Format::kDense
+                                  ? x.dim_x() * x.dim_y()
+                                  : n2;
+    const std::int64_t drained = rows * width;
+    drained_total += drained;
+    res.phases.drain_cycles += ceil_div(drained, slots);
+  }
+  finalize(res, cfg, energy, loaded_total, drained_total);
+  return res;
+}
+
+PerfResult model_mttkrp(const CooTensor3& x, index_t r, Format acf_t,
+                        const AccelConfig& cfg, const EnergyParams& energy) {
+  cfg.validate();
+  MT_REQUIRE(r > 0, "positive factor rank");
+  const index_t slots = cfg.bus_slots();
+  const std::int64_t cells = x.dim_x() * x.dim_y() * x.dim_z();
+
+  PerfResult res;
+  res.n_tiles = ceil_div(r, cfg.num_pes);
+  // PE holds B(:, r) and C(:, r): Y + Z dense elements. When they exceed
+  // the buffer, the factor columns are reloaded in slices and the tensor
+  // is re-streamed once per slice (the nonzeros needing a given slice are
+  // not contiguous, unlike the matmul K-pass case).
+  res.k_passes = ceil_div(x.dim_y() + x.dim_z(), cfg.buffer_elems());
+
+  const std::int64_t sc = tensor_stream_cycles(x, acf_t, cfg);
+  std::int64_t loaded_total = 0, drained_total = 0;
+  for (std::int64_t t = 0; t < res.n_tiles; ++t) {
+    const index_t width = std::min<index_t>(cfg.num_pes, r - t * cfg.num_pes);
+    for (std::int64_t p = 0; p < res.k_passes; ++p) {
+      res.phases.stream_cycles += sc;
+      const std::int64_t streamed = acf_t == Format::kDense ? cells : x.nnz();
+      res.streamed_elems += streamed;
+      // Two MACs per element per PE: v * B(j,r), then * C(k,r). Work is
+      // divided across passes (each pass covers a slice of B/C rows).
+      const std::int64_t per_pe =
+          ceil_div(2 * streamed, std::max<std::int64_t>(1, res.k_passes));
+      const std::int64_t cc = static_cast<std::int64_t>(
+          std::ceil(static_cast<double>(per_pe) /
+                    cfg.pe_consume_rate(acf_t, Format::kDense)));
+      res.phases.compute_cycles += cc;
+      res.phases.overlap_cycles += std::max(sc, cc);
+      res.performed_macs += per_pe * width;
+    }
+    res.useful_macs += 2 * x.nnz() * width;
+
+    const std::int64_t load_elems =
+        static_cast<std::int64_t>(x.dim_y() + x.dim_z()) * width;
+    loaded_total += load_elems;
+    res.phases.load_cycles += ceil_div(load_elems, slots);
+
+    const std::int64_t drained = static_cast<std::int64_t>(x.dim_x()) * width;
+    drained_total += drained;
+    res.phases.drain_cycles += ceil_div(drained, slots);
+  }
+  finalize(res, cfg, energy, loaded_total, drained_total);
+  return res;
+}
+
+}  // namespace mt

@@ -1,0 +1,65 @@
+// Analytic performance model of the weight-stationary accelerator — the
+// model SAGE queries (paper §VI "Performance Modeling").
+//
+// Shares the exact accounting of the functional cycle simulator (bus
+// packing closed forms, buffer-occupancy K-passes, one PE per output
+// column, compute/stream overlap) but works on compressed operands and
+// tiles over N and K, so it evaluates Table-III-scale workloads in
+// O(nnz) time. tests/test_accel.cpp cross-checks it cycle-for-cycle
+// against simulate_ws_matmul on single-tile instances.
+#pragma once
+
+#include "accel/config.hpp"
+#include "accel/cycle_sim.hpp"
+#include "accel/stream.hpp"
+#include "energy/energy_model.hpp"
+#include "formats/coo.hpp"
+#include "formats/tensor_coo.hpp"
+
+namespace mt {
+
+struct PerfResult {
+  SimPhases phases;
+  std::int64_t performed_macs = 0;
+  std::int64_t useful_macs = 0;
+  std::int64_t streamed_elems = 0;  // payload elements over all passes
+  std::int64_t n_tiles = 0;         // output-column tiles
+  std::int64_t k_passes = 0;        // stationary reload passes per tile
+  double bus_occupancy = 0.0;
+  double pe_utilization = 0.0;
+  double compute_energy_j = 0.0;    // on-chip: MACs + buffers + bus
+
+  std::int64_t total_cycles() const { return phases.total_cycles(); }
+};
+
+// O = A * B with A streamed (Dense/CSR/COO ACF) and B stationary
+// (Dense/CSC ACF). Operands arrive as sorted COO carrying their true
+// nonzero structure; the ACF decides how they are represented on the bus
+// and in the buffers. Covers GEMM, SpMM and SpGEMM uniformly — what makes
+// A or B "sparse" is its nnz, what makes the run efficient is the ACF.
+PerfResult model_matmul(const CooMatrix& a, const CooMatrix& b, Format acf_a,
+                        Format acf_b, const AccelConfig& cfg,
+                        const EnergyParams& energy);
+
+// SpMM fast path: B is a fully dense K x N matrix. Closed forms replace
+// the per-nonzero B sweep, so a 3600x5500 dense factor (Table III's
+// speech1 SpMM scenario) never needs 20M COO entries materialized.
+// Matches model_matmul(a, dense_b_as_coo, ...) exactly (tested).
+PerfResult model_matmul_dense_b(const CooMatrix& a, index_t n, Format acf_a,
+                                Format acf_b, const AccelConfig& cfg,
+                                const EnergyParams& energy);
+
+// Mode-3 SpTTM: Y(i,j,l) = sum_k X(i,j,k) U(k,l), U dense Z x R.
+// acf_t in {Dense, COO, CSF} decides the tensor's bus representation.
+PerfResult model_spttm(const CooTensor3& x, index_t r, Format acf_t,
+                       const AccelConfig& cfg, const EnergyParams& energy);
+
+// MTTKRP: M(i,r) = sum_{j,k} X(i,j,k) B(j,r) C(k,r), B/C dense.
+PerfResult model_mttkrp(const CooTensor3& x, index_t r, Format acf_t,
+                        const AccelConfig& cfg, const EnergyParams& energy);
+
+// Bus cost of streaming a 3-D tensor under a tensor ACF; exposed for tests.
+std::int64_t tensor_stream_cycles(const CooTensor3& x, Format acf_t,
+                                  const AccelConfig& cfg);
+
+}  // namespace mt

@@ -1,0 +1,126 @@
+#include "accel/stream.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mt {
+
+index_t payload_per_packet(Format acf, const AccelConfig& cfg) {
+  const index_t slots = cfg.bus_slots();
+  switch (acf) {
+    case Format::kDense: return slots - 1;            // header + values
+    case Format::kCSR: return (slots - 1) / 2;        // header + (v,col) pairs
+    case Format::kCOO: return slots / 3;              // (v,row,col) triplets
+    default: MT_REQUIRE(false, "not a streaming ACF");
+  }
+  return 0;
+}
+
+std::vector<BusPacket> pack_stream(const CooMatrix& a, Format acf,
+                                   const AccelConfig& cfg, index_t k_lo,
+                                   index_t k_hi) {
+  MT_REQUIRE(is_stream_acf(acf), "streaming ACF must be Dense/CSR/COO");
+  MT_REQUIRE(a.is_row_major_sorted(), "stream source must be row-major COO");
+  MT_REQUIRE(k_lo >= 0 && k_lo <= k_hi && k_hi <= a.cols(), "valid K range");
+  const index_t cap = payload_per_packet(acf, cfg);
+  MT_REQUIRE(cap >= 1, "bus too narrow for this ACF");
+  std::vector<BusPacket> out;
+
+  if (acf == Format::kDense) {
+    // Every cell in [k_lo, k_hi) is streamed, zeros included. Build a row
+    // lookup from the COO nonzeros.
+    std::vector<std::vector<std::pair<index_t, value_t>>> rows(
+        static_cast<std::size_t>(a.rows()));
+    for (std::int64_t i = 0; i < a.nnz(); ++i) {
+      const index_t c = a.col_ids()[i];
+      if (c >= k_lo && c < k_hi) {
+        rows[static_cast<std::size_t>(a.row_ids()[i])].emplace_back(c, a.values()[i]);
+      }
+    }
+    for (index_t r = 0; r < a.rows(); ++r) {
+      std::size_t next = 0;
+      for (index_t c0 = k_lo; c0 < k_hi; c0 += cap) {
+        BusPacket p;
+        const index_t c1 = std::min(c0 + cap, k_hi);
+        for (index_t c = c0; c < c1; ++c) {
+          value_t v = 0.0f;
+          const auto& rowlist = rows[static_cast<std::size_t>(r)];
+          if (next < rowlist.size() && rowlist[next].first == c) {
+            v = rowlist[next].second;
+            ++next;
+          }
+          p.elems.push_back({r, c, v});
+        }
+        out.push_back(std::move(p));
+      }
+    }
+    return out;
+  }
+
+  // Compressed streams carry only nonzeros in range.
+  BusPacket cur;
+  index_t cur_row = -1;
+  auto flush = [&] {
+    if (!cur.elems.empty()) {
+      out.push_back(std::move(cur));
+      cur = {};
+    }
+  };
+  for (std::int64_t i = 0; i < a.nnz(); ++i) {
+    const index_t c = a.col_ids()[i];
+    if (c < k_lo || c >= k_hi) continue;
+    const index_t r = a.row_ids()[i];
+    const bool row_break = (acf == Format::kCSR) && r != cur_row;
+    if (row_break || static_cast<index_t>(cur.elems.size()) >= cap) flush();
+    cur_row = r;
+    cur.elems.push_back({r, c, a.values()[i]});
+  }
+  flush();
+  return out;
+}
+
+std::int64_t stream_cycles(const CooMatrix& a, Format acf,
+                           const AccelConfig& cfg, index_t k_lo,
+                           index_t k_hi) {
+  MT_REQUIRE(is_stream_acf(acf), "streaming ACF must be Dense/CSR/COO");
+  MT_REQUIRE(k_lo >= 0 && k_lo <= k_hi && k_hi <= a.cols(), "valid K range");
+  const index_t cap = payload_per_packet(acf, cfg);
+  MT_REQUIRE(cap >= 1, "bus too narrow for this ACF");
+
+  switch (acf) {
+    case Format::kDense:
+      // Every row streams ceil(width / cap) packets.
+      return a.rows() * ceil_div(k_hi - k_lo, cap);
+    case Format::kCSR: {
+      // Packets never span rows: sum ceil(row_nnz_in_range / cap).
+      std::int64_t cycles = 0;
+      std::int64_t run = 0;
+      index_t run_row = -1;
+      for (std::int64_t i = 0; i < a.nnz(); ++i) {
+        const index_t c = a.col_ids()[i];
+        if (c < k_lo || c >= k_hi) continue;
+        if (a.row_ids()[i] != run_row) {
+          cycles += ceil_div(run, cap);
+          run = 0;
+          run_row = a.row_ids()[i];
+        }
+        ++run;
+      }
+      cycles += ceil_div(run, cap);
+      return cycles;
+    }
+    case Format::kCOO: {
+      std::int64_t n = 0;
+      for (std::int64_t i = 0; i < a.nnz(); ++i) {
+        const index_t c = a.col_ids()[i];
+        if (c >= k_lo && c < k_hi) ++n;
+      }
+      return ceil_div(n, cap);
+    }
+    default: break;
+  }
+  MT_ENSURE(false, "unhandled ACF");
+}
+
+}  // namespace mt

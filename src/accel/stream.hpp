@@ -1,0 +1,59 @@
+// Bus packing: how a streamed operand is serialized over the broadcast
+// bus under each ACF (paper Fig. 6).
+//
+// Packet grammar per cycle (slots = bus elements/cycle):
+//   Dense A : [row_id | v v v ...]            up to slots-1 values, one row
+//   CSR A   : [row_id | (v,col) (v,col) ...]  up to (slots-1)/2 pairs, one row
+//   COO A   : [(v,row,col) ...]               up to slots/3 triplets, any rows
+// A packet never spans rows for Dense/CSR (the shared row_id header is
+// what makes the packing compact — and why Fig. 6b needs an extra cycle
+// when the row id changes mid-bus, the paper's 'C'/'H' case).
+#pragma once
+
+#include <vector>
+
+#include "accel/config.hpp"
+#include "formats/coo.hpp"
+#include "formats/format.hpp"
+
+namespace mt {
+
+// One streamed element with its coordinates resolved. For Dense streams
+// zero-valued elements appear explicitly (they occupy bus slots and MACs).
+struct StreamElem {
+  index_t row = 0;
+  index_t col = 0;
+  value_t value = 0.0f;
+};
+
+struct BusPacket {
+  std::vector<StreamElem> elems;
+};
+
+// Streaming ACFs supported by the extended PEs for the moving operand.
+constexpr bool is_stream_acf(Format f) {
+  return f == Format::kDense || f == Format::kCSR || f == Format::kCOO;
+}
+// Stationary ACFs supported for the resident operand (paper Fig. 6 and
+// every ACFf entry of Table III use Dense or CSC).
+constexpr bool is_stationary_acf(Format f) {
+  return f == Format::kDense || f == Format::kCSC;
+}
+
+// Materializes the packet sequence for streaming matrix `a` (given as
+// sorted COO plus its dense dimensions) restricted to columns
+// [k_lo, k_hi). Used by the functional cycle simulator (small operands).
+std::vector<BusPacket> pack_stream(const CooMatrix& a, Format acf,
+                                   const AccelConfig& cfg, index_t k_lo,
+                                   index_t k_hi);
+
+// Cycle count of the same packing without materializing packets — the
+// closed form the analytic model uses; must equal pack_stream(...).size().
+std::int64_t stream_cycles(const CooMatrix& a, Format acf,
+                           const AccelConfig& cfg, index_t k_lo, index_t k_hi);
+
+// Elements per cycle devoted to payload under each ACF (for bus-occupancy
+// and energy accounting).
+index_t payload_per_packet(Format acf, const AccelConfig& cfg);
+
+}  // namespace mt

@@ -1,0 +1,105 @@
+#include "baselines/baselines.hpp"
+
+#include "common/error.hpp"
+
+namespace mt {
+
+FormatSpace baseline_space(AccelType t) {
+  FormatSpace s;
+  switch (t) {
+    case AccelType::kFixFixNone:
+      // TPU: everything dense, nothing to convert.
+      s.mcf_a = s.acf_a = {Format::kDense};
+      s.mcf_b = s.acf_b = {Format::kDense};
+      s.mcf_must_equal_acf = true;
+      s.converter = ConverterKind::kNone;
+      break;
+    case AccelType::kFixFixNone2:
+      // EIE's two published operating points are CSR(A)-Dense(B) and
+      // Dense(A)-CSC(B) — always at least one compressed operand. A
+      // FormatSpace is a cross product, so evaluate_baseline() handles
+      // this archetype by taking the better of the two point spaces; the
+      // default space here is the first point.
+      s.mcf_a = s.acf_a = {Format::kCSR};
+      s.mcf_b = s.acf_b = {Format::kDense};
+      s.mcf_must_equal_acf = true;
+      s.converter = ConverterKind::kNone;
+      break;
+    case AccelType::kFixFlexHw:
+      // SIGMA: ZVC in memory always; the flexible NoC lets the ACF vary;
+      // a hardware decoder feeds the PEs.
+      s.mcf_a = {Format::kZVC};
+      s.mcf_b = {Format::kZVC};
+      s.acf_a = {Format::kDense, Format::kCSR, Format::kCOO};
+      s.acf_b = {Format::kDense, Format::kCSC};
+      s.converter = ConverterKind::kFixedHw;
+      break;
+    case AccelType::kFlexFlexNone:
+      // ExTensor: multiple formats but compute consumes exactly what
+      // memory stores — no converter on chip.
+      s.mcf_a = s.acf_a = {Format::kDense, Format::kCSR};
+      s.mcf_b = s.acf_b = {Format::kDense, Format::kCSC};
+      s.mcf_must_equal_acf = true;
+      s.converter = ConverterKind::kNone;
+      break;
+    case AccelType::kFlexFixHw:
+      // NVDLA: ZVC or Dense in memory, dedicated ZVC->Dense decompressor,
+      // compute is always dense.
+      s.mcf_a = {Format::kZVC, Format::kDense};
+      s.mcf_b = {Format::kZVC, Format::kDense};
+      s.acf_a = {Format::kDense};
+      s.acf_b = {Format::kDense};
+      s.converter = ConverterKind::kFixedHw;
+      break;
+    case AccelType::kFlexFlexSw:
+      // Full flexibility, but conversions run on the host CPU and the
+      // operands pay the offload round trip.
+      s = FormatSpace::full();
+      s.converter = ConverterKind::kSoftwareCpu;
+      break;
+    case AccelType::kFlexFlexHw:
+      s = FormatSpace::full();
+      s.converter = ConverterKind::kMint;
+      break;
+  }
+  return s;
+}
+
+namespace {
+
+// EIE's second operating point: Dense(A)-CSC(B).
+FormatSpace eie_second_point() {
+  FormatSpace s;
+  s.mcf_a = s.acf_a = {Format::kDense};
+  s.mcf_b = s.acf_b = {Format::kCSC};
+  s.mcf_must_equal_acf = true;
+  s.converter = ConverterKind::kNone;
+  return s;
+}
+
+}  // namespace
+
+SageChoice evaluate_baseline(AccelType t, const CooMatrix& a,
+                             const CooMatrix& b, const AccelConfig& cfg,
+                             const EnergyParams& energy) {
+  auto best = sage_select_matmul(a, b, cfg, energy, baseline_space(t));
+  if (t == AccelType::kFixFixNone2) {
+    const auto alt = sage_select_matmul(a, b, cfg, energy, eie_second_point());
+    if (alt.edp < best.edp) best = alt;
+  }
+  return best;
+}
+
+SageChoice evaluate_baseline_spmm(AccelType t, const CooMatrix& a, index_t n,
+                                  const AccelConfig& cfg,
+                                  const EnergyParams& energy) {
+  auto best = sage_select_spmm_dense_b(a, n, cfg, energy, baseline_space(t));
+  if (t == AccelType::kFixFixNone2) {
+    const auto alt =
+        sage_select_spmm_dense_b(a, n, cfg, energy, eie_second_point());
+    if (alt.edp < best.edp) best = alt;
+  }
+  return best;
+}
+
+}  // namespace mt

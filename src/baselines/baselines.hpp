@@ -1,0 +1,73 @@
+// The seven accelerator archetypes of paper Tables I/II, expressed as
+// restrictions of SAGE's format search space.
+//
+// Every baseline runs on the same PE array and energy model — what
+// distinguishes a TPU from an EIE from this work in the paper's
+// evaluation is exactly which MCFs/ACFs it may pick and how (whether) it
+// converts between them. That framing is the paper's: "It can be applied,
+// in principle, over any of the sparse accelerators."
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sage/sage.hpp"
+
+namespace mt {
+
+enum class AccelType : std::uint8_t {
+  kFixFixNone,    // TPU: Dense-Dense MCF == ACF, no converter
+  kFixFixNone2,   // EIE: CSR(A)-Dense(B) or Dense(A)-CSC(B), MCF == ACF
+  kFixFlexHw,     // SIGMA: MCF fixed ZVC-ZVC, ACF flexible, HW converter
+  kFlexFlexNone,  // ExTensor: flexible but MCF must equal ACF
+  kFlexFixHw,     // NVDLA: MCF in {ZVC, Dense}, ACF fixed Dense-Dense
+  kFlexFlexSw,    // CPU/GPU: flexible, conversions offloaded to software
+  kFlexFlexHw,    // this work: flexible MCF and ACF, MINT converter
+};
+
+inline constexpr std::array<AccelType, 7> kAllAccelTypes = {
+    AccelType::kFixFixNone, AccelType::kFixFixNone2, AccelType::kFixFlexHw,
+    AccelType::kFlexFlexNone, AccelType::kFlexFixHw, AccelType::kFlexFlexSw,
+    AccelType::kFlexFlexHw};
+
+constexpr std::string_view name_of(AccelType t) {
+  switch (t) {
+    case AccelType::kFixFixNone: return "Fix_Fix_None";
+    case AccelType::kFixFixNone2: return "Fix_Fix_None2";
+    case AccelType::kFixFlexHw: return "Fix_Flex_HW";
+    case AccelType::kFlexFlexNone: return "Flex_Flex_None";
+    case AccelType::kFlexFixHw: return "Flex_Fix_HW";
+    case AccelType::kFlexFlexSw: return "Flex_Flex_SW";
+    case AccelType::kFlexFlexHw: return "Flex_Flex_HW (this work)";
+  }
+  return "?";
+}
+
+constexpr std::string_view exemplar_of(AccelType t) {
+  switch (t) {
+    case AccelType::kFixFixNone: return "TPUv1";
+    case AccelType::kFixFixNone2: return "EIE";
+    case AccelType::kFixFlexHw: return "SIGMA";
+    case AccelType::kFlexFlexNone: return "ExTensor";
+    case AccelType::kFlexFixHw: return "NVDLA";
+    case AccelType::kFlexFlexSw: return "MKL/cuSPARSE";
+    case AccelType::kFlexFlexHw: return "this work";
+  }
+  return "?";
+}
+
+// The format space this archetype is allowed to search (Table II).
+FormatSpace baseline_space(AccelType t);
+
+// Evaluates the archetype on a matmul workload: SAGE constrained to the
+// archetype's space picks its best admissible combination.
+SageChoice evaluate_baseline(AccelType t, const CooMatrix& a,
+                             const CooMatrix& b, const AccelConfig& cfg,
+                             const EnergyParams& energy);
+
+// SpMM variant: dense K x N factor matrix (no materialization).
+SageChoice evaluate_baseline_spmm(AccelType t, const CooMatrix& a, index_t n,
+                                  const AccelConfig& cfg,
+                                  const EnergyParams& energy);
+
+}  // namespace mt

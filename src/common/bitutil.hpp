@@ -1,0 +1,41 @@
+// Bit-width arithmetic used by the storage-size model.
+//
+// The paper's compactness rule (§III-A): "The number of metadata bits
+// required is the log of the maximum possible value." bits_for(n) returns
+// the width of a field that must represent values in [0, n-1] (ids) —
+// callers pass n = dimension for coordinate ids and n = nnz+1 for pointer
+// fields whose maximum stored value is nnz.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mt {
+
+// Width in bits of a field holding values in [0, n-1]; at least 1 bit.
+constexpr int bits_for(std::uint64_t n) {
+  if (n <= 2) return 1;
+  return std::bit_width(n - 1);
+}
+
+constexpr std::int64_t bits_to_bytes(std::int64_t bits) {
+  return (bits + 7) / 8;
+}
+
+// ceil(a / b) for non-negative a, positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+static_assert(bits_for(2) == 1);
+static_assert(bits_for(3) == 2);
+static_assert(bits_for(4) == 2);
+static_assert(bits_for(5) == 3);
+static_assert(bits_for(1024) == 10);
+static_assert(bits_for(1025) == 11);
+static_assert(ceil_div(7, 3) == 3);
+
+}  // namespace mt

@@ -1,0 +1,45 @@
+// Error-handling helpers.
+//
+// The library is exception-based (C++ Core Guidelines E.2): precondition
+// violations throw std::invalid_argument, internal invariant violations
+// throw std::logic_error. The macros capture the failing expression so a
+// test failure names the broken contract.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mt {
+
+namespace detail {
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_ensure(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mt
+
+// Precondition on a public API argument.
+#define MT_REQUIRE(expr, msg)                                      \
+  do {                                                             \
+    if (!(expr)) ::mt::detail::throw_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+// Internal invariant that should hold if the implementation is correct.
+#define MT_ENSURE(expr, msg)                                       \
+  do {                                                             \
+    if (!(expr)) ::mt::detail::throw_ensure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,39 @@
+// Deterministic pseudo-random generation for synthetic workloads.
+//
+// All synthetic tensors in the repository are produced from explicit seeds
+// so every table/figure regenerates bit-identically. Xoshiro256** is used
+// for speed; sample_distinct implements Floyd's algorithm so sampling k
+// positions from an astronomically large index space (e.g. an 11k x 11k
+// matrix at 1e-8 density) costs O(k) memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mt {
+
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, n).
+  std::uint64_t next_below(std::uint64_t n);
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Uniform in [lo, hi).
+  value_t next_value(value_t lo = 0.5f, value_t hi = 1.5f);
+
+  // k distinct values uniformly sampled from [0, n), returned sorted.
+  std::vector<std::uint64_t> sample_distinct(std::uint64_t n, std::uint64_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mt

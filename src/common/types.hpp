@@ -1,0 +1,56 @@
+// Core scalar types shared by every subsystem.
+//
+// Functional structures carry fp32 values and 64-bit indices; the *modeled*
+// datatype (what the accelerator/DRAM cost models charge per element) is a
+// separate DataType so the same functional tensor can be costed as int8,
+// bf16 or fp32 — mirroring the paper's Fig. 4 quantization study.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mt {
+
+using index_t = std::int64_t;  // dimensions, coordinates, nnz counts
+using value_t = float;         // functional element values
+
+// Element datatypes the cost models understand (paper evaluates 32- and
+// 8-bit in Fig. 4 and uses 32-bit for the main evaluation).
+enum class DataType : std::uint8_t { kInt8, kInt16, kBf16, kFp32 };
+
+constexpr int bits_of(DataType dt) {
+  switch (dt) {
+    case DataType::kInt8: return 8;
+    case DataType::kInt16: return 16;
+    case DataType::kBf16: return 16;
+    case DataType::kFp32: return 32;
+  }
+  return 32;
+}
+
+constexpr std::string_view name_of(DataType dt) {
+  switch (dt) {
+    case DataType::kInt8: return "int8";
+    case DataType::kInt16: return "int16";
+    case DataType::kBf16: return "bf16";
+    case DataType::kFp32: return "fp32";
+  }
+  return "?";
+}
+
+// Tensor algebra kernels the accelerator runs (paper Fig. 2).
+enum class Kernel : std::uint8_t { kGemm, kSpMM, kSpGEMM, kSpMV, kSpTTM, kMTTKRP };
+
+constexpr std::string_view name_of(Kernel k) {
+  switch (k) {
+    case Kernel::kGemm: return "GEMM";
+    case Kernel::kSpMM: return "SpMM";
+    case Kernel::kSpGEMM: return "SpGEMM";
+    case Kernel::kSpMV: return "SpMV";
+    case Kernel::kSpTTM: return "SpTTM";
+    case Kernel::kMTTKRP: return "MTTKRP";
+  }
+  return "?";
+}
+
+}  // namespace mt

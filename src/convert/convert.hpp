@@ -1,0 +1,89 @@
+// Software format conversion — the correctness oracle for MINT and the
+// compute substrate of the paper's Flex_Flex_SW baseline (host CPU/GPU
+// conversion via MKL/cuSPARSE).
+//
+// Direct converters mirror the MINT pipelines of paper Fig. 8 (counting
+// sort + prefix sum for CSR->CSC, prefix sum + div/mod for RLC->COO, block
+// bucketing for CSR->BSR, tree construction for Dense->CSF) rather than
+// bouncing through a dense intermediate. The generic AnyMatrix layer
+// performs any->any conversion for the remaining pairs via the COO hub,
+// the role the paper assigns COO ("enables fast translation to other
+// formats").
+#pragma once
+
+#include <variant>
+
+#include "formats/bsr.hpp"
+#include "formats/coo.hpp"
+#include "formats/csc.hpp"
+#include "formats/csf.hpp"
+#include "formats/csr.hpp"
+#include "formats/dense.hpp"
+#include "formats/dia.hpp"
+#include "formats/ell.hpp"
+#include "formats/format.hpp"
+#include "formats/hicoo.hpp"
+#include "formats/rlc.hpp"
+#include "formats/tensor_coo.hpp"
+#include "formats/tensor_dense.hpp"
+#include "formats/tensor_flat.hpp"
+#include "formats/zvc.hpp"
+
+namespace mt {
+
+// --- Direct matrix converters (paper §V-B showcase conversions) ---
+
+// Counting sort over column ids + prefix sum (Fig. 8c).
+CscMatrix csr_to_csc(const CsrMatrix& a);
+CsrMatrix csc_to_csr(const CscMatrix& a);
+
+// Running position via prefix sum of (run+1), then divide/mod by the
+// column count (Fig. 8d).
+CooMatrix rlc_to_coo(const RlcMatrix& a);
+RlcMatrix coo_to_rlc(const CooMatrix& a, int run_bits = kRlcRunBits);
+
+// Block bucketing per row block with explicit fill zeros (Fig. 8e).
+BsrMatrix csr_to_bsr(const CsrMatrix& a, index_t block_rows = kBsrBlockRows,
+                     index_t block_cols = kBsrBlockCols);
+CsrMatrix bsr_to_csr(const BsrMatrix& a);
+
+// Occupancy scan + prefix-sum compaction (Fig. 8f; also ZVC<->Dense).
+CsfTensor3 dense_to_csf(const DenseTensor3& a);
+ZvcMatrix dense_to_zvc(const DenseMatrix& a);
+DenseMatrix zvc_to_dense(const ZvcMatrix& a);
+CsrMatrix dense_to_csr(const DenseMatrix& a);
+DenseMatrix csr_to_dense(const CsrMatrix& a);
+
+// --- Generic any->any layer ---
+
+using AnyMatrix = std::variant<DenseMatrix, CooMatrix, CsrMatrix, CscMatrix,
+                               RlcMatrix, ZvcMatrix, BsrMatrix, DiaMatrix,
+                               EllMatrix>;
+
+Format format_of(const AnyMatrix& m);
+index_t rows_of(const AnyMatrix& m);
+index_t cols_of(const AnyMatrix& m);
+std::int64_t nnz_of(const AnyMatrix& m);
+StorageSize storage_of(const AnyMatrix& m, DataType dt);
+
+// Encodes a dense matrix into `target`.
+AnyMatrix encode(const DenseMatrix& d, Format target);
+// Decodes any format back to dense.
+DenseMatrix decode(const AnyMatrix& m);
+// any -> any; uses a direct converter when one exists, otherwise the COO hub.
+AnyMatrix convert(const AnyMatrix& m, Format target);
+
+// --- Generic tensor layer ---
+
+using AnyTensor = std::variant<DenseTensor3, CooTensor3, CsfTensor3,
+                               HicooTensor3, ZvcTensor3, RlcTensor3>;
+
+Format format_of(const AnyTensor& t);
+std::int64_t nnz_of(const AnyTensor& t);
+StorageSize storage_of(const AnyTensor& t, DataType dt);
+
+AnyTensor encode(const DenseTensor3& d, Format target);
+DenseTensor3 decode(const AnyTensor& t);
+AnyTensor convert(const AnyTensor& t, Format target);
+
+}  // namespace mt

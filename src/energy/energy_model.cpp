@@ -1,0 +1,38 @@
+#include "energy/energy_model.hpp"
+
+#include <cmath>
+
+#include "common/bitutil.hpp"
+
+namespace mt {
+
+std::int64_t EnergyParams::dram_cycles(std::int64_t bits) const {
+  const double bytes = static_cast<double>(bits) / 8.0;
+  return static_cast<std::int64_t>(std::ceil(bytes / dram_bytes_per_cycle));
+}
+
+double EnergyParams::mac_energy_j(DataType dt) const {
+  switch (dt) {
+    case DataType::kInt8: return int8_mac_j;
+    case DataType::kInt16: return int8_mac_j * 2.0;
+    case DataType::kBf16: return fp32_mac_j * 0.4;
+    case DataType::kFp32: return fp32_mac_j;
+  }
+  return fp32_mac_j;
+}
+
+double EnergyParams::sram_energy_j(DataType dt, bool small_buffer) const {
+  const double per_32b = small_buffer ? sram_small_j_per_32b : sram_large_j_per_32b;
+  return per_32b * static_cast<double>(bits_of(dt)) / 32.0;
+}
+
+CostBreakdown operator+(const CostBreakdown& a, const CostBreakdown& b) {
+  return {a.dram_cycles + b.dram_cycles,
+          a.convert_cycles + b.convert_cycles,
+          a.compute_cycles + b.compute_cycles,
+          a.dram_energy_j + b.dram_energy_j,
+          a.convert_energy_j + b.convert_energy_j,
+          a.compute_energy_j + b.compute_energy_j};
+}
+
+}  // namespace mt

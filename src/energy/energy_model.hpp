@@ -1,0 +1,85 @@
+// Technology energy/latency constants and the EDP arithmetic every
+// evaluation figure rests on.
+//
+// Calibration follows Horowitz, "Computing's energy problem" (ISSCC 2014),
+// the paper's own citation for the claim that a DRAM transfer costs ~6400x
+// an add (§I): int32 add = 0.1 pJ, fp32 MAC = 4.6 pJ, DRAM = 640 pJ per
+// 32-bit word. SRAM access energy scales with buffer size. All energies
+// are reported in joules, all delays in cycles at a 1 GHz clock (the
+// paper's synthesis point).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mt {
+
+struct EnergyParams {
+  // Joules per event (Horowitz ISSCC'14, 45 nm, scaled as the paper does).
+  double int32_add_j = 0.1e-12;
+  double fp32_mult_j = 3.7e-12;
+  double fp32_mac_j = 4.6e-12;   // mult + add
+  double int8_mac_j = 0.23e-12;  // 0.2 pJ mult + 0.03 pJ add
+  double dram_j_per_32b = 640e-12;
+  double sram_small_j_per_32b = 5e-12;   // <= 8 KB PE-local buffer
+  double sram_large_j_per_32b = 50e-12;  // multi-banked global scratchpad
+  double noc_j_per_32b_hop = 0.8e-12;    // bus/NoC wire + mux energy
+
+  // Timing.
+  double clock_hz = 1e9;                  // 1 GHz synthesis point
+  double dram_bytes_per_cycle = 64.0;     // ~64 GB/s HBM-class interface
+  double pcie_bytes_per_second = 16e9;    // PCIe gen3 x16 (H2D/D2H model)
+  double pcie_latency_s = 10e-6;          // per-transfer setup
+
+  // Host platforms for the Flex_Flex_SW baseline (paper §VII-B: i9-9820X
+  // 165 W, Titan RTX 280 W).
+  double cpu_tdp_w = 165.0;
+  double gpu_tdp_w = 280.0;
+
+  // Energy to move `bits` from/to DRAM.
+  double dram_energy_j(std::int64_t bits) const {
+    return dram_j_per_32b * static_cast<double>(bits) / 32.0;
+  }
+  // Cycles to stream `bits` over the DRAM interface.
+  std::int64_t dram_cycles(std::int64_t bits) const;
+
+  // Energy per MAC at the given datatype (bf16/int16 interpolated).
+  double mac_energy_j(DataType dt) const;
+
+  // Per-element SRAM access energy scaled by word width.
+  double sram_energy_j(DataType dt, bool small_buffer) const;
+
+  double seconds(std::int64_t cycles) const {
+    return static_cast<double>(cycles) / clock_hz;
+  }
+};
+
+// Energy-delay product in J*s — SAGE's objective (paper §VI).
+constexpr double edp(double energy_j, double delay_s) {
+  return energy_j * delay_s;
+}
+
+// Cost components every evaluation reports (Fig. 12's stacked bars).
+struct CostBreakdown {
+  std::int64_t dram_cycles = 0;     // streaming MCF operands + output
+  std::int64_t convert_cycles = 0;  // MINT or software conversion
+  std::int64_t compute_cycles = 0;  // accelerator execution
+  double dram_energy_j = 0.0;
+  double convert_energy_j = 0.0;
+  double compute_energy_j = 0.0;
+
+  std::int64_t total_cycles() const {
+    return dram_cycles + convert_cycles + compute_cycles;
+  }
+  double total_energy_j() const {
+    return dram_energy_j + convert_energy_j + compute_energy_j;
+  }
+  double edp(const EnergyParams& p) const {
+    return total_energy_j() * p.seconds(total_cycles());
+  }
+};
+
+CostBreakdown operator+(const CostBreakdown& a, const CostBreakdown& b);
+
+}  // namespace mt

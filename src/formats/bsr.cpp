@@ -1,0 +1,126 @@
+#include "formats/bsr.hpp"
+
+#include <algorithm>
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace mt {
+
+index_t BsrMatrix::block_grid_rows() const { return ceil_div(rows_, br_); }
+index_t BsrMatrix::block_grid_cols() const { return ceil_div(cols_, bc_); }
+
+BsrMatrix BsrMatrix::from_dense(const DenseMatrix& d, index_t block_rows,
+                                index_t block_cols) {
+  MT_REQUIRE(block_rows > 0 && block_cols > 0, "positive block dims");
+  BsrMatrix m;
+  m.rows_ = d.rows();
+  m.cols_ = d.cols();
+  m.br_ = block_rows;
+  m.bc_ = block_cols;
+  const index_t grid_rows = m.block_grid_rows();
+  const index_t grid_cols = m.block_grid_cols();
+  m.block_row_ptr_.assign(static_cast<std::size_t>(grid_rows) + 1, 0);
+  for (index_t gr = 0; gr < grid_rows; ++gr) {
+    for (index_t gc = 0; gc < grid_cols; ++gc) {
+      bool any = false;
+      for (index_t r = gr * block_rows; r < std::min((gr + 1) * block_rows, m.rows_) && !any; ++r) {
+        for (index_t c = gc * block_cols; c < std::min((gc + 1) * block_cols, m.cols_); ++c) {
+          if (d.at(r, c) != 0.0f) {
+            any = true;
+            break;
+          }
+        }
+      }
+      if (!any) continue;
+      m.block_col_.push_back(gc);
+      // Out-of-matrix positions in a boundary block are stored as zeros,
+      // exactly like the explicit fill zeros of a partial block.
+      for (index_t br = 0; br < block_rows; ++br) {
+        for (index_t bc = 0; bc < block_cols; ++bc) {
+          const index_t r = gr * block_rows + br;
+          const index_t c = gc * block_cols + bc;
+          m.val_.push_back(r < m.rows_ && c < m.cols_ ? d.at(r, c) : 0.0f);
+        }
+      }
+    }
+    m.block_row_ptr_[static_cast<std::size_t>(gr) + 1] =
+        static_cast<index_t>(m.block_col_.size());
+  }
+  return m;
+}
+
+BsrMatrix BsrMatrix::from_parts(index_t rows, index_t cols, index_t block_rows,
+                                index_t block_cols,
+                                std::vector<index_t> block_row_ptr,
+                                std::vector<index_t> block_col_ids,
+                                std::vector<value_t> block_values) {
+  MT_REQUIRE(block_rows > 0 && block_cols > 0, "positive block dims");
+  BsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.br_ = block_rows;
+  m.bc_ = block_cols;
+  const index_t grid_rows = m.block_grid_rows();
+  const index_t grid_cols = m.block_grid_cols();
+  MT_REQUIRE(static_cast<index_t>(block_row_ptr.size()) == grid_rows + 1,
+             "block_row_ptr must have grid_rows+1 entries");
+  MT_REQUIRE(block_row_ptr.front() == 0 &&
+                 block_row_ptr.back() ==
+                     static_cast<index_t>(block_col_ids.size()),
+             "block_row_ptr must span [0, num_blocks]");
+  MT_REQUIRE(block_values.size() ==
+                 block_col_ids.size() * static_cast<std::size_t>(block_rows) *
+                     static_cast<std::size_t>(block_cols),
+             "block_values must hold br*bc values per block");
+  for (index_t gr = 0; gr < grid_rows; ++gr) {
+    for (index_t b = block_row_ptr[gr]; b < block_row_ptr[gr + 1]; ++b) {
+      MT_REQUIRE(block_col_ids[b] >= 0 && block_col_ids[b] < grid_cols,
+                 "block col id out of range");
+      MT_REQUIRE(b == block_row_ptr[gr] || block_col_ids[b - 1] < block_col_ids[b],
+                 "block col ids ascending within a block row");
+    }
+  }
+  m.block_row_ptr_ = std::move(block_row_ptr);
+  m.block_col_ = std::move(block_col_ids);
+  m.val_ = std::move(block_values);
+  return m;
+}
+
+DenseMatrix BsrMatrix::to_dense() const {
+  DenseMatrix d(rows_, cols_);
+  const index_t grid_rows = block_grid_rows();
+  for (index_t gr = 0; gr < grid_rows; ++gr) {
+    for (index_t b = block_row_ptr_[gr]; b < block_row_ptr_[gr + 1]; ++b) {
+      const index_t gc = block_col_[b];
+      for (index_t br = 0; br < br_; ++br) {
+        for (index_t bc = 0; bc < bc_; ++bc) {
+          const index_t r = gr * br_ + br;
+          const index_t c = gc * bc_ + bc;
+          const value_t x = val_[static_cast<std::size_t>((b * br_ + br) * bc_ + bc)];
+          if (r < rows_ && c < cols_) {
+            d.set(r, c, x);
+          } else {
+            MT_ENSURE(x == 0.0f, "padding region of a boundary block must be zero");
+          }
+        }
+      }
+    }
+  }
+  return d;
+}
+
+std::int64_t BsrMatrix::nnz() const {
+  return std::count_if(val_.begin(), val_.end(),
+                       [](value_t x) { return x != 0.0f; });
+}
+
+StorageSize BsrMatrix::storage(DataType dt) const {
+  const std::int64_t nb = num_blocks();
+  const std::int64_t meta =
+      nb * bits_for(static_cast<std::uint64_t>(block_grid_cols())) +
+      (block_grid_rows() + 1) * bits_for(static_cast<std::uint64_t>(nb) + 1);
+  return {nb * br_ * bc_ * bits_of(dt), meta};
+}
+
+}  // namespace mt

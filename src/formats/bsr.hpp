@@ -1,0 +1,60 @@
+// Block Compressed Sparse Row (BSR).
+//
+// CSR over fixed-size dense blocks: metadata is paid once per nonzero
+// block, and blocks that are only partially occupied store explicit zeros
+// (paper §V-B3: "CSR does not contain any zero values, while BSR may").
+// Dimensions that are not block multiples are implicitly zero-padded.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "formats/dense.hpp"
+#include "formats/storage.hpp"
+
+namespace mt {
+
+class BsrMatrix {
+ public:
+  BsrMatrix() = default;
+
+  static BsrMatrix from_dense(const DenseMatrix& d,
+                              index_t block_rows = kBsrBlockRows,
+                              index_t block_cols = kBsrBlockCols);
+
+  // Assembles a BSR matrix from pre-built arrays (used by the direct
+  // CSR->BSR converter); validates pointer/id consistency.
+  static BsrMatrix from_parts(index_t rows, index_t cols, index_t block_rows,
+                              index_t block_cols,
+                              std::vector<index_t> block_row_ptr,
+                              std::vector<index_t> block_col_ids,
+                              std::vector<value_t> block_values);
+
+  DenseMatrix to_dense() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t block_rows() const { return br_; }
+  index_t block_cols() const { return bc_; }
+  index_t block_grid_rows() const;  // ceil(rows / block_rows)
+  index_t block_grid_cols() const;  // ceil(cols / block_cols)
+
+  std::int64_t num_blocks() const { return static_cast<std::int64_t>(block_col_.size()); }
+  std::int64_t nnz() const;  // true nonzeros (fill zeros excluded)
+
+  const std::vector<index_t>& block_row_ptr() const { return block_row_ptr_; }
+  const std::vector<index_t>& block_col_ids() const { return block_col_; }
+  // Blocks stored contiguously, each block row-major, br*bc values.
+  const std::vector<value_t>& block_values() const { return val_; }
+
+  StorageSize storage(DataType dt) const;
+
+ private:
+  index_t rows_ = 0, cols_ = 0;
+  index_t br_ = kBsrBlockRows, bc_ = kBsrBlockCols;
+  std::vector<index_t> block_row_ptr_;  // grid_rows + 1
+  std::vector<index_t> block_col_;      // num_blocks
+  std::vector<value_t> val_;            // num_blocks * br * bc
+};
+
+}  // namespace mt

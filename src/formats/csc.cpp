@@ -1,0 +1,81 @@
+#include "formats/csc.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace mt {
+
+CscMatrix CscMatrix::from_parts(index_t rows, index_t cols,
+                                std::vector<index_t> col_ptr,
+                                std::vector<index_t> row_ids,
+                                std::vector<value_t> values) {
+  MT_REQUIRE(static_cast<index_t>(col_ptr.size()) == cols + 1,
+             "col_ptr must have cols+1 entries");
+  MT_REQUIRE(row_ids.size() == values.size(), "row_ids/values length mismatch");
+  MT_REQUIRE(col_ptr.front() == 0 &&
+                 col_ptr.back() == static_cast<index_t>(values.size()),
+             "col_ptr must span [0, nnz]");
+  for (index_t c = 0; c < cols; ++c) {
+    MT_REQUIRE(col_ptr[c] <= col_ptr[c + 1], "col_ptr must be non-decreasing");
+    for (index_t i = col_ptr[c]; i < col_ptr[c + 1]; ++i) {
+      MT_REQUIRE(row_ids[i] >= 0 && row_ids[i] < rows, "row_id out of range");
+      MT_REQUIRE(i == col_ptr[c] || row_ids[i - 1] < row_ids[i],
+                 "row_ids ascending within a column");
+    }
+  }
+  CscMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.col_ptr_ = std::move(col_ptr);
+  m.row_ = std::move(row_ids);
+  m.val_ = std::move(values);
+  return m;
+}
+
+CscMatrix CscMatrix::from_dense(const DenseMatrix& d) {
+  return from_coo(CooMatrix::from_dense(d));
+}
+
+CscMatrix CscMatrix::from_coo(const CooMatrix& c) {
+  CooMatrix sorted = c;
+  sorted.sort_col_major();
+  CscMatrix m;
+  m.rows_ = sorted.rows();
+  m.cols_ = sorted.cols();
+  m.col_ptr_.assign(static_cast<std::size_t>(m.cols_) + 1, 0);
+  m.row_ = sorted.row_ids();
+  m.val_ = sorted.values();
+  for (index_t col : sorted.col_ids()) ++m.col_ptr_[static_cast<std::size_t>(col) + 1];
+  for (index_t col = 0; col < m.cols_; ++col) {
+    m.col_ptr_[static_cast<std::size_t>(col) + 1] += m.col_ptr_[static_cast<std::size_t>(col)];
+  }
+  return m;
+}
+
+DenseMatrix CscMatrix::to_dense() const {
+  DenseMatrix d(rows_, cols_);
+  for (index_t c = 0; c < cols_; ++c) {
+    for (index_t i = col_ptr_[c]; i < col_ptr_[c + 1]; ++i) {
+      d.set(row_[i], c, val_[i]);
+    }
+  }
+  return d;
+}
+
+CooMatrix CscMatrix::to_coo() const {
+  std::vector<index_t> cols(val_.size());
+  for (index_t c = 0; c < cols_; ++c) {
+    for (index_t i = col_ptr_[c]; i < col_ptr_[c + 1]; ++i) cols[i] = c;
+  }
+  return CooMatrix::from_entries(rows_, cols_, row_, std::move(cols), val_);
+}
+
+StorageSize CscMatrix::storage(DataType dt) const {
+  const std::int64_t n = nnz();
+  const std::int64_t meta =
+      n * bits_for(static_cast<std::uint64_t>(rows_)) +
+      (cols_ + 1) * bits_for(static_cast<std::uint64_t>(n) + 1);
+  return {n * bits_of(dt), meta};
+}
+
+}  // namespace mt

@@ -1,0 +1,78 @@
+#include "formats/csf.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace mt {
+
+CsfTensor3 CsfTensor3::from_coo(const CooTensor3& c) {
+  CsfTensor3 t;
+  t.x_ = c.dim_x();
+  t.y_ = c.dim_y();
+  t.z_ = c.dim_z();
+  t.y_ptr_.push_back(0);
+  const std::int64_t n = c.nnz();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const index_t x = c.x_ids()[i];
+    const index_t y = c.y_ids()[i];
+    const bool new_x = t.x_ids_.empty() || t.x_ids_.back() != x;
+    if (new_x) {
+      t.x_ids_.push_back(x);
+      t.y_ptr_.push_back(t.y_ptr_.back());
+    }
+    const bool new_y = new_x || t.y_ids_.empty() ||
+                       t.y_ids_[static_cast<std::size_t>(t.y_ptr_.back()) - 1] != y;
+    if (new_y) {
+      t.y_ids_.push_back(y);
+      ++t.y_ptr_.back();
+      t.z_ptr_.push_back(static_cast<index_t>(t.z_ids_.size()));
+    }
+    t.z_ids_.push_back(c.z_ids()[i]);
+    t.val_.push_back(c.values()[i]);
+  }
+  t.z_ptr_.push_back(static_cast<index_t>(t.z_ids_.size()));
+  if (t.y_ids_.empty()) t.z_ptr_ = {0};
+  // z_ptr has n2+1 entries, where n2 = |y_ids|.
+  MT_ENSURE(t.z_ptr_.size() == t.y_ids_.size() + 1, "CSF level-2 pointer shape");
+  MT_ENSURE(t.y_ptr_.size() == t.x_ids_.size() + 1, "CSF level-1 pointer shape");
+  return t;
+}
+
+CsfTensor3 CsfTensor3::from_dense(const DenseTensor3& d) {
+  return from_coo(CooTensor3::from_dense(d));
+}
+
+CooTensor3 CsfTensor3::to_coo() const {
+  std::vector<index_t> xs, ys, zs;
+  xs.reserve(val_.size());
+  ys.reserve(val_.size());
+  zs.reserve(val_.size());
+  for (std::size_t xi = 0; xi < x_ids_.size(); ++xi) {
+    for (index_t yi = y_ptr_[xi]; yi < y_ptr_[xi + 1]; ++yi) {
+      for (index_t zi = z_ptr_[yi]; zi < z_ptr_[yi + 1]; ++zi) {
+        xs.push_back(x_ids_[xi]);
+        ys.push_back(y_ids_[static_cast<std::size_t>(yi)]);
+        zs.push_back(z_ids_[static_cast<std::size_t>(zi)]);
+      }
+    }
+  }
+  return CooTensor3::from_entries(x_, y_, z_, std::move(xs), std::move(ys),
+                                  std::move(zs), val_);
+}
+
+DenseTensor3 CsfTensor3::to_dense() const { return to_coo().to_dense(); }
+
+StorageSize CsfTensor3::storage(DataType dt) const {
+  const auto n1 = static_cast<std::int64_t>(x_ids_.size());
+  const auto n2 = static_cast<std::int64_t>(y_ids_.size());
+  const std::int64_t n = nnz();
+  const std::int64_t meta =
+      n1 * bits_for(static_cast<std::uint64_t>(x_)) +
+      n2 * bits_for(static_cast<std::uint64_t>(y_)) +
+      n * bits_for(static_cast<std::uint64_t>(z_)) +
+      (n1 + 1) * bits_for(static_cast<std::uint64_t>(n2) + 1) +
+      (n2 + 1) * bits_for(static_cast<std::uint64_t>(n) + 1);
+  return {n * bits_of(dt), meta};
+}
+
+}  // namespace mt

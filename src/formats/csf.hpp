@@ -1,0 +1,55 @@
+// Compressed Sparse Fiber (CSF) for 3-D tensors [Smith & Karypis 2015].
+//
+// A three-level tree in fixed mode order x -> y -> z:
+//   level 0: x_ids (one node per distinct x slice with nonzeros)
+//   level 1: y_ptr delimits each x node's children; y_ids names them
+//   level 2: z_ptr delimits each (x,y) fiber; z_ids + values are leaves
+// Table III picks CSF as the ACF for the Crime and Uber tensors; Dense ->
+// CSF is one of the paper's four showcased MINT pipelines (Fig. 8f).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "formats/storage.hpp"
+#include "formats/tensor_coo.hpp"
+#include "formats/tensor_dense.hpp"
+
+namespace mt {
+
+class CsfTensor3 {
+ public:
+  CsfTensor3() = default;
+
+  static CsfTensor3 from_coo(const CooTensor3& c);  // c sorted lexicographically
+  static CsfTensor3 from_dense(const DenseTensor3& d);
+
+  CooTensor3 to_coo() const;
+  DenseTensor3 to_dense() const;
+
+  index_t dim_x() const { return x_; }
+  index_t dim_y() const { return y_; }
+  index_t dim_z() const { return z_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(val_.size()); }
+
+  // Tree arrays (see file comment for the level layout).
+  const std::vector<index_t>& x_ids() const { return x_ids_; }
+  const std::vector<index_t>& y_ptr() const { return y_ptr_; }
+  const std::vector<index_t>& y_ids() const { return y_ids_; }
+  const std::vector<index_t>& z_ptr() const { return z_ptr_; }
+  const std::vector<index_t>& z_ids() const { return z_ids_; }
+  const std::vector<value_t>& values() const { return val_; }
+
+  StorageSize storage(DataType dt) const;
+
+ private:
+  index_t x_ = 0, y_ = 0, z_ = 0;
+  std::vector<index_t> x_ids_;  // n1
+  std::vector<index_t> y_ptr_;  // n1 + 1
+  std::vector<index_t> y_ids_;  // n2
+  std::vector<index_t> z_ptr_;  // n2 + 1
+  std::vector<index_t> z_ids_;  // nnz
+  std::vector<value_t> val_;    // nnz
+};
+
+}  // namespace mt

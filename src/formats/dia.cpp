@@ -1,0 +1,62 @@
+#include "formats/dia.hpp"
+
+#include <algorithm>
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace mt {
+
+DiaMatrix DiaMatrix::from_dense(const DenseMatrix& d) {
+  DiaMatrix m;
+  m.rows_ = d.rows();
+  m.cols_ = d.cols();
+  // Offsets range over c - r in [-(rows-1), cols-1].
+  for (index_t off = -(d.rows() - 1); off <= d.cols() - 1; ++off) {
+    bool any = false;
+    for (index_t r = std::max<index_t>(0, -off);
+         r < std::min(d.rows(), d.cols() - off); ++r) {
+      if (d.at(r, r + off) != 0.0f) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    m.offsets_.push_back(off);
+    for (index_t r = 0; r < d.rows(); ++r) {
+      const index_t c = r + off;
+      m.data_.push_back(c >= 0 && c < d.cols() ? d.at(r, c) : 0.0f);
+    }
+  }
+  return m;
+}
+
+DenseMatrix DiaMatrix::to_dense() const {
+  DenseMatrix d(rows_, cols_);
+  for (std::size_t k = 0; k < offsets_.size(); ++k) {
+    const index_t off = offsets_[k];
+    for (index_t r = 0; r < rows_; ++r) {
+      const index_t c = r + off;
+      if (c >= 0 && c < cols_) {
+        d.set(r, c, data_[k * static_cast<std::size_t>(rows_) +
+                          static_cast<std::size_t>(r)]);
+      }
+    }
+  }
+  return d;
+}
+
+std::int64_t DiaMatrix::nnz() const {
+  return std::count_if(data_.begin(), data_.end(),
+                       [](value_t x) { return x != 0.0f; });
+}
+
+StorageSize DiaMatrix::storage(DataType dt) const {
+  const auto nd = static_cast<std::int64_t>(offsets_.size());
+  // Every stored diagonal pays a full rows-long lane (padding included);
+  // the offset field must span rows+cols-1 distinct values.
+  return {nd * rows_ * bits_of(dt),
+          nd * bits_for(static_cast<std::uint64_t>(rows_ + cols_))};
+}
+
+}  // namespace mt

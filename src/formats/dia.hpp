@@ -1,0 +1,46 @@
+// Diagonal (DIA) matrix format.
+//
+// Stores every diagonal that contains at least one nonzero as a full
+// `rows`-long lane (out-of-matrix positions are padding, paper Fig. 3 shows
+// them as '*'), plus one signed offset per stored diagonal. Extremely
+// compact for banded scientific operators, catastrophic for unstructured
+// sparsity — which is why the paper lists it as a format whose performance
+// model is future work while we still support storage and conversion.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "formats/dense.hpp"
+#include "formats/storage.hpp"
+
+namespace mt {
+
+class DiaMatrix {
+ public:
+  DiaMatrix() = default;
+
+  static DiaMatrix from_dense(const DenseMatrix& d);
+
+  DenseMatrix to_dense() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::int64_t num_diagonals() const { return static_cast<std::int64_t>(offsets_.size()); }
+  std::int64_t nnz() const;
+
+  // offsets_[d] = c - r for the stored diagonal d; ascending.
+  const std::vector<index_t>& offsets() const { return offsets_; }
+  // lane d occupies data_[d*rows .. (d+1)*rows); lane position r holds
+  // A(r, r + offset[d]) or 0 padding when that column is out of range.
+  const std::vector<value_t>& lanes() const { return data_; }
+
+  StorageSize storage(DataType dt) const;
+
+ private:
+  index_t rows_ = 0, cols_ = 0;
+  std::vector<index_t> offsets_;
+  std::vector<value_t> data_;
+};
+
+}  // namespace mt

@@ -1,0 +1,64 @@
+#include "formats/ell.hpp"
+
+#include <algorithm>
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace mt {
+
+EllMatrix EllMatrix::from_dense(const DenseMatrix& d) {
+  EllMatrix m;
+  m.rows_ = d.rows();
+  m.cols_ = d.cols();
+  std::vector<std::vector<std::pair<index_t, value_t>>> rows(
+      static_cast<std::size_t>(d.rows()));
+  index_t width = 0;
+  for (index_t r = 0; r < d.rows(); ++r) {
+    for (index_t c = 0; c < d.cols(); ++c) {
+      const value_t v = d.at(r, c);
+      if (v != 0.0f) rows[static_cast<std::size_t>(r)].emplace_back(c, v);
+    }
+    width = std::max(width,
+                     static_cast<index_t>(rows[static_cast<std::size_t>(r)].size()));
+  }
+  m.width_ = width;
+  m.col_.assign(static_cast<std::size_t>(d.rows() * width), -1);
+  m.val_.assign(static_cast<std::size_t>(d.rows() * width), 0.0f);
+  for (index_t r = 0; r < d.rows(); ++r) {
+    const auto& row = rows[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      m.col_[static_cast<std::size_t>(r * width) + i] = row[i].first;
+      m.val_[static_cast<std::size_t>(r * width) + i] = row[i].second;
+    }
+  }
+  return m;
+}
+
+DenseMatrix EllMatrix::to_dense() const {
+  DenseMatrix d(rows_, cols_);
+  for (index_t r = 0; r < rows_; ++r) {
+    for (index_t i = 0; i < width_; ++i) {
+      const index_t c = col_[static_cast<std::size_t>(r * width_ + i)];
+      if (c < 0) continue;  // padding slot
+      MT_ENSURE(c < cols_, "ELL col id in range");
+      d.set(r, c, val_[static_cast<std::size_t>(r * width_ + i)]);
+    }
+  }
+  return d;
+}
+
+std::int64_t EllMatrix::nnz() const {
+  return std::count_if(val_.begin(), val_.end(),
+                       [](value_t x) { return x != 0.0f; });
+}
+
+StorageSize EllMatrix::storage(DataType dt) const {
+  // Padding slots pay full freight — ELL's structured-layout tax. The id
+  // field needs one extra code point for the padding sentinel.
+  const std::int64_t slots = rows_ * width_;
+  return {slots * bits_of(dt),
+          slots * bits_for(static_cast<std::uint64_t>(cols_) + 1)};
+}
+
+}  // namespace mt

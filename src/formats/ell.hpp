@@ -1,0 +1,45 @@
+// ELLPACK (ELL) matrix format [Bell & Garland SC'09, the paper's fmt
+// survey citation].
+//
+// Every row stores exactly `width` = max-row-nnz (col_id, value) slots;
+// shorter rows are padded (sentinel column id, zero value). The regular
+// per-row layout is what vector machines and some accelerators want, at
+// the cost of padding when row populations are skewed — the same
+// structured-format trade the paper defers to future work for its
+// performance model, supported here for storage and conversion.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "formats/dense.hpp"
+#include "formats/storage.hpp"
+
+namespace mt {
+
+class EllMatrix {
+ public:
+  EllMatrix() = default;
+
+  static EllMatrix from_dense(const DenseMatrix& d);
+
+  DenseMatrix to_dense() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t width() const { return width_; }  // slots per row
+  std::int64_t nnz() const;
+
+  // Row-major, rows_ * width_ entries; padding slots have col_id == -1.
+  const std::vector<index_t>& col_ids() const { return col_; }
+  const std::vector<value_t>& values() const { return val_; }
+
+  StorageSize storage(DataType dt) const;
+
+ private:
+  index_t rows_ = 0, cols_ = 0, width_ = 0;
+  std::vector<index_t> col_;
+  std::vector<value_t> val_;
+};
+
+}  // namespace mt

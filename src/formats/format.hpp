@@ -1,0 +1,73 @@
+// Compression-format identifiers (paper Fig. 3).
+//
+// A format can serve as a Memory Compression Format (MCF — how a tensor is
+// laid out in DRAM), as an Algorithm Compression Format (ACF — how the
+// accelerator consumes it), or both. The paper's evaluation admits six
+// matrix MCFs (Dense, RLC, ZVC, COO, CSR, CSC) and four matrix ACFs
+// (Dense, COO, CSR, CSC); tensor workloads additionally use CSF and HiCOO.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mt {
+
+enum class Format : std::uint8_t {
+  kDense,
+  kCOO,
+  kCSR,
+  kCSC,
+  kRLC,
+  kZVC,
+  kBSR,
+  kDIA,
+  kELL,
+  kCSF,
+  kHiCOO,
+};
+
+constexpr std::string_view name_of(Format f) {
+  switch (f) {
+    case Format::kDense: return "Dense";
+    case Format::kCOO: return "COO";
+    case Format::kCSR: return "CSR";
+    case Format::kCSC: return "CSC";
+    case Format::kRLC: return "RLC";
+    case Format::kZVC: return "ZVC";
+    case Format::kBSR: return "BSR";
+    case Format::kDIA: return "DIA";
+    case Format::kELL: return "ELL";
+    case Format::kCSF: return "CSF";
+    case Format::kHiCOO: return "HiCOO";
+  }
+  return "?";
+}
+
+// MCF candidates SAGE searches for a matrix operand (paper §VII-A).
+inline constexpr std::array<Format, 6> kMatrixMcfChoices = {
+    Format::kDense, Format::kRLC, Format::kZVC,
+    Format::kCOO,   Format::kCSR, Format::kCSC};
+
+// ACF candidates the extended PE microarchitecture supports for a matrix
+// operand (paper §VII-A).
+inline constexpr std::array<Format, 4> kMatrixAcfChoices = {
+    Format::kDense, Format::kCOO, Format::kCSR, Format::kCSC};
+
+// MCF candidates for a 3-D tensor operand (Table III uses these).
+inline constexpr std::array<Format, 5> kTensorMcfChoices = {
+    Format::kDense, Format::kRLC, Format::kZVC, Format::kCOO, Format::kCSF};
+
+// ACF candidates for a 3-D tensor operand.
+inline constexpr std::array<Format, 3> kTensorAcfChoices = {
+    Format::kDense, Format::kCOO, Format::kCSF};
+
+// True if the format keeps explicit zero-valued elements (affects how many
+// elements the bus must move and the buffer must hold).
+constexpr bool stores_zeros(Format f) {
+  return f == Format::kDense || f == Format::kBSR || f == Format::kDIA ||
+         f == Format::kELL;
+}
+
+}  // namespace mt

@@ -1,0 +1,89 @@
+#include "formats/hicoo.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace mt {
+
+HicooTensor3 HicooTensor3::from_coo(const CooTensor3& c, index_t block) {
+  MT_REQUIRE(block > 0 && (block & (block - 1)) == 0,
+             "HiCOO block must be a power of two");
+  HicooTensor3 t;
+  t.x_ = c.dim_x();
+  t.y_ = c.dim_y();
+  t.z_ = c.dim_z();
+  t.b_ = block;
+  // COO is sorted lexicographically; with a power-of-two block this is
+  // also sorted by (block coordinates, element offsets) except that y/z
+  // splits can interleave blocks. Re-bucket by block id to be safe.
+  struct Entry {
+    index_t bx, by, bz;
+    std::uint8_t ex, ey, ez;
+    value_t v;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(c.nnz()));
+  for (std::int64_t i = 0; i < c.nnz(); ++i) {
+    const index_t x = c.x_ids()[i], y = c.y_ids()[i], z = c.z_ids()[i];
+    entries.push_back({x / block, y / block, z / block,
+                       static_cast<std::uint8_t>(x % block),
+                       static_cast<std::uint8_t>(y % block),
+                       static_cast<std::uint8_t>(z % block), c.values()[i]});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return std::tie(a.bx, a.by, a.bz, a.ex, a.ey, a.ez) <
+                            std::tie(b.bx, b.by, b.bz, b.ex, b.ey, b.ez);
+                   });
+  t.bptr_.push_back(0);
+  for (const Entry& e : entries) {
+    const bool new_block = t.bx_.empty() || t.bx_.back() != e.bx ||
+                           t.by_.back() != e.by || t.bz_.back() != e.bz;
+    if (new_block) {
+      t.bx_.push_back(e.bx);
+      t.by_.push_back(e.by);
+      t.bz_.push_back(e.bz);
+      t.bptr_.push_back(t.bptr_.back());
+    }
+    ++t.bptr_.back();
+    t.ex_.push_back(e.ex);
+    t.ey_.push_back(e.ey);
+    t.ez_.push_back(e.ez);
+    t.val_.push_back(e.v);
+  }
+  return t;
+}
+
+CooTensor3 HicooTensor3::to_coo() const {
+  std::vector<index_t> xs, ys, zs;
+  xs.reserve(val_.size());
+  ys.reserve(val_.size());
+  zs.reserve(val_.size());
+  for (std::size_t bi = 0; bi < bx_.size(); ++bi) {
+    for (index_t i = bptr_[bi]; i < bptr_[bi + 1]; ++i) {
+      xs.push_back(bx_[bi] * b_ + ex_[static_cast<std::size_t>(i)]);
+      ys.push_back(by_[bi] * b_ + ey_[static_cast<std::size_t>(i)]);
+      zs.push_back(bz_[bi] * b_ + ez_[static_cast<std::size_t>(i)]);
+    }
+  }
+  return CooTensor3::from_entries(x_, y_, z_, std::move(xs), std::move(ys),
+                                  std::move(zs), val_);
+}
+
+StorageSize HicooTensor3::storage(DataType dt) const {
+  const std::int64_t nb = num_blocks();
+  const std::int64_t n = nnz();
+  const int eb = bits_for(static_cast<std::uint64_t>(b_));
+  const std::int64_t meta =
+      (nb + 1) * bits_for(static_cast<std::uint64_t>(n) + 1) +
+      nb * (bits_for(static_cast<std::uint64_t>(ceil_div(x_, b_))) +
+            bits_for(static_cast<std::uint64_t>(ceil_div(y_, b_))) +
+            bits_for(static_cast<std::uint64_t>(ceil_div(z_, b_)))) +
+      n * 3 * eb;
+  return {n * bits_of(dt), meta};
+}
+
+}  // namespace mt

@@ -1,0 +1,50 @@
+// Hierarchical COO (HiCOO) for 3-D tensors [Li et al. SC'18].
+//
+// Nonzeros are grouped into BxBxB blocks (paper Fig. 3b uses B = 2):
+// per block a pointer into the element array plus block coordinates at
+// reduced width; per element only log2(B)-bit offsets inside the block.
+// Saves metadata whenever nonzeros cluster.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "formats/storage.hpp"
+#include "formats/tensor_coo.hpp"
+
+namespace mt {
+
+class HicooTensor3 {
+ public:
+  HicooTensor3() = default;
+
+  static HicooTensor3 from_coo(const CooTensor3& c, index_t block = kHicooBlock);
+
+  CooTensor3 to_coo() const;
+
+  index_t dim_x() const { return x_; }
+  index_t dim_y() const { return y_; }
+  index_t dim_z() const { return z_; }
+  index_t block() const { return b_; }
+  std::int64_t num_blocks() const { return static_cast<std::int64_t>(bx_.size()); }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(val_.size()); }
+
+  const std::vector<index_t>& block_ptr() const { return bptr_; }  // nblocks+1
+  const std::vector<index_t>& block_x() const { return bx_; }
+  const std::vector<index_t>& block_y() const { return by_; }
+  const std::vector<index_t>& block_z() const { return bz_; }
+  const std::vector<std::uint8_t>& elem_x() const { return ex_; }
+  const std::vector<std::uint8_t>& elem_y() const { return ey_; }
+  const std::vector<std::uint8_t>& elem_z() const { return ez_; }
+  const std::vector<value_t>& values() const { return val_; }
+
+  StorageSize storage(DataType dt) const;
+
+ private:
+  index_t x_ = 0, y_ = 0, z_ = 0, b_ = kHicooBlock;
+  std::vector<index_t> bptr_, bx_, by_, bz_;
+  std::vector<std::uint8_t> ex_, ey_, ez_;
+  std::vector<value_t> val_;
+};
+
+}  // namespace mt

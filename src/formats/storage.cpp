@@ -1,0 +1,190 @@
+#include "formats/storage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace mt {
+
+namespace {
+
+// P(a cell group of `len` cells contains at least one nonzero) under
+// uniform random density d, computed as -expm1(len*log1p(-d)) so it stays
+// accurate at d = 1e-8 where (1-d)^len underflows naive evaluation.
+double p_group_occupied(double density, double len) {
+  if (density <= 0.0) return 0.0;
+  if (density >= 1.0) return 1.0;
+  return -std::expm1(len * std::log1p(-density));
+}
+
+// Expected RLC entries (value entries + escape entries).
+//
+// Gaps between consecutive nonzeros are geometric with success probability
+// d; an entry chain of R+1-zero escapes covers each gap, so the expected
+// escapes per nonzero is q^(R+1)/(1-q^(R+1)) with q = 1-d, giving total
+// entries nnz / (1 - q^(R+1)). As d -> 0 this tends to cells/(R+1): the
+// whole matrix becomes an escape chain, which is why RLC loses at extreme
+// sparsity in Fig. 4a.
+double expected_rlc_entries(double cells, double nnz, int run_bits) {
+  if (nnz <= 0.0) return 0.0;
+  const double d = nnz / cells;
+  if (d >= 1.0) return cells;
+  const double r1 = static_cast<double>((1 << run_bits) - 1) + 1.0;
+  const double p_covered = p_group_occupied(d, r1);  // 1 - q^(R+1)
+  return std::min(nnz / p_covered, cells);
+}
+
+std::int64_t round_up(double x) {
+  return static_cast<std::int64_t>(std::ceil(x));
+}
+
+}  // namespace
+
+StorageSize expected_matrix_storage(Format f, index_t m, index_t k,
+                                    std::int64_t nnz, DataType dt) {
+  MT_REQUIRE(m > 0 && k > 0, "positive dimensions");
+  MT_REQUIRE(nnz >= 0 && nnz <= m * k, "nnz within matrix cells");
+  const std::int64_t b = bits_of(dt);
+  const double cells = static_cast<double>(m) * static_cast<double>(k);
+  const double d = static_cast<double>(nnz) / cells;
+
+  switch (f) {
+    case Format::kDense:
+      return {m * k * b, 0};
+    case Format::kCOO:
+      return {nnz * b, nnz * (bits_for(static_cast<std::uint64_t>(m)) +
+                              bits_for(static_cast<std::uint64_t>(k)))};
+    case Format::kCSR:
+      return {nnz * b,
+              nnz * bits_for(static_cast<std::uint64_t>(k)) +
+                  (m + 1) * bits_for(static_cast<std::uint64_t>(nnz) + 1)};
+    case Format::kCSC:
+      return {nnz * b,
+              nnz * bits_for(static_cast<std::uint64_t>(m)) +
+                  (k + 1) * bits_for(static_cast<std::uint64_t>(nnz) + 1)};
+    case Format::kZVC:
+      return {nnz * b, m * k};
+    case Format::kRLC: {
+      const std::int64_t entries = round_up(
+          expected_rlc_entries(cells, static_cast<double>(nnz), kRlcRunBits));
+      return {entries * b, entries * kRlcRunBits};
+    }
+    case Format::kBSR: {
+      const index_t gr = ceil_div(m, kBsrBlockRows);
+      const index_t gc = ceil_div(k, kBsrBlockCols);
+      const double block_cells =
+          static_cast<double>(kBsrBlockRows * kBsrBlockCols);
+      const double enb = static_cast<double>(gr) * static_cast<double>(gc) *
+                         p_group_occupied(d, block_cells);
+      const std::int64_t nb = round_up(enb);
+      return {nb * kBsrBlockRows * kBsrBlockCols * b,
+              nb * bits_for(static_cast<std::uint64_t>(gc)) +
+                  (gr + 1) * bits_for(static_cast<std::uint64_t>(nb) + 1)};
+    }
+    case Format::kDIA: {
+      // Expected count of occupied diagonals: sum over all m+k-1 offsets of
+      // the probability that the diagonal holds at least one nonzero.
+      double ed = 0.0;
+      for (index_t off = -(m - 1); off <= k - 1; ++off) {
+        const index_t lo = std::max<index_t>(0, -off);
+        const index_t hi = std::min(m, k - off);
+        ed += p_group_occupied(d, static_cast<double>(hi - lo));
+      }
+      const std::int64_t nd = round_up(ed);
+      return {nd * m * b, nd * bits_for(static_cast<std::uint64_t>(m + k))};
+    }
+    case Format::kELL: {
+      // Expected max row population over m Binomial(k, d) rows, via the
+      // Gaussian extreme-value approximation mean + sqrt(2 ln m) * sigma.
+      const double mean = static_cast<double>(k) * d;
+      const double sigma = std::sqrt(std::max(0.0, mean * (1.0 - d)));
+      const double z = std::sqrt(2.0 * std::log(std::max(2.0, static_cast<double>(m))));
+      const auto width = nnz == 0
+                             ? std::int64_t{0}
+                             : std::min<std::int64_t>(
+                                   k, std::max<std::int64_t>(
+                                          round_up(mean), round_up(mean + z * sigma)));
+      const std::int64_t slots = m * width;
+      return {slots * b, slots * bits_for(static_cast<std::uint64_t>(k) + 1)};
+    }
+    case Format::kCSF:
+    case Format::kHiCOO:
+      MT_REQUIRE(false, "CSF/HiCOO are tensor formats; use expected_tensor_storage");
+  }
+  MT_ENSURE(false, "unhandled format");
+}
+
+StorageSize expected_tensor_storage(Format f, index_t x, index_t y, index_t z,
+                                    std::int64_t nnz, DataType dt) {
+  MT_REQUIRE(x > 0 && y > 0 && z > 0, "positive dimensions");
+  MT_REQUIRE(nnz >= 0 && nnz <= x * y * z, "nnz within tensor cells");
+  const std::int64_t b = bits_of(dt);
+  const double cells = static_cast<double>(x) * static_cast<double>(y) *
+                       static_cast<double>(z);
+  const double d = static_cast<double>(nnz) / cells;
+
+  switch (f) {
+    case Format::kDense:
+      return {x * y * z * b, 0};
+    case Format::kCOO:
+      return {nnz * b, nnz * (bits_for(static_cast<std::uint64_t>(x)) +
+                              bits_for(static_cast<std::uint64_t>(y)) +
+                              bits_for(static_cast<std::uint64_t>(z)))};
+    case Format::kZVC:
+      return {nnz * b, x * y * z};
+    case Format::kRLC: {
+      const std::int64_t entries = round_up(
+          expected_rlc_entries(cells, static_cast<double>(nnz), kRlcRunBits));
+      return {entries * b, entries * kRlcRunBits};
+    }
+    case Format::kCSF: {
+      // Expected distinct level sizes under uniform sparsity:
+      // n1 = occupied x-slices, n2 = occupied (x,y) fibers.
+      const double n1 =
+          static_cast<double>(x) *
+          p_group_occupied(d, static_cast<double>(y) * static_cast<double>(z));
+      const double n2 = static_cast<double>(x) * static_cast<double>(y) *
+                        p_group_occupied(d, static_cast<double>(z));
+      const std::int64_t in1 = round_up(n1);
+      const std::int64_t in2 = round_up(n2);
+      const std::int64_t meta =
+          in1 * bits_for(static_cast<std::uint64_t>(x)) +
+          in2 * bits_for(static_cast<std::uint64_t>(y)) +
+          nnz * bits_for(static_cast<std::uint64_t>(z)) +
+          (in1 + 1) * bits_for(static_cast<std::uint64_t>(in2) + 1) +
+          (in2 + 1) * bits_for(static_cast<std::uint64_t>(nnz) + 1);
+      return {nnz * b, meta};
+    }
+    case Format::kHiCOO: {
+      const index_t bx = ceil_div(x, kHicooBlock);
+      const index_t by = ceil_div(y, kHicooBlock);
+      const index_t bz = ceil_div(z, kHicooBlock);
+      const double block_cells = static_cast<double>(kHicooBlock) *
+                                 static_cast<double>(kHicooBlock) *
+                                 static_cast<double>(kHicooBlock);
+      const double enb = static_cast<double>(bx) * static_cast<double>(by) *
+                         static_cast<double>(bz) *
+                         p_group_occupied(d, block_cells);
+      const std::int64_t nb = round_up(enb);
+      const int eb = bits_for(static_cast<std::uint64_t>(kHicooBlock));
+      const std::int64_t meta =
+          (nb + 1) * bits_for(static_cast<std::uint64_t>(nnz) + 1) +
+          nb * (bits_for(static_cast<std::uint64_t>(bx)) +
+                bits_for(static_cast<std::uint64_t>(by)) +
+                bits_for(static_cast<std::uint64_t>(bz))) +
+          nnz * 3 * eb;
+      return {nnz * b, meta};
+    }
+    case Format::kCSR:
+    case Format::kCSC:
+    case Format::kBSR:
+    case Format::kDIA:
+    case Format::kELL:
+      MT_REQUIRE(false, "matrix-only format; use expected_matrix_storage");
+  }
+  MT_ENSURE(false, "unhandled format");
+}
+
+}  // namespace mt

@@ -1,0 +1,56 @@
+// Exact and analytic storage-size accounting.
+//
+// Every concrete format structure reports its exact footprint through
+// StorageSize (split into payload data bits and format metadata bits,
+// because the paper's Fig. 4 story is about the metadata-to-data ratio).
+// The analytic model predicts the same quantities from (dims, nnz, dtype)
+// only, under the paper's uniform-random sparsity assumption — that is
+// what SAGE and the Fig. 4 sweeps use, since an 11k x 11k dense-density
+// matrix never needs to be materialized to be costed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "formats/format.hpp"
+
+namespace mt {
+
+struct StorageSize {
+  std::int64_t data_bits = 0;      // nonzero (or dense) element payload
+  std::int64_t metadata_bits = 0;  // ids, pointers, masks, run counters
+
+  constexpr std::int64_t total_bits() const { return data_bits + metadata_bits; }
+  constexpr double total_bytes() const { return static_cast<double>(total_bits()) / 8.0; }
+  constexpr double metadata_ratio() const {
+    const auto t = total_bits();
+    return t == 0 ? 0.0 : static_cast<double>(metadata_bits) / static_cast<double>(t);
+  }
+};
+
+constexpr StorageSize operator+(StorageSize a, StorageSize b) {
+  return {a.data_bits + b.data_bits, a.metadata_bits + b.metadata_bits};
+}
+
+// Width of the RLC zero-run counter field. Eyeriss-style RLC uses a short
+// fixed-width counter with zero-valued escape entries for longer runs; 4
+// bits reproduces the paper's Fig. 4 behaviour where RLC wins the middle
+// densities but loses both extremes.
+inline constexpr int kRlcRunBits = 4;
+
+// Default BSR block (paper walks through 2x2) and HiCOO block (2x2x2).
+inline constexpr index_t kBsrBlockRows = 2;
+inline constexpr index_t kBsrBlockCols = 2;
+inline constexpr index_t kHicooBlock = 2;
+
+// --- Analytic model (expected sizes under uniform random sparsity) ---
+
+// Expected storage of an MxK matrix with `nnz` nonzeros stored in `f`.
+StorageSize expected_matrix_storage(Format f, index_t m, index_t k,
+                                    std::int64_t nnz, DataType dt);
+
+// Expected storage of an X*Y*Z tensor with `nnz` nonzeros stored in `f`.
+StorageSize expected_tensor_storage(Format f, index_t x, index_t y, index_t z,
+                                    std::int64_t nnz, DataType dt);
+
+}  // namespace mt

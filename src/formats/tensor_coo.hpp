@@ -1,0 +1,45 @@
+// Coordinate (COO) 3-D tensor: one (x, y, z, value) tuple per nonzero,
+// sorted lexicographically. The MCF Table III selects for the Uber tensor
+// and the hub representation for tensor-format conversion.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "formats/storage.hpp"
+#include "formats/tensor_dense.hpp"
+
+namespace mt {
+
+class CooTensor3 {
+ public:
+  CooTensor3() = default;
+
+  static CooTensor3 from_entries(index_t x, index_t y, index_t z,
+                                 std::vector<index_t> xs,
+                                 std::vector<index_t> ys,
+                                 std::vector<index_t> zs,
+                                 std::vector<value_t> values);
+  static CooTensor3 from_dense(const DenseTensor3& d);
+
+  DenseTensor3 to_dense() const;
+
+  index_t dim_x() const { return x_; }
+  index_t dim_y() const { return y_; }
+  index_t dim_z() const { return z_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(val_.size()); }
+
+  const std::vector<index_t>& x_ids() const { return xi_; }
+  const std::vector<index_t>& y_ids() const { return yi_; }
+  const std::vector<index_t>& z_ids() const { return zi_; }
+  const std::vector<value_t>& values() const { return val_; }
+
+  StorageSize storage(DataType dt) const;
+
+ private:
+  index_t x_ = 0, y_ = 0, z_ = 0;
+  std::vector<index_t> xi_, yi_, zi_;
+  std::vector<value_t> val_;
+};
+
+}  // namespace mt

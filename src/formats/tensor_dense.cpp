@@ -1,0 +1,34 @@
+#include "formats/tensor_dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mt {
+
+DenseTensor3::DenseTensor3(index_t x, index_t y, index_t z, value_t fill)
+    : x_(x), y_(y), z_(z), v_(static_cast<std::size_t>(x * y * z), fill) {
+  MT_REQUIRE(x >= 0 && y >= 0 && z >= 0, "non-negative dimensions");
+}
+
+std::int64_t DenseTensor3::nnz() const {
+  return std::count_if(v_.begin(), v_.end(),
+                       [](value_t x) { return x != 0.0f; });
+}
+
+StorageSize DenseTensor3::storage(DataType dt) const {
+  return {size() * bits_of(dt), 0};
+}
+
+double max_abs_diff(const DenseTensor3& a, const DenseTensor3& b) {
+  MT_REQUIRE(a.dim_x() == b.dim_x() && a.dim_y() == b.dim_y() &&
+                 a.dim_z() == b.dim_z(),
+             "shape mismatch in max_abs_diff");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.values().size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a.values()[i]) -
+                             static_cast<double>(b.values()[i])));
+  }
+  return m;
+}
+
+}  // namespace mt

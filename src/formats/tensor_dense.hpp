@@ -1,0 +1,50 @@
+// Dense 3-D tensor, linearized x -> y -> z (paper Fig. 3b order).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "formats/storage.hpp"
+
+namespace mt {
+
+class DenseTensor3 {
+ public:
+  DenseTensor3() = default;
+  DenseTensor3(index_t x, index_t y, index_t z, value_t fill = 0.0f);
+
+  index_t dim_x() const { return x_; }
+  index_t dim_y() const { return y_; }
+  index_t dim_z() const { return z_; }
+  index_t size() const { return x_ * y_ * z_; }
+
+  index_t linear(index_t ix, index_t iy, index_t iz) const {
+    MT_REQUIRE(ix >= 0 && ix < x_ && iy >= 0 && iy < y_ && iz >= 0 && iz < z_,
+               "tensor index in range");
+    return (ix * y_ + iy) * z_ + iz;
+  }
+  value_t at(index_t ix, index_t iy, index_t iz) const {
+    return v_[static_cast<std::size_t>(linear(ix, iy, iz))];
+  }
+  void set(index_t ix, index_t iy, index_t iz, value_t x) {
+    v_[static_cast<std::size_t>(linear(ix, iy, iz))] = x;
+  }
+
+  const std::vector<value_t>& values() const { return v_; }
+  std::vector<value_t>& values() { return v_; }
+
+  std::int64_t nnz() const;
+  StorageSize storage(DataType dt) const;
+
+  bool operator==(const DenseTensor3&) const = default;
+
+ private:
+  index_t x_ = 0, y_ = 0, z_ = 0;
+  std::vector<value_t> v_;
+};
+
+double max_abs_diff(const DenseTensor3& a, const DenseTensor3& b);
+
+}  // namespace mt

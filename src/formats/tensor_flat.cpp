@@ -1,0 +1,43 @@
+#include "formats/tensor_flat.hpp"
+
+namespace mt {
+
+namespace {
+DenseMatrix flatten(const DenseTensor3& d) {
+  return DenseMatrix::from_values(1, d.size(), d.values());
+}
+
+DenseTensor3 unflatten(index_t x, index_t y, index_t z, const DenseMatrix& m) {
+  DenseTensor3 d(x, y, z);
+  d.values() = m.values();
+  return d;
+}
+}  // namespace
+
+ZvcTensor3 ZvcTensor3::from_dense(const DenseTensor3& d) {
+  ZvcTensor3 t;
+  t.x_ = d.dim_x();
+  t.y_ = d.dim_y();
+  t.z_ = d.dim_z();
+  t.flat_ = ZvcMatrix::from_dense(flatten(d));
+  return t;
+}
+
+DenseTensor3 ZvcTensor3::to_dense() const {
+  return unflatten(x_, y_, z_, flat_.to_dense());
+}
+
+RlcTensor3 RlcTensor3::from_dense(const DenseTensor3& d, int run_bits) {
+  RlcTensor3 t;
+  t.x_ = d.dim_x();
+  t.y_ = d.dim_y();
+  t.z_ = d.dim_z();
+  t.flat_ = RlcMatrix::from_dense(flatten(d), run_bits);
+  return t;
+}
+
+DenseTensor3 RlcTensor3::to_dense() const {
+  return unflatten(x_, y_, z_, flat_.to_dense());
+}
+
+}  // namespace mt

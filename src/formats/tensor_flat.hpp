@@ -1,0 +1,56 @@
+// ZVC and RLC over the x->y->z linearization of a 3-D tensor.
+//
+// Both formats are order-agnostic once the tensor is linearized (paper
+// Fig. 3b shows exactly this), so they reuse the matrix encoders on a
+// 1 x (X*Y*Z) view. BrainQ's MCF in Table III is tensor ZVC.
+#pragma once
+
+#include "common/types.hpp"
+#include "formats/rlc.hpp"
+#include "formats/storage.hpp"
+#include "formats/tensor_dense.hpp"
+#include "formats/zvc.hpp"
+
+namespace mt {
+
+class ZvcTensor3 {
+ public:
+  ZvcTensor3() = default;
+
+  static ZvcTensor3 from_dense(const DenseTensor3& d);
+  DenseTensor3 to_dense() const;
+
+  index_t dim_x() const { return x_; }
+  index_t dim_y() const { return y_; }
+  index_t dim_z() const { return z_; }
+  std::int64_t nnz() const { return flat_.nnz(); }
+  const ZvcMatrix& flat() const { return flat_; }
+
+  StorageSize storage(DataType dt) const { return flat_.storage(dt); }
+
+ private:
+  index_t x_ = 0, y_ = 0, z_ = 0;
+  ZvcMatrix flat_;  // 1 x (x*y*z)
+};
+
+class RlcTensor3 {
+ public:
+  RlcTensor3() = default;
+
+  static RlcTensor3 from_dense(const DenseTensor3& d, int run_bits = kRlcRunBits);
+  DenseTensor3 to_dense() const;
+
+  index_t dim_x() const { return x_; }
+  index_t dim_y() const { return y_; }
+  index_t dim_z() const { return z_; }
+  std::int64_t nnz() const { return flat_.nnz(); }
+  const RlcMatrix& flat() const { return flat_; }
+
+  StorageSize storage(DataType dt) const { return flat_.storage(dt); }
+
+ private:
+  index_t x_ = 0, y_ = 0, z_ = 0;
+  RlcMatrix flat_;  // 1 x (x*y*z)
+};
+
+}  // namespace mt

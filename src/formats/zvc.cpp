@@ -1,0 +1,43 @@
+#include "formats/zvc.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace mt {
+
+ZvcMatrix ZvcMatrix::from_dense(const DenseMatrix& d) {
+  ZvcMatrix m;
+  m.rows_ = d.rows();
+  m.cols_ = d.cols();
+  const index_t total = d.size();
+  m.mask_.assign(static_cast<std::size_t>(ceil_div(total, 64)), 0);
+  for (index_t p = 0; p < total; ++p) {
+    const value_t x = d.values()[static_cast<std::size_t>(p)];
+    if (x != 0.0f) {
+      m.mask_[static_cast<std::size_t>(p >> 6)] |= std::uint64_t{1} << (p & 63);
+      m.val_.push_back(x);
+    }
+  }
+  return m;
+}
+
+DenseMatrix ZvcMatrix::to_dense() const {
+  DenseMatrix d(rows_, cols_);
+  std::size_t next = 0;
+  const index_t total = rows_ * cols_;
+  for (index_t p = 0; p < total; ++p) {
+    if (occupied(p)) {
+      MT_ENSURE(next < val_.size(), "ZVC mask has more set bits than values");
+      d.values()[static_cast<std::size_t>(p)] = val_[next++];
+    }
+  }
+  MT_ENSURE(next == val_.size(), "ZVC values not fully consumed");
+  return d;
+}
+
+StorageSize ZvcMatrix::storage(DataType dt) const {
+  // The mask costs exactly one bit per dense element.
+  return {nnz() * bits_of(dt), rows_ * cols_};
+}
+
+}  // namespace mt

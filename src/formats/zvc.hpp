@@ -1,0 +1,48 @@
+// Zero-Value Compression (ZVC).
+//
+// Stores the nonzero values plus a one-bit-per-element occupancy mask over
+// the row-major linearization (paper Fig. 3, [Rhu et al. HPCA'18]). The
+// mask cost is exactly rows*cols bits regardless of sparsity, which makes
+// ZVC the most compact MCF in the ~25-75% density band of Fig. 4a and the
+// fixed MCF of SIGMA in Table II.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "formats/dense.hpp"
+#include "formats/storage.hpp"
+
+namespace mt {
+
+class ZvcMatrix {
+ public:
+  ZvcMatrix() = default;
+
+  static ZvcMatrix from_dense(const DenseMatrix& d);
+
+  DenseMatrix to_dense() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(val_.size()); }
+
+  // Occupancy bit for linear position p (row-major).
+  bool occupied(index_t p) const {
+    return (mask_[static_cast<std::size_t>(p >> 6)] >> (p & 63)) & 1u;
+  }
+
+  const std::vector<std::uint64_t>& mask_words() const { return mask_; }
+  const std::vector<value_t>& values() const { return val_; }
+
+  StorageSize storage(DataType dt) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<std::uint64_t> mask_;  // ceil(rows*cols / 64) words
+  std::vector<value_t> val_;         // nnz values in mask order
+};
+
+}  // namespace mt

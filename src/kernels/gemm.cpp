@@ -1,0 +1,28 @@
+#include "kernels/gemm.hpp"
+
+#include "common/error.hpp"
+
+namespace mt {
+
+DenseMatrix gemm(const DenseMatrix& a, const DenseMatrix& b) {
+  MT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  DenseMatrix o(a.rows(), b.cols());
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+  const value_t* pa = a.values().data();
+  const value_t* pb = b.values().data();
+  value_t* po = o.values().data();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < m; ++i) {
+    // i-k-j loop order keeps the B row access contiguous.
+    for (index_t kk = 0; kk < k; ++kk) {
+      const value_t av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      for (index_t j = 0; j < n; ++j) {
+        po[i * n + j] += av * pb[kk * n + j];
+      }
+    }
+  }
+  return o;
+}
+
+}  // namespace mt

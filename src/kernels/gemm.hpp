@@ -1,0 +1,15 @@
+// Dense GEMM reference kernel.
+//
+// O = A * B with all operands dense. This is the correctness oracle every
+// sparse kernel and the accelerator's functional simulator are checked
+// against, and the compute model of the Dense(A)-Dense(B)-Dense(O) ACF.
+#pragma once
+
+#include "formats/dense.hpp"
+
+namespace mt {
+
+// O(M,N) = A(M,K) * B(K,N); OpenMP-parallel over rows of A.
+DenseMatrix gemm(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace mt

@@ -1,0 +1,23 @@
+// Matricized Tensor Times Khatri-Rao Product (MTTKRP), mode-1:
+//   M(i, r) = sum_{j,k} X(i, j, k) * B(j, r) * C(k, r)
+// The CP-decomposition bottleneck of the paper's §II (yellow-shaded rows
+// of Table III). X is sparse, B and C dense factor matrices.
+#pragma once
+
+#include "formats/csf.hpp"
+#include "formats/dense.hpp"
+#include "formats/tensor_coo.hpp"
+#include "formats/tensor_dense.hpp"
+
+namespace mt {
+
+DenseMatrix mttkrp_coo(const CooTensor3& x, const DenseMatrix& b,
+                       const DenseMatrix& c);
+DenseMatrix mttkrp_csf(const CsfTensor3& x, const DenseMatrix& b,
+                       const DenseMatrix& c);
+
+// Quadruple-loop dense reference used as the oracle.
+DenseMatrix mttkrp_dense(const DenseTensor3& x, const DenseMatrix& b,
+                         const DenseMatrix& c);
+
+}  // namespace mt

@@ -1,0 +1,69 @@
+#include "kernels/spgemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mt {
+
+CsrMatrix spgemm_csr(const CsrMatrix& a, const CsrMatrix& b) {
+  MT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  const index_t m = a.rows(), n = b.cols();
+  std::vector<std::vector<index_t>> cols(static_cast<std::size_t>(m));
+  std::vector<std::vector<value_t>> vals(static_cast<std::size_t>(m));
+#pragma omp parallel
+  {
+    // Gustavson: per output row, a dense accumulator over N plus the list
+    // of touched columns (sparse accumulator pattern).
+    std::vector<value_t> acc(static_cast<std::size_t>(n), 0.0f);
+    std::vector<index_t> touched;
+#pragma omp for schedule(dynamic, 16)
+    for (index_t r = 0; r < m; ++r) {
+      touched.clear();
+      for (index_t i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
+        const index_t k = a.col_ids()[i];
+        const value_t av = a.values()[i];
+        for (index_t j = b.row_ptr()[k]; j < b.row_ptr()[k + 1]; ++j) {
+          const index_t c = b.col_ids()[j];
+          if (acc[static_cast<std::size_t>(c)] == 0.0f) touched.push_back(c);
+          acc[static_cast<std::size_t>(c)] += av * b.values()[j];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      auto& rc = cols[static_cast<std::size_t>(r)];
+      auto& rv = vals[static_cast<std::size_t>(r)];
+      for (index_t c : touched) {
+        const value_t x = acc[static_cast<std::size_t>(c)];
+        acc[static_cast<std::size_t>(c)] = 0.0f;
+        // Numerical cancellation can produce exact zeros; keep them out of
+        // the compressed output so nnz reflects stored values.
+        if (x != 0.0f) {
+          rc.push_back(c);
+          rv.push_back(x);
+        }
+      }
+    }
+  }
+  std::vector<index_t> row_ptr{0};
+  row_ptr.reserve(static_cast<std::size_t>(m) + 1);
+  std::size_t total = 0;
+  for (index_t r = 0; r < m; ++r) {
+    total += cols[static_cast<std::size_t>(r)].size();
+    row_ptr.push_back(static_cast<index_t>(total));
+  }
+  std::vector<index_t> col_ids;
+  std::vector<value_t> values;
+  col_ids.reserve(total);
+  values.reserve(total);
+  for (index_t r = 0; r < m; ++r) {
+    col_ids.insert(col_ids.end(), cols[static_cast<std::size_t>(r)].begin(),
+                   cols[static_cast<std::size_t>(r)].end());
+    values.insert(values.end(), vals[static_cast<std::size_t>(r)].begin(),
+                  vals[static_cast<std::size_t>(r)].end());
+  }
+  return CsrMatrix::from_parts(m, n, std::move(row_ptr), std::move(col_ids),
+                               std::move(values));
+}
+
+}  // namespace mt

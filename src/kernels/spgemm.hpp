@@ -1,0 +1,14 @@
+// Sparse x sparse matrix multiplication (SpGEMM).
+//
+// Gustavson's row-wise algorithm over CSR operands, producing CSR output.
+// SpGEMM dominates multigrid setup in the scientific workloads the paper
+// motivates (§II) and is the kernel behind Fig. 12/13.
+#pragma once
+
+#include "formats/csr.hpp"
+
+namespace mt {
+
+CsrMatrix spgemm_csr(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace mt

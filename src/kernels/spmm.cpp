@@ -1,0 +1,99 @@
+#include "kernels/spmm.hpp"
+
+#include "common/error.hpp"
+
+namespace mt {
+
+DenseMatrix spmm_coo_dense(const CooMatrix& a, const DenseMatrix& b) {
+  MT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  DenseMatrix o(a.rows(), b.cols());
+  const index_t n = b.cols();
+  value_t* po = o.values().data();
+  const value_t* pb = b.values().data();
+  // Alg. 1 of the paper, kept serial over nnz: consecutive entries share
+  // output rows, so row-parallelism would race.
+  for (std::int64_t i = 0; i < a.nnz(); ++i) {
+    const index_t rid = a.row_ids()[i];
+    const index_t cid = a.col_ids()[i];
+    const value_t val = a.values()[i];
+    for (index_t j = 0; j < n; ++j) {
+      po[rid * n + j] += val * pb[cid * n + j];
+    }
+  }
+  return o;
+}
+
+DenseMatrix spmm_csr_dense(const CsrMatrix& a, const DenseMatrix& b) {
+  MT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  DenseMatrix o(a.rows(), b.cols());
+  const index_t n = b.cols();
+  value_t* po = o.values().data();
+  const value_t* pb = b.values().data();
+#pragma omp parallel for schedule(dynamic, 16)
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (index_t i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
+      const index_t k = a.col_ids()[i];
+      const value_t av = a.values()[i];
+      for (index_t j = 0; j < n; ++j) {
+        po[r * n + j] += av * pb[k * n + j];
+      }
+    }
+  }
+  return o;
+}
+
+DenseMatrix spmm_dense_csc(const DenseMatrix& a, const CscMatrix& b) {
+  MT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  DenseMatrix o(a.rows(), b.cols());
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+  value_t* po = o.values().data();
+  const value_t* pa = a.values().data();
+#pragma omp parallel for schedule(dynamic, 16)
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = b.col_ptr()[j]; i < b.col_ptr()[j + 1]; ++i) {
+      const index_t kk = b.row_ids()[i];
+      const value_t bv = b.values()[i];
+      for (index_t r = 0; r < m; ++r) {
+        po[r * n + j] += pa[r * k + kk] * bv;
+      }
+    }
+  }
+  return o;
+}
+
+DenseMatrix spmm_csr_csc(const CsrMatrix& a, const CscMatrix& b) {
+  MT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  DenseMatrix o(a.rows(), b.cols());
+  const index_t n = b.cols();
+  value_t* po = o.values().data();
+#pragma omp parallel for schedule(dynamic, 16)
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const index_t a_lo = a.row_ptr()[r], a_hi = a.row_ptr()[r + 1];
+    if (a_lo == a_hi) continue;
+    for (index_t j = 0; j < n; ++j) {
+      // Sorted intersection of A's row-r col ids and B's column-j row ids
+      // — exactly the comparator matching the extended PEs perform.
+      index_t ia = a_lo;
+      index_t ib = b.col_ptr()[j];
+      const index_t b_hi = b.col_ptr()[j + 1];
+      value_t acc = 0.0f;
+      while (ia < a_hi && ib < b_hi) {
+        const index_t ka = a.col_ids()[ia];
+        const index_t kb = b.row_ids()[ib];
+        if (ka == kb) {
+          acc += a.values()[ia] * b.values()[ib];
+          ++ia;
+          ++ib;
+        } else if (ka < kb) {
+          ++ia;
+        } else {
+          ++ib;
+        }
+      }
+      if (acc != 0.0f) po[r * n + j] += acc;
+    }
+  }
+  return o;
+}
+
+}  // namespace mt

@@ -1,0 +1,29 @@
+// Sparse matrix x dense matrix kernels, one per ACF combination the paper
+// evaluates (§III-B). Each function name spells the ACF of (A, B); the
+// output is always dense, matching the paper's ACF naming such as
+// "COO(A)-Dense(B)-Dense(O)".
+#pragma once
+
+#include "formats/coo.hpp"
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/dense.hpp"
+
+namespace mt {
+
+// Paper Alg. 1: iterate the nonzeros of COO A, scale rows of dense B.
+DenseMatrix spmm_coo_dense(const CooMatrix& a, const DenseMatrix& b);
+
+// Row-parallel CSR A times dense B.
+DenseMatrix spmm_csr_dense(const CsrMatrix& a, const DenseMatrix& b);
+
+// Dense A times CSC B (EIE-style weight-stationary view: each output
+// column is a sparse combination of A columns).
+DenseMatrix spmm_dense_csc(const DenseMatrix& a, const CscMatrix& b);
+
+// Both operands compressed: sorted-intersection of CSR rows of A with CSC
+// columns of B (the ACF ExTensor-style accelerators run at extreme
+// sparsity).
+DenseMatrix spmm_csr_csc(const CsrMatrix& a, const CscMatrix& b);
+
+}  // namespace mt

@@ -1,0 +1,23 @@
+#include "kernels/spmv.hpp"
+
+#include "common/error.hpp"
+
+namespace mt {
+
+std::vector<value_t> spmv_csr(const CsrMatrix& a,
+                              const std::vector<value_t>& x) {
+  MT_REQUIRE(static_cast<index_t>(x.size()) == a.cols(),
+             "vector length must equal matrix columns");
+  std::vector<value_t> y(static_cast<std::size_t>(a.rows()), 0.0f);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t r = 0; r < a.rows(); ++r) {
+    value_t acc = 0.0f;
+    for (index_t i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
+      acc += a.values()[i] * x[static_cast<std::size_t>(a.col_ids()[i])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+}  // namespace mt

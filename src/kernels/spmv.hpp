@@ -1,0 +1,14 @@
+// Sparse matrix x dense vector (SpMV) — the iterative-solver kernel the
+// paper's §II background calls out alongside SpMM.
+#pragma once
+
+#include <vector>
+
+#include "formats/csr.hpp"
+
+namespace mt {
+
+std::vector<value_t> spmv_csr(const CsrMatrix& a,
+                              const std::vector<value_t>& x);
+
+}  // namespace mt

@@ -1,0 +1,68 @@
+#include "kernels/ttm.hpp"
+
+#include "common/error.hpp"
+
+namespace mt {
+
+DenseTensor3 spttm_coo(const CooTensor3& x, const DenseMatrix& u) {
+  MT_REQUIRE(x.dim_z() == u.rows(), "mode-3 size must match U rows");
+  DenseTensor3 y(x.dim_x(), x.dim_y(), u.cols());
+  const index_t l = u.cols();
+  value_t* py = y.values().data();
+  const value_t* pu = u.values().data();
+  for (std::int64_t i = 0; i < x.nnz(); ++i) {
+    const index_t ix = x.x_ids()[i], iy = x.y_ids()[i], iz = x.z_ids()[i];
+    const value_t v = x.values()[i];
+    value_t* row = py + (ix * x.dim_y() + iy) * l;
+    for (index_t jl = 0; jl < l; ++jl) row[jl] += v * pu[iz * l + jl];
+  }
+  return y;
+}
+
+DenseTensor3 spttm_csf(const CsfTensor3& x, const DenseMatrix& u) {
+  MT_REQUIRE(x.dim_z() == u.rows(), "mode-3 size must match U rows");
+  DenseTensor3 y(x.dim_x(), x.dim_y(), u.cols());
+  const index_t l = u.cols();
+  value_t* py = y.values().data();
+  const value_t* pu = u.values().data();
+  // The fiber structure makes each (x,y) output row private, so fibers can
+  // run in parallel — the locality CSF buys over COO.
+  const auto n2 = static_cast<index_t>(x.y_ids().size());
+  std::vector<index_t> fiber_x(static_cast<std::size_t>(n2));
+  for (std::size_t xi = 0; xi < x.x_ids().size(); ++xi) {
+    for (index_t yi = x.y_ptr()[xi]; yi < x.y_ptr()[xi + 1]; ++yi) {
+      fiber_x[static_cast<std::size_t>(yi)] = static_cast<index_t>(xi);
+    }
+  }
+#pragma omp parallel for schedule(dynamic, 32)
+  for (index_t yi = 0; yi < n2; ++yi) {
+    const index_t ix = x.x_ids()[static_cast<std::size_t>(fiber_x[static_cast<std::size_t>(yi)])];
+    const index_t iy = x.y_ids()[static_cast<std::size_t>(yi)];
+    value_t* row = py + (ix * x.dim_y() + iy) * l;
+    for (index_t zi = x.z_ptr()[yi]; zi < x.z_ptr()[yi + 1]; ++zi) {
+      const index_t iz = x.z_ids()[static_cast<std::size_t>(zi)];
+      const value_t v = x.values()[static_cast<std::size_t>(zi)];
+      for (index_t jl = 0; jl < l; ++jl) row[jl] += v * pu[iz * l + jl];
+    }
+  }
+  return y;
+}
+
+DenseTensor3 ttm_dense(const DenseTensor3& x, const DenseMatrix& u) {
+  MT_REQUIRE(x.dim_z() == u.rows(), "mode-3 size must match U rows");
+  DenseTensor3 y(x.dim_x(), x.dim_y(), u.cols());
+  for (index_t ix = 0; ix < x.dim_x(); ++ix) {
+    for (index_t iy = 0; iy < x.dim_y(); ++iy) {
+      for (index_t iz = 0; iz < x.dim_z(); ++iz) {
+        const value_t v = x.at(ix, iy, iz);
+        if (v == 0.0f) continue;
+        for (index_t jl = 0; jl < u.cols(); ++jl) {
+          y.set(ix, iy, jl, y.at(ix, iy, jl) + v * u.at(iz, jl));
+        }
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace mt

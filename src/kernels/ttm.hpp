@@ -1,0 +1,20 @@
+// Sparse Tensor Times dense Matrix (SpTTM), mode-3:
+//   Y(i, j, l) = sum_k X(i, j, k) * U(k, l)
+// The Tucker-decomposition building block of the paper's §II (tan-shaded
+// rows of Table III). X is sparse (COO or CSF), U dense, Y dense.
+#pragma once
+
+#include "formats/csf.hpp"
+#include "formats/dense.hpp"
+#include "formats/tensor_coo.hpp"
+#include "formats/tensor_dense.hpp"
+
+namespace mt {
+
+DenseTensor3 spttm_coo(const CooTensor3& x, const DenseMatrix& u);
+DenseTensor3 spttm_csf(const CsfTensor3& x, const DenseMatrix& u);
+
+// Triple-loop dense reference used as the oracle.
+DenseTensor3 ttm_dense(const DenseTensor3& x, const DenseMatrix& u);
+
+}  // namespace mt

@@ -1,0 +1,27 @@
+#include "mint/blocks.hpp"
+
+#include "common/error.hpp"
+
+namespace mt {
+
+const BlockSpec& block_spec(Block b) {
+  // Areas (mm^2), powers (mW) at 1 GHz, throughputs (elems/cycle).
+  // Divide and mod are pipelined but hardware-expensive — the paper limits
+  // both to eight parallel units and measures them at 74%/65% of MINT_m
+  // area/power.
+  static const BlockSpec kSpecs[] = {
+      /*kPrefixSum*/      {0.020, 4.0, 32, true},
+      /*kParallelDiv*/    {0.170, 28.0, 8, true},
+      /*kParallelMod*/    {0.133, 20.0, 8, false},
+      /*kSorter*/         {0.025, 6.0, 16, false},
+      /*kClusterCounter*/ {0.010, 2.5, 16, false},
+      /*kComparators*/    {0.006, 1.5, 32, false},
+      /*kMultipliers*/    {0.014, 5.0, 8, false},
+      /*kMemController*/  {0.035, 7.0, 16, false},
+  };
+  const auto i = static_cast<std::size_t>(b);
+  MT_REQUIRE(i < std::size(kSpecs), "unknown block");
+  return kSpecs[i];
+}
+
+}  // namespace mt

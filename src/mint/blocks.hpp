@@ -1,0 +1,66 @@
+// MINT building-block catalog (paper Fig. 8a).
+//
+// Each block carries 28 nm post-P&R area/power and a steady-state
+// throughput. The catalog is calibrated so the composed design points
+// reproduce the paper's §VII-B numbers: MINT_m = 0.41 mm^2 with the
+// divide+mod units at 74% of area and 65% of power; MINT_b = 0.95 mm^2
+// over the four showcased conversions; MINT_mr = 0.23 mm^2 after reusing
+// accelerator adders (prefix sum) and activation-unit dividers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mt {
+
+enum class Block : std::uint8_t {
+  kPrefixSum,      // 32-input scan unit
+  kParallelDiv,    // 8 pipelined dividers
+  kParallelMod,    // 8 pipelined modulo units
+  kSorter,         // pipelined sorting network (bus-width inputs)
+  kClusterCounter, // histogram of ids within a chunk
+  kComparators,    // id match/ordering comparators
+  kMultipliers,    // 8 multipliers (position scaling)
+  kMemController,  // address generators + FIFOs + crossbar
+};
+
+inline constexpr std::array<Block, 8> kAllBlocks = {
+    Block::kPrefixSum,  Block::kParallelDiv,    Block::kParallelMod,
+    Block::kSorter,     Block::kClusterCounter, Block::kComparators,
+    Block::kMultipliers, Block::kMemController};
+
+constexpr std::string_view name_of(Block b) {
+  switch (b) {
+    case Block::kPrefixSum: return "prefix-sum";
+    case Block::kParallelDiv: return "parallel-div";
+    case Block::kParallelMod: return "parallel-mod";
+    case Block::kSorter: return "sorter";
+    case Block::kClusterCounter: return "cluster-counter";
+    case Block::kComparators: return "comparators";
+    case Block::kMultipliers: return "multipliers";
+    case Block::kMemController: return "mem-controller";
+  }
+  return "?";
+}
+
+struct BlockSpec {
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+  std::int64_t throughput = 0;  // elements per cycle, steady state
+  bool accelerator_can_reuse = false;  // MINT_mr removes it from the macro
+};
+
+// The calibrated catalog entry for a block.
+const BlockSpec& block_spec(Block b);
+
+// Whether the accelerator datapath can absorb this block in MINT_mr
+// (adders become the prefix sum per Fig. 9; activation-unit dividers
+// serve the parallel divide, §V-A).
+constexpr bool reusable_in_accelerator(Block b) {
+  return b == Block::kPrefixSum || b == Block::kParallelDiv;
+}
+
+}  // namespace mt

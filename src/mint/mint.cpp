@@ -1,0 +1,93 @@
+#include "mint/mint.hpp"
+
+#include "mint/pipelines.hpp"
+
+namespace mt {
+
+namespace {
+// Overlay wiring (muxes, forwarding links, control) added when MINT_mr
+// repurposes accelerator adders/dividers.
+constexpr double kOverlayAreaMm2 = 0.007;
+constexpr double kOverlayPowerMw = 2.0;
+}  // namespace
+
+const std::vector<ShowcaseConversion>& showcase_conversions() {
+  static const std::vector<ShowcaseConversion> kList = {
+      {Format::kCSR, Format::kCSC},   // backprop weight transpose
+      {Format::kRLC, Format::kCOO},   // common MCF -> translation hub
+      {Format::kCSR, Format::kBSR},   // structured-data accelerators
+      {Format::kDense, Format::kCSF}, // compress dense outputs
+  };
+  return kList;
+}
+
+double mint_area_mm2(MintDesign d) {
+  switch (d) {
+    case MintDesign::kBaseline: {
+      // Private block copies per conversion, no sharing.
+      double a = 0.0;
+      for (const auto& c : showcase_conversions()) {
+        // Matrix pipelines except Dense->CSF, which is a tensor pipeline;
+        // the block list is format-driven either way.
+        for (Block b : conversion_blocks(c.from, c.to)) {
+          a += block_spec(b).area_mm2;
+        }
+      }
+      return a;
+    }
+    case MintDesign::kMerge: {
+      double a = 0.0;
+      for (Block b : kAllBlocks) a += block_spec(b).area_mm2;
+      return a;
+    }
+    case MintDesign::kMergeReuse: {
+      double a = kOverlayAreaMm2;
+      for (Block b : kAllBlocks) {
+        if (!reusable_in_accelerator(b)) a += block_spec(b).area_mm2;
+      }
+      return a;
+    }
+  }
+  return 0.0;
+}
+
+double mint_power_mw(MintDesign d) {
+  switch (d) {
+    case MintDesign::kBaseline: {
+      double p = 0.0;
+      for (const auto& c : showcase_conversions()) {
+        for (Block b : conversion_blocks(c.from, c.to)) {
+          p += block_spec(b).power_mw;
+        }
+      }
+      return p;
+    }
+    case MintDesign::kMerge: {
+      double p = 0.0;
+      for (Block b : kAllBlocks) p += block_spec(b).power_mw;
+      return p;
+    }
+    case MintDesign::kMergeReuse: {
+      double p = kOverlayPowerMw;
+      for (Block b : kAllBlocks) {
+        if (!reusable_in_accelerator(b)) p += block_spec(b).power_mw;
+      }
+      return p;
+    }
+  }
+  return 0.0;
+}
+
+double divmod_area_fraction() {
+  const double dm = block_spec(Block::kParallelDiv).area_mm2 +
+                    block_spec(Block::kParallelMod).area_mm2;
+  return dm / mint_area_mm2(MintDesign::kMerge);
+}
+
+double divmod_power_fraction() {
+  const double dm = block_spec(Block::kParallelDiv).power_mw +
+                    block_spec(Block::kParallelMod).power_mw;
+  return dm / mint_power_mw(MintDesign::kMerge);
+}
+
+}  // namespace mt

@@ -1,0 +1,52 @@
+// MINT design points (paper §V-A, Fig. 8a):
+//   MINT_b  (baseline)      — one private block set per supported
+//                             conversion; no sharing.
+//   MINT_m  (merge)         — overlapping blocks generalized and merged
+//                             into one instance each (~57% area saving).
+//   MINT_mr (merge + reuse) — additionally absorbs the prefix-sum adders
+//                             and the activation-unit dividers into the
+//                             host accelerator datapath (~45% further).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "formats/format.hpp"
+#include "mint/blocks.hpp"
+#include "mint/prefix_sum.hpp"
+
+namespace mt {
+
+enum class MintDesign : std::uint8_t { kBaseline, kMerge, kMergeReuse };
+
+constexpr std::string_view name_of(MintDesign d) {
+  switch (d) {
+    case MintDesign::kBaseline: return "MINT_b";
+    case MintDesign::kMerge: return "MINT_m";
+    case MintDesign::kMergeReuse: return "MINT_mr";
+  }
+  return "?";
+}
+
+// The four conversions the paper's Fig. 8 walks through and synthesizes
+// MINT_b over (§V-B).
+struct ShowcaseConversion {
+  Format from;
+  Format to;
+};
+const std::vector<ShowcaseConversion>& showcase_conversions();
+
+// Area (mm^2) and power (mW) of a design point, derived from the block
+// catalog by composition: kBaseline sums private copies per showcase
+// conversion, kMerge keeps one instance per distinct block, kMergeReuse
+// drops accelerator-reusable blocks and adds the overlay wiring cost.
+double mint_area_mm2(MintDesign d);
+double mint_power_mw(MintDesign d);
+
+// Fraction of MINT_m area/power consumed by the divide+mod units
+// (the paper measures 74% / 65%).
+double divmod_area_fraction();
+double divmod_power_fraction();
+
+}  // namespace mt

@@ -1,0 +1,180 @@
+#include "mint/pipelines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+#include "formats/storage.hpp"
+
+namespace mt {
+
+namespace {
+
+bool is_coordinate_target(Format f) {
+  return f == Format::kCOO || f == Format::kCSF || f == Format::kHiCOO;
+}
+bool is_linearized(Format f) {
+  // Formats defined over the dense linearization: recovering coordinates
+  // needs divide/mod by the dimensions (Fig. 8d step 4, Fig. 8f step 3).
+  return f == Format::kDense || f == Format::kRLC || f == Format::kZVC;
+}
+bool is_pointer_format(Format f) {
+  return f == Format::kCSR || f == Format::kCSC || f == Format::kBSR ||
+         f == Format::kCSF || f == Format::kHiCOO;
+}
+
+void add(std::vector<Block>& v, Block b) {
+  if (std::find(v.begin(), v.end(), b) == v.end()) v.push_back(b);
+}
+
+}  // namespace
+
+std::vector<Block> conversion_blocks(Format from, Format to) {
+  std::vector<Block> v;
+  if (from == to) return v;
+  add(v, Block::kMemController);  // every conversion reads/writes scratchpad
+
+  // CSR <-> CSC transposition: chunked sort + cluster count + pointer
+  // prefix + comparators for output row-id regeneration (Fig. 8c).
+  if ((from == Format::kCSR && to == Format::kCSC) ||
+      (from == Format::kCSC && to == Format::kCSR)) {
+    add(v, Block::kSorter);
+    add(v, Block::kClusterCounter);
+    add(v, Block::kPrefixSum);
+    add(v, Block::kComparators);
+    return v;
+  }
+
+  // Linearized sources reconstruct running positions by prefix sum.
+  if (is_linearized(from)) add(v, Block::kPrefixSum);
+  // Coordinate targets from linearized sources need div/mod (Fig. 8d/8f).
+  if (is_linearized(from) && is_coordinate_target(to)) {
+    add(v, Block::kParallelDiv);
+    add(v, Block::kParallelMod);
+  }
+  // Blocked targets locate the block of each nonzero with mods and track
+  // initialized blocks with comparators (Fig. 8e).
+  if (to == Format::kBSR || to == Format::kHiCOO) {
+    add(v, Block::kParallelMod);
+    add(v, Block::kComparators);
+    add(v, Block::kClusterCounter);
+  }
+  // Pointer-array targets histogram ids and prefix-sum them.
+  if (is_pointer_format(to)) {
+    add(v, Block::kClusterCounter);
+    add(v, Block::kPrefixSum);
+  }
+  // Tree targets (CSF) compare consecutive coordinates to build levels.
+  if (to == Format::kCSF) add(v, Block::kComparators);
+  // Linearized targets compute positions from coordinates: row*K+col via
+  // multipliers, runs/mask via prefix sums.
+  if (is_linearized(to)) {
+    add(v, Block::kMultipliers);
+    add(v, Block::kPrefixSum);
+  }
+  return v;
+}
+
+namespace {
+
+ConversionWork make_work(Format from, Format to, std::int64_t cells,
+                         std::int64_t nnz, const StorageSize& in,
+                         const StorageSize& out) {
+  ConversionWork w;
+  w.in_bits = in.total_bits();
+  w.out_bits = out.total_bits();
+  // Scan-rate work: dense-linearized sources sweep every cell through the
+  // occupancy/prefix path; compressed sources sweep their entries.
+  w.scan_elems = (from == Format::kDense || from == Format::kZVC) ? cells : nnz;
+  // Heavy work: one div/mod (or sort slot) per produced nonzero when the
+  // pipeline includes those blocks.
+  const auto blocks = conversion_blocks(from, to);
+  const bool heavy =
+      std::find_if(blocks.begin(), blocks.end(), [](Block b) {
+        return b == Block::kParallelDiv || b == Block::kParallelMod ||
+               b == Block::kSorter;
+      }) != blocks.end();
+  w.heavy_elems = heavy ? nnz : 0;
+  return w;
+}
+
+}  // namespace
+
+ConversionWork matrix_conversion_work(Format from, Format to, index_t m,
+                                      index_t k, std::int64_t nnz,
+                                      DataType dt) {
+  return make_work(from, to, m * k, nnz,
+                   expected_matrix_storage(from, m, k, nnz, dt),
+                   expected_matrix_storage(to, m, k, nnz, dt));
+}
+
+ConversionWork tensor_conversion_work(Format from, Format to, index_t x,
+                                      index_t y, index_t z, std::int64_t nnz,
+                                      DataType dt) {
+  return make_work(from, to, x * y * z, nnz,
+                   expected_tensor_storage(from, x, y, z, nnz, dt),
+                   expected_tensor_storage(to, x, y, z, nnz, dt));
+}
+
+ConversionCost pipeline_cost(const std::vector<Block>& blocks,
+                             const ConversionWork& work,
+                             const EnergyParams& energy) {
+  if (blocks.empty()) return {};
+  constexpr std::int64_t kPipelineFill = 50;  // fill/drain latency
+
+  std::int64_t scan_rate = 0, heavy_rate = 0;
+  double power_mw = 0.0;
+  for (Block b : blocks) {
+    const auto& s = block_spec(b);
+    power_mw += s.power_mw;
+    if (b == Block::kPrefixSum || b == Block::kComparators) {
+      scan_rate = scan_rate == 0 ? s.throughput : std::min(scan_rate, s.throughput);
+    }
+    if (b == Block::kParallelDiv || b == Block::kParallelMod ||
+        b == Block::kSorter) {
+      heavy_rate = heavy_rate == 0 ? s.throughput : std::min(heavy_rate, s.throughput);
+    }
+  }
+  if (scan_rate == 0) scan_rate = 32;
+  if (heavy_rate == 0) heavy_rate = 8;
+
+  const std::int64_t stream_in = energy.dram_cycles(work.in_bits);
+  const std::int64_t stream_out = energy.dram_cycles(work.out_bits);
+  const std::int64_t scan_cycles = ceil_div(work.scan_elems, scan_rate);
+  const std::int64_t heavy_cycles = ceil_div(work.heavy_elems, heavy_rate);
+
+  ConversionCost c;
+  c.cycles = std::max({stream_in, stream_out, scan_cycles, heavy_cycles}) +
+             kPipelineFill;
+  // Active power of the instantiated blocks for the duration, plus the
+  // scratchpad traffic of the memory controller (every element is staged
+  // in and read back out of the conversion buffers). DRAM energy of the
+  // operand transfers themselves is charged by the cost model that moves
+  // the tensors (SAGE), not double-counted here.
+  const double sram = energy.sram_energy_j(DataType::kFp32, /*small_buffer=*/true);
+  c.energy_j = power_mw * 1e-3 * energy.seconds(c.cycles) +
+               2.0 * sram * static_cast<double>(work.scan_elems + work.heavy_elems);
+  return c;
+}
+
+ConversionCost mint_matrix_conversion_cost(Format from, Format to, index_t m,
+                                           index_t k, std::int64_t nnz,
+                                           DataType dt,
+                                           const EnergyParams& energy) {
+  if (from == to) return {};
+  return pipeline_cost(conversion_blocks(from, to),
+                       matrix_conversion_work(from, to, m, k, nnz, dt), energy);
+}
+
+ConversionCost mint_tensor_conversion_cost(Format from, Format to, index_t x,
+                                           index_t y, index_t z,
+                                           std::int64_t nnz, DataType dt,
+                                           const EnergyParams& energy) {
+  if (from == to) return {};
+  return pipeline_cost(conversion_blocks(from, to),
+                       tensor_conversion_work(from, to, x, y, z, nnz, dt),
+                       energy);
+}
+
+}  // namespace mt

@@ -1,0 +1,58 @@
+// Conversion pipelines: which building blocks a given MCF->ACF conversion
+// exercises (paper Fig. 8c-f) and how many cycles/joules it costs.
+//
+// MINT is pipelined against the memory stream (§V-B "MINT is pipelined to
+// start conversion while streaming in data from memory"), so the cycle
+// cost of a conversion is the maximum of the DRAM stream-in, the scan-rate
+// work, the heavy (divide/mod/sort) work, and the DRAM stream-out — plus
+// a fixed pipeline fill latency.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "energy/energy_model.hpp"
+#include "formats/format.hpp"
+#include "mint/blocks.hpp"
+
+namespace mt {
+
+// Blocks the `from -> to` conversion instantiates. Empty when from == to.
+std::vector<Block> conversion_blocks(Format from, Format to);
+
+// Work decomposition of a conversion.
+struct ConversionWork {
+  std::int64_t scan_elems = 0;   // occupancy/pointer work at scan rate
+  std::int64_t heavy_elems = 0;  // divide/mod/sort work at 8/cycle
+  std::int64_t in_bits = 0;      // source MCF footprint streamed in
+  std::int64_t out_bits = 0;     // destination format streamed out
+};
+
+ConversionWork matrix_conversion_work(Format from, Format to, index_t m,
+                                      index_t k, std::int64_t nnz, DataType dt);
+ConversionWork tensor_conversion_work(Format from, Format to, index_t x,
+                                      index_t y, index_t z, std::int64_t nnz,
+                                      DataType dt);
+
+struct ConversionCost {
+  std::int64_t cycles = 0;
+  double energy_j = 0.0;
+};
+
+// Cost of running `work` through the pipeline made of `blocks`.
+ConversionCost pipeline_cost(const std::vector<Block>& blocks,
+                             const ConversionWork& work,
+                             const EnergyParams& energy);
+
+// Convenience wrappers: blocks + work + cost in one call. Zero-cost when
+// from == to (no conversion needed).
+ConversionCost mint_matrix_conversion_cost(Format from, Format to, index_t m,
+                                           index_t k, std::int64_t nnz,
+                                           DataType dt,
+                                           const EnergyParams& energy);
+ConversionCost mint_tensor_conversion_cost(Format from, Format to, index_t x,
+                                           index_t y, index_t z,
+                                           std::int64_t nnz, DataType dt,
+                                           const EnergyParams& energy);
+
+}  // namespace mt

@@ -1,0 +1,111 @@
+#include "mint/prefix_sum.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace mt {
+
+namespace {
+std::int64_t log2_ceil(std::int64_t n) {
+  return n <= 1 ? 0 : std::bit_width(static_cast<std::uint64_t>(n - 1));
+}
+}  // namespace
+
+ScanResult prefix_sum(std::span<const std::int64_t> x, PrefixDesign d) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  ScanResult r;
+  r.sums.assign(x.begin(), x.end());
+  r.latency_cycles = scan_latency(n, d);
+  if (n == 0) return r;
+
+  switch (d) {
+    case PrefixDesign::kSerialChain: {
+      // One adder per position, each forwarding to its right neighbour.
+      for (std::int64_t i = 1; i < n; ++i) {
+        r.sums[static_cast<std::size_t>(i)] += r.sums[static_cast<std::size_t>(i - 1)];
+        ++r.adds;
+      }
+      break;
+    }
+    case PrefixDesign::kWorkEfficient: {
+      // Brent-Kung: up-sweep (reduce) then down-sweep on a padded tree.
+      const std::int64_t levels = log2_ceil(n);
+      for (std::int64_t lvl = 0; lvl < levels; ++lvl) {
+        const std::int64_t stride = std::int64_t{1} << (lvl + 1);
+        for (std::int64_t i = stride - 1; i < n; i += stride) {
+          r.sums[static_cast<std::size_t>(i)] +=
+              r.sums[static_cast<std::size_t>(i - stride / 2)];
+          ++r.adds;
+        }
+      }
+      for (std::int64_t lvl = levels - 2; lvl >= 0; --lvl) {
+        const std::int64_t stride = std::int64_t{1} << (lvl + 1);
+        for (std::int64_t i = stride + stride / 2 - 1; i < n; i += stride) {
+          r.sums[static_cast<std::size_t>(i)] +=
+              r.sums[static_cast<std::size_t>(i - stride / 2)];
+          ++r.adds;
+        }
+      }
+      break;
+    }
+    case PrefixDesign::kHighlyParallel: {
+      // Kogge-Stone: log N rounds, each position adding its d-distant
+      // left neighbour.
+      std::vector<std::int64_t> tmp(r.sums.size());
+      for (std::int64_t dist = 1; dist < n; dist <<= 1) {
+        tmp = r.sums;
+        for (std::int64_t i = dist; i < n; ++i) {
+          r.sums[static_cast<std::size_t>(i)] =
+              tmp[static_cast<std::size_t>(i)] +
+              tmp[static_cast<std::size_t>(i - dist)];
+          ++r.adds;
+        }
+      }
+      break;
+    }
+  }
+  return r;
+}
+
+std::int64_t scan_latency(std::int64_t n, PrefixDesign d) {
+  if (n <= 1) return n;
+  switch (d) {
+    case PrefixDesign::kSerialChain:
+      return n;  // the carry ripples through every adder
+    case PrefixDesign::kWorkEfficient:
+      return 2 * log2_ceil(n);
+    case PrefixDesign::kHighlyParallel:
+      return log2_ceil(n);
+  }
+  return n;
+}
+
+std::int64_t scan_adder_count(std::int64_t n, PrefixDesign d) {
+  if (n <= 1) return 0;
+  switch (d) {
+    case PrefixDesign::kSerialChain:
+      // N-1 chain adders plus the offset row that removes the blocking
+      // stall between batches (paper Fig. 9a).
+      return (n - 1) + n;
+    case PrefixDesign::kWorkEfficient:
+      return 2 * (n - 1) - log2_ceil(n);  // Brent-Kung node count
+    case PrefixDesign::kHighlyParallel:
+      return n * log2_ceil(n) - n + 1;  // Kogge-Stone node count
+  }
+  return 0;
+}
+
+OverlayOverhead scan_overlay_overhead(PrefixDesign d) {
+  // Paper §VII-B: serial chain overlay on a 16x16 int32 array costs +2%
+  // area / +3% power; the 32-input highly parallel overlay costs +20% /
+  // +27%. Work-efficient sits between.
+  switch (d) {
+    case PrefixDesign::kSerialChain: return {0.02, 0.03};
+    case PrefixDesign::kWorkEfficient: return {0.09, 0.12};
+    case PrefixDesign::kHighlyParallel: return {0.20, 0.27};
+  }
+  return {};
+}
+
+}  // namespace mt

@@ -1,0 +1,59 @@
+// The three prefix-sum (scan) microarchitectures of paper Fig. 9, modeled
+// functionally with exact latency and adder-count accounting.
+//
+// Prefix sums appear in every MINT conversion (pointer construction,
+// position calculation, occupancy compaction); the paper's MINT_mr design
+// point realizes them by overlaying forwarding links and muxes on the
+// accelerator's existing adders, trading area against latency:
+//   serial chain    — reuses a store-and-forward reduction; O(N) latency,
+//                     simplest wiring, +2%/+3% area/power on a 16x16 array
+//   work efficient  — Brent-Kung on an adder tree; 2*log2(N) latency
+//   highly parallel — Kogge-Stone; log2(N) latency, most adders/links,
+//                     +20%/+27% area/power
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mt {
+
+enum class PrefixDesign : std::uint8_t {
+  kSerialChain,
+  kWorkEfficient,
+  kHighlyParallel,
+};
+
+constexpr std::string_view name_of(PrefixDesign d) {
+  switch (d) {
+    case PrefixDesign::kSerialChain: return "serial-chain";
+    case PrefixDesign::kWorkEfficient: return "work-efficient";
+    case PrefixDesign::kHighlyParallel: return "highly-parallel";
+  }
+  return "?";
+}
+
+struct ScanResult {
+  std::vector<std::int64_t> sums;  // inclusive prefix sums
+  std::int64_t latency_cycles = 0; // pipeline depth for one N-wide batch
+  std::int64_t adds = 0;           // adder activations consumed
+};
+
+// Runs an inclusive scan over `x` with the given design's dataflow; all
+// three produce identical sums but different latency/adds.
+ScanResult prefix_sum(std::span<const std::int64_t> x, PrefixDesign d);
+
+// Structural costs for an N-input instance.
+std::int64_t scan_latency(std::int64_t n, PrefixDesign d);
+std::int64_t scan_adder_count(std::int64_t n, PrefixDesign d);
+
+// Area/power overhead fractions of overlaying the design on an existing
+// int32 PE array (paper §VII-B measurements).
+struct OverlayOverhead {
+  double area_frac = 0.0;
+  double power_frac = 0.0;
+};
+OverlayOverhead scan_overlay_overhead(PrefixDesign d);
+
+}  // namespace mt

@@ -1,0 +1,39 @@
+#include "mint/sw_offload.hpp"
+
+#include <algorithm>
+
+namespace mt {
+
+OffloadCost sw_conversion_cost(Format from, Format to, index_t m, index_t k,
+                               std::int64_t nnz, DataType dt, HostPlatform p,
+                               const EnergyParams& energy,
+                               const HostRates& rates) {
+  OffloadCost c;
+  if (from == to) return c;
+  const auto work = matrix_conversion_work(from, to, m, k, nnz, dt);
+  // Host libraries process the full element stream (dense-source sweeps
+  // touch every cell just like MINT's scan path).
+  const double elems =
+      static_cast<double>(std::max(work.scan_elems, work.heavy_elems));
+  const double rate =
+      p == HostPlatform::kCpu ? rates.cpu_elems_per_s : rates.gpu_elems_per_s;
+  c.compute_s = elems / rate;
+
+  const double bytes =
+      static_cast<double>(work.in_bits + work.out_bits) / 8.0;
+  if (p == HostPlatform::kGpu) {
+    // H2D for the source, D2H for the result, each paying setup latency.
+    c.transfer_s = bytes / energy.pcie_bytes_per_second +
+                   2.0 * energy.pcie_latency_s;
+  } else {
+    // CPU converts in host DRAM; the accelerator still re-reads the result
+    // over the memory interface, modeled at DRAM bandwidth.
+    c.transfer_s =
+        bytes / (energy.dram_bytes_per_cycle * energy.clock_hz);
+  }
+  const double tdp = p == HostPlatform::kCpu ? energy.cpu_tdp_w : energy.gpu_tdp_w;
+  c.energy_j = tdp * rates.active_power_fraction * c.total_s();
+  return c;
+}
+
+}  // namespace mt

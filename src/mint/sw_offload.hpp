@@ -1,0 +1,51 @@
+// Host-offloaded format conversion — the Flex_Flex_SW baseline (paper
+// Table I/II "SW": MKL on CPU, cuSPARSE on GPU).
+//
+// Offloading pays (1) host compute time at library throughput, (2)
+// host<->device transfers (PCIe for the GPU path — the H2D/D2H costs
+// Fig. 11 shows reaching 75% of total time), and (3) host platform power
+// for the duration, which is why Fig. 10c shows MINT about three orders
+// of magnitude more energy-efficient.
+#pragma once
+
+#include "common/types.hpp"
+#include "energy/energy_model.hpp"
+#include "formats/format.hpp"
+#include "mint/pipelines.hpp"
+
+namespace mt {
+
+enum class HostPlatform : std::uint8_t { kCpu, kGpu };
+
+constexpr std::string_view name_of(HostPlatform p) {
+  return p == HostPlatform::kCpu ? "CPU(MKL)" : "GPU(cuSPARSE)";
+}
+
+struct OffloadCost {
+  double compute_s = 0.0;   // host library conversion time
+  double transfer_s = 0.0;  // H2D + D2H (GPU) / memory traffic (CPU)
+  double energy_j = 0.0;    // platform power * total time
+
+  double total_s() const { return compute_s + transfer_s; }
+  double transfer_fraction() const {
+    const double t = total_s();
+    return t == 0.0 ? 0.0 : transfer_s / t;
+  }
+};
+
+// Conversion throughputs of host libraries (elements/second), calibrated
+// to the wall-clock magnitudes of the paper's Fig. 10 (milliseconds for
+// multimillion-nonzero matrices).
+struct HostRates {
+  double cpu_elems_per_s = 1.5e8;
+  double gpu_elems_per_s = 8.0e8;
+  // Host-side active power during conversion (fraction of TDP).
+  double active_power_fraction = 0.4;
+};
+
+OffloadCost sw_conversion_cost(Format from, Format to, index_t m, index_t k,
+                               std::int64_t nnz, DataType dt, HostPlatform p,
+                               const EnergyParams& energy,
+                               const HostRates& rates = {});
+
+}  // namespace mt

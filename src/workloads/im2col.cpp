@@ -1,0 +1,83 @@
+#include "workloads/im2col.hpp"
+
+#include "common/error.hpp"
+#include "kernels/gemm.hpp"
+
+namespace mt {
+
+namespace {
+index_t out_dim(index_t in, index_t filt, index_t pad) {
+  return in + 2 * pad - filt + 1;
+}
+}  // namespace
+
+DenseMatrix im2col(const DenseTensor3& input, index_t r, index_t s,
+                   index_t pad) {
+  const index_t c = input.dim_x(), h = input.dim_y(), w = input.dim_z();
+  const index_t ho = out_dim(h, r, pad), wo = out_dim(w, s, pad);
+  MT_REQUIRE(ho > 0 && wo > 0, "filter larger than padded input");
+  DenseMatrix col(c * r * s, ho * wo);
+  for (index_t ci = 0; ci < c; ++ci) {
+    for (index_t ri = 0; ri < r; ++ri) {
+      for (index_t si = 0; si < s; ++si) {
+        const index_t row = (ci * r + ri) * s + si;
+        for (index_t y = 0; y < ho; ++y) {
+          for (index_t x = 0; x < wo; ++x) {
+            const index_t iy = y + ri - pad;
+            const index_t ix = x + si - pad;
+            const value_t v = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                  ? input.at(ci, iy, ix)
+                                  : 0.0f;
+            col.set(row, y * wo + x, v);
+          }
+        }
+      }
+    }
+  }
+  return col;
+}
+
+DenseTensor3 conv2d_reference(const DenseTensor3& input,
+                              const DenseMatrix& filters, index_t r, index_t s,
+                              index_t pad) {
+  const index_t c = input.dim_x(), h = input.dim_y(), w = input.dim_z();
+  MT_REQUIRE(filters.cols() == c * r * s,
+             "filters must have C*R*S columns");
+  const index_t ko = filters.rows();
+  const index_t ho = out_dim(h, r, pad), wo = out_dim(w, s, pad);
+  DenseTensor3 out(ko, ho, wo);
+  for (index_t f = 0; f < ko; ++f) {
+    for (index_t y = 0; y < ho; ++y) {
+      for (index_t x = 0; x < wo; ++x) {
+        value_t acc = 0.0f;
+        for (index_t ci = 0; ci < c; ++ci) {
+          for (index_t ri = 0; ri < r; ++ri) {
+            for (index_t si = 0; si < s; ++si) {
+              const index_t iy = y + ri - pad;
+              const index_t ix = x + si - pad;
+              if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+              acc += input.at(ci, iy, ix) *
+                     filters.at(f, (ci * r + ri) * s + si);
+            }
+          }
+        }
+        out.set(f, y, x, acc);
+      }
+    }
+  }
+  return out;
+}
+
+DenseTensor3 conv2d_im2col(const DenseTensor3& input,
+                           const DenseMatrix& filters, index_t r, index_t s,
+                           index_t pad) {
+  const auto col = im2col(input, r, s, pad);
+  const auto o = gemm(filters, col);  // (K_out) x (H_out*W_out)
+  const index_t ho = out_dim(input.dim_y(), r, pad);
+  const index_t wo = out_dim(input.dim_z(), s, pad);
+  DenseTensor3 out(filters.rows(), ho, wo);
+  out.values() = o.values();
+  return out;
+}
+
+}  // namespace mt

@@ -1,0 +1,30 @@
+// Functional im2col: lowers a convolution to GEMM exactly the way the
+// paper's case study does ("Like TPU, we use im2col to convert
+// convolutions to GEMM operations", §VII-D).
+#pragma once
+
+#include "formats/dense.hpp"
+#include "formats/tensor_dense.hpp"
+
+namespace mt {
+
+// Input feature map is a (C, H, W) tensor; filters are given as a
+// (K_out x C*R*S) matrix (one flattened filter per row).
+
+// Unrolls the input into a (C*R*S) x (H_out*W_out) matrix for stride-1
+// convolution with `pad` zero-padding on each side.
+DenseMatrix im2col(const DenseTensor3& input, index_t r, index_t s,
+                   index_t pad);
+
+// Direct sliding-window convolution used as the oracle; returns a
+// (K_out, H_out, W_out) tensor.
+DenseTensor3 conv2d_reference(const DenseTensor3& input,
+                              const DenseMatrix& filters, index_t r, index_t s,
+                              index_t pad);
+
+// conv via im2col + GEMM; must equal conv2d_reference.
+DenseTensor3 conv2d_im2col(const DenseTensor3& input,
+                           const DenseMatrix& filters, index_t r, index_t s,
+                           index_t pad);
+
+}  // namespace mt

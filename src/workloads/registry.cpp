@@ -1,0 +1,53 @@
+#include "workloads/registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mt {
+
+const std::vector<MatrixWorkload>& table3_matrices() {
+  // Dimensions and nnz exactly as printed in Table III.
+  static const std::vector<MatrixWorkload> kRows = {
+      {"journal", "SuiteSparse", 124, 124, 12'000},
+      {"bibd", "SuiteSparse", 171, 92'000, 3'300'000},
+      {"dendrimer", "SuiteSparse", 730, 730, 63'000},
+      {"speech1", "DeepBench", 11'000, 3'600, 3'900'000},
+      {"speech2", "DeepBench", 7'700, 2'600, 1'000'000},
+      {"nd3k", "SuiteSparse", 9'000, 9'000, 3'300'000},
+      {"cavity14", "SuiteSparse", 2'600, 2'600, 76'000},
+      {"model3", "SuiteSparse", 1'600, 4'600, 24'000},
+      {"cat_ears", "SuiteSparse", 5'200, 13'200, 40'000},
+      {"m3plates", "SuiteSparse", 11'000, 11'000, 6'600},
+  };
+  return kRows;
+}
+
+const std::vector<TensorWorkload>& table3_tensors() {
+  static const std::vector<TensorWorkload> kRows = {
+      {"BrainQ", "BrainQ", 60, 70'000, 9, 11'000'000, Kernel::kSpTTM},
+      {"Crime", "FROSTT", 6'200, 24, 2'500, 5'200'000, Kernel::kMTTKRP},
+      {"Uber", "FROSTT", 4'400, 1'100, 1'700, 3'300'000, Kernel::kMTTKRP},
+  };
+  return kRows;
+}
+
+const MatrixWorkload& matrix_workload(const std::string& name) {
+  const auto& rows = table3_matrices();
+  const auto it = std::find_if(rows.begin(), rows.end(),
+                               [&](const auto& w) { return w.name == name; });
+  MT_REQUIRE(it != rows.end(), "unknown matrix workload: " + name);
+  return *it;
+}
+
+const TensorWorkload& tensor_workload(const std::string& name) {
+  const auto& rows = table3_tensors();
+  const auto it = std::find_if(rows.begin(), rows.end(),
+                               [&](const auto& w) { return w.name == name; });
+  MT_REQUIRE(it != rows.end(), "unknown tensor workload: " + name);
+  return *it;
+}
+
+index_t factor_cols(index_t m) { return std::max<index_t>(1, m / 2); }
+
+}  // namespace mt

@@ -1,0 +1,60 @@
+// The paper's evaluation workloads (Table III), recorded by shape and
+// nonzero count.
+//
+// The original matrices/tensors come from SuiteSparse, DeepBench, FROSTT
+// and BrainQ; offline we synthesize uniform-random tensors with identical
+// dimensions and nnz (see DESIGN.md "Substitutions" — the paper's own
+// models assume uniform random placement for unstructured formats, so the
+// selection and performance behaviour is preserved).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mt {
+
+struct MatrixWorkload {
+  std::string name;
+  std::string source;  // dataset of origin in the paper
+  index_t m = 0;       // rows of the sparse operand A
+  index_t k = 0;       // cols of A
+  std::int64_t nnz = 0;
+
+  double density() const {
+    return static_cast<double>(nnz) /
+           (static_cast<double>(m) * static_cast<double>(k));
+  }
+};
+
+struct TensorWorkload {
+  std::string name;
+  std::string source;
+  index_t x = 0, y = 0, z = 0;
+  std::int64_t nnz = 0;
+  Kernel kernel = Kernel::kSpTTM;  // which tensor kernel Table III runs
+
+  double density() const {
+    return static_cast<double>(nnz) / (static_cast<double>(x) *
+                                       static_cast<double>(y) *
+                                       static_cast<double>(z));
+  }
+};
+
+// The ten matrix rows of Table III, in the paper's order (journal ->
+// m3plates, spanning densities 78.5% down to 5.4e-3%).
+const std::vector<MatrixWorkload>& table3_matrices();
+
+// The three tensor rows (BrainQ SpTTM, Crime/Uber MTTKRP).
+const std::vector<TensorWorkload>& table3_tensors();
+
+// Lookup by name; throws if unknown.
+const MatrixWorkload& matrix_workload(const std::string& name);
+const TensorWorkload& tensor_workload(const std::string& name);
+
+// The paper generalizes the factor matrices multiplied against each
+// workload to dimensions K x (M/2).
+index_t factor_cols(index_t m);
+
+}  // namespace mt

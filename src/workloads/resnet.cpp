@@ -1,0 +1,25 @@
+#include "workloads/resnet.hpp"
+
+namespace mt {
+
+const std::vector<ConvLayer>& resnet50_cifar10_layers() {
+  // Columns of Fig. 14a, sparsities converted from percent to fractions.
+  // act_sparsity / wgt_sparsity order: {Normal, 50% layer, 70% global}.
+  static const std::vector<ConvLayer> kLayers = {
+      {1, 3, 64, 32, 32, 3, 3, {0.000, 0.000, 0.000}, {0.000, 0.500, 0.454}},
+      {2, 64, 256, 32, 32, 1, 1, {0.566, 0.555, 0.550}, {0.000, 0.500, 0.748}},
+      {3, 128, 512, 16, 16, 1, 1, {0.631, 0.592, 0.604}, {0.000, 0.500, 0.634}},
+      {4, 128, 128, 16, 16, 3, 3, {0.526, 0.520, 0.523}, {0.000, 0.500, 0.353}},
+      {5, 1024, 256, 8, 8, 1, 1, {0.602, 0.570, 0.598}, {0.000, 0.500, 0.499}},
+      {6, 256, 256, 8, 8, 3, 3, {0.594, 0.565, 0.570}, {0.000, 0.500, 0.383}},
+      {7, 512, 2048, 4, 4, 1, 1, {0.640, 0.610, 0.410}, {0.000, 0.500, 0.882}},
+      {8, 512, 512, 4, 4, 3, 3, {0.492, 0.478, 0.436}, {0.000, 0.500, 0.984}},
+  };
+  return kLayers;
+}
+
+GemmShape im2col_gemm_shape(const ConvLayer& l, index_t batch) {
+  return {l.k_out, l.c_in * l.r * l.s, l.h * l.w * batch};
+}
+
+}  // namespace mt

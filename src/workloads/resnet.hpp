@@ -1,0 +1,62 @@
+// The CNN case-study layer table (paper Fig. 14a): eight ResNet-50
+// convolution layers trained on CIFAR-10, with the measured input
+// activation and weight sparsities under three pruning strategies.
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mt {
+
+enum class PruneStrategy : std::uint8_t {
+  kNormal,        // no weight pruning
+  kLayer50,       // L1 unstructured, 50% per layer (0.29% accuracy loss)
+  kGlobal70,      // L1 unstructured, 70% global (0.74% accuracy loss)
+};
+
+constexpr std::string_view name_of(PruneStrategy s) {
+  switch (s) {
+    case PruneStrategy::kNormal: return "Normal";
+    case PruneStrategy::kLayer50: return "50% Prune (layer)";
+    case PruneStrategy::kGlobal70: return "70% Prune (global)";
+  }
+  return "?";
+}
+
+inline constexpr std::array<PruneStrategy, 3> kAllPruneStrategies = {
+    PruneStrategy::kNormal, PruneStrategy::kLayer50, PruneStrategy::kGlobal70};
+
+struct ConvLayer {
+  int layer_id = 0;
+  index_t c_in = 0;    // input channels C
+  index_t k_out = 0;   // output channels K
+  index_t h = 0, w = 0;  // input activation spatial dims
+  index_t r = 0, s = 0;  // filter spatial dims
+  // Fractions of *zero* elements (the paper reports sparsity percent).
+  std::array<double, 3> act_sparsity{};  // indexed by PruneStrategy
+  std::array<double, 3> wgt_sparsity{};
+
+  double act_density(PruneStrategy p) const {
+    return 1.0 - act_sparsity[static_cast<std::size_t>(p)];
+  }
+  double wgt_density(PruneStrategy p) const {
+    return 1.0 - wgt_sparsity[static_cast<std::size_t>(p)];
+  }
+};
+
+// The eight rows of Fig. 14a (stride 1 throughout).
+const std::vector<ConvLayer>& resnet50_cifar10_layers();
+
+// im2col GEMM shape for a conv layer at the given batch size, with 'same'
+// padding (the input (H, W) in Fig. 14a is preserved by stride-1 convs):
+//   weights  : M = K_out        x  K = C*R*S   (sparse after pruning)
+//   activations: K = C*R*S      x  N = H*W*batch (sparse after ReLU)
+struct GemmShape {
+  index_t m = 0, k = 0, n = 0;
+};
+GemmShape im2col_gemm_shape(const ConvLayer& l, index_t batch);
+
+}  // namespace mt

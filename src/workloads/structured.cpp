@@ -1,0 +1,64 @@
+#include "workloads/structured.hpp"
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mt {
+
+DenseMatrix synth_banded_matrix(index_t n, index_t bands, std::uint64_t seed) {
+  MT_REQUIRE(bands >= 1 && bands <= 2 * n - 1, "band count within matrix");
+  Prng rng(seed);
+  DenseMatrix d(n, n);
+  // Offsets alternate 0, +1, -1, +2, -2, ... around the main diagonal.
+  for (index_t i = 0; i < bands; ++i) {
+    const index_t off = (i + 1) / 2 * ((i % 2) != 0 ? 1 : -1);
+    for (index_t r = 0; r < n; ++r) {
+      const index_t c = r + off;
+      if (c >= 0 && c < n) d.set(r, c, rng.next_value());
+    }
+  }
+  return d;
+}
+
+DenseMatrix synth_block_sparse_matrix(index_t rows, index_t cols,
+                                      index_t block_rows, index_t block_cols,
+                                      double block_density,
+                                      std::uint64_t seed) {
+  MT_REQUIRE(block_rows > 0 && block_cols > 0, "positive block dims");
+  MT_REQUIRE(block_density >= 0.0 && block_density <= 1.0,
+             "block density in [0,1]");
+  Prng rng(seed);
+  DenseMatrix d(rows, cols);
+  const index_t grid_rows = (rows + block_rows - 1) / block_rows;
+  const index_t grid_cols = (cols + block_cols - 1) / block_cols;
+  const auto total = static_cast<std::uint64_t>(grid_rows * grid_cols);
+  const auto k = static_cast<std::uint64_t>(
+      block_density * static_cast<double>(total) + 0.5);
+  for (std::uint64_t p : rng.sample_distinct(total, k)) {
+    const index_t gr = static_cast<index_t>(p) / grid_cols;
+    const index_t gc = static_cast<index_t>(p) % grid_cols;
+    for (index_t r = gr * block_rows; r < std::min((gr + 1) * block_rows, rows); ++r) {
+      for (index_t c = gc * block_cols; c < std::min((gc + 1) * block_cols, cols); ++c) {
+        d.set(r, c, rng.next_value());
+      }
+    }
+  }
+  return d;
+}
+
+DenseMatrix synth_row_balanced_matrix(index_t rows, index_t cols,
+                                      index_t row_nnz, std::uint64_t seed) {
+  MT_REQUIRE(row_nnz >= 0 && row_nnz <= cols, "row nnz within row");
+  Prng rng(seed);
+  DenseMatrix d(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c : rng.sample_distinct(
+             static_cast<std::uint64_t>(cols),
+             static_cast<std::uint64_t>(row_nnz))) {
+      d.set(r, static_cast<index_t>(c), rng.next_value());
+    }
+  }
+  return d;
+}
+
+}  // namespace mt

@@ -1,0 +1,33 @@
+// Structured-sparsity generators.
+//
+// The paper's performance model assumes uniform random sparsity and
+// defers structured formats (DIA, BSR, HiCOO, ELLPACK) to future work —
+// but the *storage* story of those formats only shows up on structured
+// data. These generators produce the two canonical structures: banded
+// operators (stencils/PDE matrices, where DIA shines) and block-sparse
+// matrices (structured pruning, where BSR shines).
+#pragma once
+
+#include <cstdint>
+
+#include "formats/dense.hpp"
+
+namespace mt {
+
+// Banded matrix: `bands` diagonals clustered around the main diagonal,
+// fully populated (classic finite-difference stencil shape).
+DenseMatrix synth_banded_matrix(index_t n, index_t bands, std::uint64_t seed);
+
+// Block-sparse matrix: dense blocks of block_rows x block_cols, with a
+// `block_density` fraction of blocks populated (structured pruning shape).
+DenseMatrix synth_block_sparse_matrix(index_t rows, index_t cols,
+                                      index_t block_rows, index_t block_cols,
+                                      double block_density,
+                                      std::uint64_t seed);
+
+// Row-balanced matrix: every row holds exactly `row_nnz` nonzeros at
+// random columns (the best case for ELLPACK: zero padding).
+DenseMatrix synth_row_balanced_matrix(index_t rows, index_t cols,
+                                      index_t row_nnz, std::uint64_t seed);
+
+}  // namespace mt

@@ -1,0 +1,66 @@
+#include "workloads/synth.hpp"
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mt {
+
+CooMatrix synth_coo_matrix(index_t m, index_t k, std::int64_t nnz,
+                           std::uint64_t seed) {
+  MT_REQUIRE(m > 0 && k > 0, "positive dimensions");
+  Prng rng(seed);
+  const auto cells = static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(k);
+  const auto positions = rng.sample_distinct(cells, static_cast<std::uint64_t>(nnz));
+  std::vector<index_t> rows, cols;
+  std::vector<value_t> vals;
+  rows.reserve(positions.size());
+  cols.reserve(positions.size());
+  vals.reserve(positions.size());
+  for (std::uint64_t p : positions) {
+    rows.push_back(static_cast<index_t>(p / static_cast<std::uint64_t>(k)));
+    cols.push_back(static_cast<index_t>(p % static_cast<std::uint64_t>(k)));
+    vals.push_back(rng.next_value());
+  }
+  return CooMatrix::from_entries(m, k, std::move(rows), std::move(cols),
+                                 std::move(vals));
+}
+
+CooMatrix synth_coo_matrix(const MatrixWorkload& w, std::uint64_t seed) {
+  return synth_coo_matrix(w.m, w.k, w.nnz, seed);
+}
+
+CooTensor3 synth_coo_tensor(index_t x, index_t y, index_t z, std::int64_t nnz,
+                            std::uint64_t seed) {
+  MT_REQUIRE(x > 0 && y > 0 && z > 0, "positive dimensions");
+  Prng rng(seed);
+  const auto cells = static_cast<std::uint64_t>(x) *
+                     static_cast<std::uint64_t>(y) *
+                     static_cast<std::uint64_t>(z);
+  const auto positions = rng.sample_distinct(cells, static_cast<std::uint64_t>(nnz));
+  std::vector<index_t> xs, ys, zs;
+  std::vector<value_t> vals;
+  xs.reserve(positions.size());
+  for (std::uint64_t p : positions) {
+    zs.push_back(static_cast<index_t>(p % static_cast<std::uint64_t>(z)));
+    const std::uint64_t q = p / static_cast<std::uint64_t>(z);
+    ys.push_back(static_cast<index_t>(q % static_cast<std::uint64_t>(y)));
+    xs.push_back(static_cast<index_t>(q / static_cast<std::uint64_t>(y)));
+    vals.push_back(rng.next_value());
+  }
+  return CooTensor3::from_entries(x, y, z, std::move(xs), std::move(ys),
+                                  std::move(zs), std::move(vals));
+}
+
+CooTensor3 synth_coo_tensor(const TensorWorkload& w, std::uint64_t seed) {
+  return synth_coo_tensor(w.x, w.y, w.z, w.nnz, seed);
+}
+
+DenseMatrix synth_dense_matrix(index_t m, index_t k, double density,
+                               std::uint64_t seed) {
+  MT_REQUIRE(density >= 0.0 && density <= 1.0, "density in [0,1]");
+  const auto nnz = static_cast<std::int64_t>(
+      density * static_cast<double>(m) * static_cast<double>(k) + 0.5);
+  return synth_coo_matrix(m, k, nnz, seed).to_dense();
+}
+
+}  // namespace mt

@@ -1,0 +1,32 @@
+// Seeded synthetic operand generators.
+//
+// Generation is O(nnz) regardless of the dense cell count, so even the
+// Uber tensor (8.2e9 cells, 3.3M nonzeros) materializes in compressed form
+// without touching a dense intermediate. Values are uniform in [0.5, 1.5)
+// to keep fp32 accumulation well-conditioned in correctness checks.
+#pragma once
+
+#include <cstdint>
+
+#include "formats/coo.hpp"
+#include "formats/dense.hpp"
+#include "formats/tensor_coo.hpp"
+#include "workloads/registry.hpp"
+
+namespace mt {
+
+// nnz uniformly placed cells in an m x k matrix.
+CooMatrix synth_coo_matrix(index_t m, index_t k, std::int64_t nnz,
+                           std::uint64_t seed);
+CooMatrix synth_coo_matrix(const MatrixWorkload& w, std::uint64_t seed);
+
+// nnz uniformly placed cells in an x*y*z tensor.
+CooTensor3 synth_coo_tensor(index_t x, index_t y, index_t z, std::int64_t nnz,
+                            std::uint64_t seed);
+CooTensor3 synth_coo_tensor(const TensorWorkload& w, std::uint64_t seed);
+
+// Dense matrix with round(density * m * k) nonzeros (small operands only).
+DenseMatrix synth_dense_matrix(index_t m, index_t k, double density,
+                               std::uint64_t seed);
+
+}  // namespace mt

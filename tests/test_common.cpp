@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mt {
+namespace {
+
+TEST(BitUtil, BitsForMatchesDefinition) {
+  // bits_for(n) must represent every value in [0, n-1].
+  for (std::uint64_t n = 2; n < 5000; ++n) {
+    const int b = bits_for(n);
+    EXPECT_GE((std::uint64_t{1} << b), n) << "n=" << n;
+    EXPECT_LT((std::uint64_t{1} << (b - 1)), n) << "n=" << n;
+  }
+}
+
+TEST(BitUtil, MinimumOneBit) {
+  EXPECT_EQ(bits_for(1), 1);
+  EXPECT_EQ(bits_for(2), 1);
+}
+
+TEST(BitUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+}
+
+TEST(BitUtil, BitsToBytes) {
+  EXPECT_EQ(bits_to_bytes(0), 0);
+  EXPECT_EQ(bits_to_bytes(1), 1);
+  EXPECT_EQ(bits_to_bytes(8), 1);
+  EXPECT_EQ(bits_to_bytes(9), 2);
+}
+
+TEST(Prng, Deterministic) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, SeedsIndependent) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, NextBelowInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Prng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Prng, SampleDistinctExactCountSortedUnique) {
+  Prng rng(5);
+  const auto s = rng.sample_distinct(10000, 500);
+  ASSERT_EQ(s.size(), 500u);
+  std::set<std::uint64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_LT(s.back(), 10000u);
+}
+
+TEST(Prng, SampleDistinctFullRange) {
+  Prng rng(6);
+  const auto s = rng.sample_distinct(32, 32);
+  ASSERT_EQ(s.size(), 32u);
+  for (std::uint64_t i = 0; i < 32; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Prng, SampleDistinctSparseFromHugeSpace) {
+  Prng rng(11);
+  // m3plates-scale: 6.6k from 1.2e8 must not allocate the space.
+  const auto s = rng.sample_distinct(121'000'000ull, 6600);
+  EXPECT_EQ(s.size(), 6600u);
+}
+
+TEST(Prng, SampleDistinctRoughlyUniform) {
+  Prng rng(13);
+  // Sample halves: expect close to 50/50 split across many trials.
+  std::int64_t low = 0, total = 0;
+  for (int t = 0; t < 50; ++t) {
+    for (auto v : rng.sample_distinct(1000, 100)) {
+      low += (v < 500);
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(low) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.5, 0.03);
+}
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(MT_REQUIRE(false, "nope"), std::invalid_argument);
+}
+
+TEST(Error, EnsureThrowsLogicError) {
+  EXPECT_THROW(MT_ENSURE(false, "nope"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mt

@@ -1,0 +1,188 @@
+// Direct converters vs encode-from-dense oracles, plus the generic
+// any->any conversion layer (property: decode is invariant under convert).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "convert/convert.hpp"
+#include "testing.hpp"
+
+namespace mt {
+namespace {
+
+using testing::random_dense;
+using testing::random_tensor;
+
+class DirectConverters
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, double>> {
+ protected:
+  DenseMatrix dense() const {
+    const auto [m, k, d] = GetParam();
+    return random_dense(m, k, d, 0xC0FFEE);
+  }
+};
+
+TEST_P(DirectConverters, CsrToCscMatchesOracle) {
+  const auto d = dense();
+  const auto got = csr_to_csc(CsrMatrix::from_dense(d));
+  const auto want = CscMatrix::from_dense(d);
+  EXPECT_EQ(got.col_ptr(), want.col_ptr());
+  EXPECT_EQ(got.row_ids(), want.row_ids());
+  EXPECT_EQ(got.values(), want.values());
+}
+
+TEST_P(DirectConverters, CscToCsrMatchesOracle) {
+  const auto d = dense();
+  const auto got = csc_to_csr(CscMatrix::from_dense(d));
+  const auto want = CsrMatrix::from_dense(d);
+  EXPECT_EQ(got.row_ptr(), want.row_ptr());
+  EXPECT_EQ(got.col_ids(), want.col_ids());
+  EXPECT_EQ(got.values(), want.values());
+}
+
+TEST_P(DirectConverters, CsrCscInvolution) {
+  const auto d = dense();
+  const auto csr = CsrMatrix::from_dense(d);
+  const auto back = csc_to_csr(csr_to_csc(csr));
+  EXPECT_EQ(back.row_ptr(), csr.row_ptr());
+  EXPECT_EQ(back.col_ids(), csr.col_ids());
+  EXPECT_EQ(back.values(), csr.values());
+}
+
+TEST_P(DirectConverters, RlcToCooMatchesOracle) {
+  const auto d = dense();
+  const auto got = rlc_to_coo(RlcMatrix::from_dense(d));
+  const auto want = CooMatrix::from_dense(d);
+  EXPECT_EQ(got.row_ids(), want.row_ids());
+  EXPECT_EQ(got.col_ids(), want.col_ids());
+  EXPECT_EQ(got.values(), want.values());
+}
+
+TEST_P(DirectConverters, CsrToBsrMatchesOracle) {
+  const auto d = dense();
+  const auto got = csr_to_bsr(CsrMatrix::from_dense(d), 2, 2);
+  const auto want = BsrMatrix::from_dense(d, 2, 2);
+  EXPECT_EQ(got.block_row_ptr(), want.block_row_ptr());
+  EXPECT_EQ(got.block_col_ids(), want.block_col_ids());
+  EXPECT_EQ(got.block_values(), want.block_values());
+}
+
+TEST_P(DirectConverters, CsrToBsrOddBlocksRoundTrip) {
+  const auto d = dense();
+  const auto bsr = csr_to_bsr(CsrMatrix::from_dense(d), 3, 5);
+  EXPECT_EQ(max_abs_diff(bsr.to_dense(), d), 0.0);
+  const auto back = bsr_to_csr(bsr);
+  EXPECT_EQ(max_abs_diff(back.to_dense(), d), 0.0);
+}
+
+TEST_P(DirectConverters, DenseZvcRoundTrip) {
+  const auto d = dense();
+  EXPECT_EQ(max_abs_diff(zvc_to_dense(dense_to_zvc(d)), d), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DirectConverters,
+    ::testing::Values(std::tuple<index_t, index_t, double>{4, 4, 0.4},
+                      std::tuple<index_t, index_t, double>{16, 16, 0.0},
+                      std::tuple<index_t, index_t, double>{16, 16, 1.0},
+                      std::tuple<index_t, index_t, double>{33, 17, 0.07},
+                      std::tuple<index_t, index_t, double>{17, 33, 0.5},
+                      std::tuple<index_t, index_t, double>{64, 64, 0.02},
+                      std::tuple<index_t, index_t, double>{1, 100, 0.1},
+                      std::tuple<index_t, index_t, double>{100, 1, 0.1}));
+
+TEST(DirectConverters, RlcWithEscapesToCoo) {
+  DenseMatrix d(3, 40);
+  d.set(0, 0, 1.f);
+  d.set(2, 39, 2.f);  // long run of zeros in between forces escapes
+  const auto got = rlc_to_coo(RlcMatrix::from_dense(d, 3));
+  EXPECT_EQ(got.nnz(), 2);
+  EXPECT_EQ(max_abs_diff(got.to_dense(), d), 0.0);
+}
+
+TEST(DirectConverters, DenseToCsfMatchesFromCoo) {
+  const auto t = random_tensor(9, 7, 11, 0.08, 1234);
+  const auto a = dense_to_csf(t);
+  const auto b = CsfTensor3::from_coo(CooTensor3::from_dense(t));
+  EXPECT_EQ(a.x_ids(), b.x_ids());
+  EXPECT_EQ(a.y_ptr(), b.y_ptr());
+  EXPECT_EQ(a.y_ids(), b.y_ids());
+  EXPECT_EQ(a.z_ptr(), b.z_ptr());
+  EXPECT_EQ(a.z_ids(), b.z_ids());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+// --- Generic layer: every (from, to) pair preserves the dense decode ---
+
+class AnyToAny : public ::testing::TestWithParam<std::tuple<Format, Format>> {};
+
+TEST_P(AnyToAny, ConversionPreservesContents) {
+  const auto [from, to] = GetParam();
+  const auto d = random_dense(24, 18, 0.15, 31337);
+  const AnyMatrix src = encode(d, from);
+  const AnyMatrix dst = convert(src, to);
+  EXPECT_EQ(format_of(dst), to);
+  EXPECT_EQ(max_abs_diff(decode(dst), d), 0.0);
+}
+
+TEST_P(AnyToAny, NnzPreservedThroughNonPaddingFormats) {
+  const auto [from, to] = GetParam();
+  // BSR/DIA/RLC report structural element counts that include fill; skip.
+  const auto d = random_dense(24, 18, 0.15, 555);
+  const AnyMatrix dst = convert(encode(d, from), to);
+  EXPECT_EQ(decode(dst).nnz(), d.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, AnyToAny,
+    ::testing::Combine(
+        ::testing::Values(Format::kDense, Format::kCOO, Format::kCSR,
+                          Format::kCSC, Format::kRLC, Format::kZVC,
+                          Format::kBSR, Format::kDIA),
+        ::testing::Values(Format::kDense, Format::kCOO, Format::kCSR,
+                          Format::kCSC, Format::kRLC, Format::kZVC,
+                          Format::kBSR, Format::kDIA)),
+    [](const auto& info) {
+      return std::string(name_of(std::get<0>(info.param))) + "_to_" +
+             std::string(name_of(std::get<1>(info.param)));
+    });
+
+class AnyTensorToAny
+    : public ::testing::TestWithParam<std::tuple<Format, Format>> {};
+
+TEST_P(AnyTensorToAny, ConversionPreservesContents) {
+  const auto [from, to] = GetParam();
+  const auto d = random_tensor(10, 8, 12, 0.06, 8844);
+  const AnyTensor dst = convert(encode(d, from), to);
+  EXPECT_EQ(format_of(dst), to);
+  EXPECT_EQ(max_abs_diff(decode(dst), d), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, AnyTensorToAny,
+    ::testing::Combine(
+        ::testing::Values(Format::kDense, Format::kCOO, Format::kCSF,
+                          Format::kHiCOO, Format::kZVC, Format::kRLC),
+        ::testing::Values(Format::kDense, Format::kCOO, Format::kCSF,
+                          Format::kHiCOO, Format::kZVC, Format::kRLC)),
+    [](const auto& info) {
+      return std::string(name_of(std::get<0>(info.param))) + "_to_" +
+             std::string(name_of(std::get<1>(info.param)));
+    });
+
+TEST(AnyMatrix, MetadataAccessors) {
+  const auto d = random_dense(12, 20, 0.2, 99);
+  const AnyMatrix m = encode(d, Format::kCSR);
+  EXPECT_EQ(rows_of(m), 12);
+  EXPECT_EQ(cols_of(m), 20);
+  EXPECT_EQ(nnz_of(m), d.nnz());
+  EXPECT_EQ(storage_of(m, DataType::kFp32).total_bits(),
+            CsrMatrix::from_dense(d).storage(DataType::kFp32).total_bits());
+}
+
+TEST(AnyMatrix, EncodeRejectsTensorFormats) {
+  EXPECT_THROW(encode(DenseMatrix(2, 2), Format::kCSF), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mt

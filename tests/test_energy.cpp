@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+
+namespace mt {
+namespace {
+
+TEST(EnergyParams, DramCostsRoughly6400xAnAdd) {
+  // The paper's §I headline ratio (citing Horowitz ISSCC'14).
+  const EnergyParams p;
+  EXPECT_NEAR(p.dram_j_per_32b / p.int32_add_j, 6400.0, 1.0);
+}
+
+TEST(EnergyParams, DramEnergyLinearInBits) {
+  const EnergyParams p;
+  EXPECT_DOUBLE_EQ(p.dram_energy_j(64), 2.0 * p.dram_energy_j(32));
+  EXPECT_DOUBLE_EQ(p.dram_energy_j(0), 0.0);
+}
+
+TEST(EnergyParams, DramCyclesCeil) {
+  EnergyParams p;
+  p.dram_bytes_per_cycle = 64.0;
+  EXPECT_EQ(p.dram_cycles(512), 1);   // 64 bytes exactly
+  EXPECT_EQ(p.dram_cycles(513), 2);   // one bit over
+  EXPECT_EQ(p.dram_cycles(0), 0);
+}
+
+TEST(EnergyParams, MacEnergyOrdersByDatatype) {
+  const EnergyParams p;
+  EXPECT_LT(p.mac_energy_j(DataType::kInt8), p.mac_energy_j(DataType::kInt16));
+  EXPECT_LT(p.mac_energy_j(DataType::kBf16), p.mac_energy_j(DataType::kFp32));
+}
+
+TEST(EnergyParams, SramSmallBufferCheaper) {
+  const EnergyParams p;
+  EXPECT_LT(p.sram_energy_j(DataType::kFp32, /*small_buffer=*/true),
+            p.sram_energy_j(DataType::kFp32, /*small_buffer=*/false));
+}
+
+TEST(EnergyParams, SecondsAtOneGigahertz) {
+  const EnergyParams p;
+  EXPECT_DOUBLE_EQ(p.seconds(1'000'000'000), 1.0);
+}
+
+TEST(CostBreakdown, SumsComponentwise) {
+  const CostBreakdown a{10, 20, 30, 1e-6, 2e-6, 3e-6};
+  const CostBreakdown b{1, 2, 3, 1e-7, 2e-7, 3e-7};
+  const auto c = a + b;
+  EXPECT_EQ(c.total_cycles(), 66);
+  EXPECT_NEAR(c.total_energy_j(), 6.6e-6, 1e-12);
+}
+
+TEST(CostBreakdown, EdpIsEnergyTimesDelay) {
+  const EnergyParams p;
+  const CostBreakdown c{1'000'000, 0, 0, 2e-3, 0, 0};
+  // 1e6 cycles @1GHz = 1e-3 s; EDP = 2e-3 * 1e-3.
+  EXPECT_NEAR(c.edp(p), 2e-6, 1e-12);
+}
+
+TEST(Edp, FreeFunction) { EXPECT_DOUBLE_EQ(edp(3.0, 2.0), 6.0); }
+
+}  // namespace
+}  // namespace mt

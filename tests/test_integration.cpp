@@ -1,0 +1,130 @@
+// End-to-end integration: workload -> SAGE -> functional execution.
+//
+// For density-preserving scale models of Table III workloads, take SAGE's
+// chosen ACF combination, run it through the functional cycle simulator,
+// and verify the accelerator computes the exact product the software
+// kernels compute — closing the loop from format selection to silicon
+// behaviour.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "convert/convert.hpp"
+#include "kernels/gemm.hpp"
+#include "mint/pipelines.hpp"
+#include "sage/sage.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/synth.hpp"
+
+namespace mt {
+namespace {
+
+struct Scaled {
+  std::string name;
+  index_t m, k;
+  std::int64_t nnz;
+};
+
+// 1/8-linear-scale versions of representative Table III rows, densities
+// preserved.
+std::vector<Scaled> scaled_suite() {
+  std::vector<Scaled> out;
+  for (const char* name : {"journal", "dendrimer", "cavity14", "m3plates"}) {
+    const auto& w = matrix_workload(name);
+    const index_t m = std::max<index_t>(16, w.m / 8);
+    const index_t k = std::max<index_t>(16, w.k / 8);
+    const auto nnz = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(w.density() * static_cast<double>(m) *
+                                     static_cast<double>(k)));
+    out.push_back({name, m, k, nnz});
+  }
+  return out;
+}
+
+TEST(Integration, SageChoiceExecutesCorrectlyOnTheSimulator) {
+  const EnergyParams e;
+  for (const auto& s : scaled_suite()) {
+    const auto a_coo = synth_coo_matrix(s.m, s.k, s.nnz, 5);
+    const index_t n = factor_cols(s.m);
+    const auto b_nnz = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(static_cast<double>(s.nnz) /
+                                     static_cast<double>(s.m) *
+                                     static_cast<double>(n)));
+    const auto b_coo = synth_coo_matrix(s.k, n, b_nnz, 6);
+
+    AccelConfig cfg;
+    cfg.num_pes = n;                        // single tile
+    cfg.pe_buffer_bytes = s.k * 4 * 2;      // room for Dense or CSC columns
+    const auto choice = sage_select_matmul(a_coo, b_coo, cfg, e);
+
+    const auto a = a_coo.to_dense();
+    const auto b = b_coo.to_dense();
+    const auto run = simulate_ws_matmul(a, b, choice.acf_a, choice.acf_b, cfg);
+    EXPECT_LE(max_abs_diff(run.output, gemm(a, b)), 1e-3)
+        << s.name << " via " << choice.describe();
+  }
+}
+
+TEST(Integration, ChosenMcfRoundTripsThroughTheConversionPath) {
+  // The full storage path: encode A in SAGE's MCF, convert to the chosen
+  // ACF's representation through the software converters (MINT's oracle),
+  // and verify nothing was lost.
+  const EnergyParams e;
+  for (const auto& s : scaled_suite()) {
+    const auto a_coo = synth_coo_matrix(s.m, s.k, s.nnz, 7);
+    const index_t n = factor_cols(s.m);
+    const auto b_coo = synth_coo_matrix(s.k, n, std::max<std::int64_t>(1, s.nnz / 2), 8);
+    AccelConfig cfg;
+    cfg.num_pes = 256;
+    const auto choice = sage_select_matmul(a_coo, b_coo, cfg, e);
+
+    const auto a = a_coo.to_dense();
+    const AnyMatrix stored = encode(a, choice.mcf_a);
+    const AnyMatrix compute_form = convert(stored, choice.acf_a);
+    EXPECT_EQ(max_abs_diff(decode(compute_form), a), 0.0) << s.name;
+
+    // And the MINT pipeline for that conversion exists (non-empty block
+    // list whenever MCF != ACF).
+    if (choice.mcf_a != choice.acf_a) {
+      EXPECT_FALSE(conversion_blocks(choice.mcf_a, choice.acf_a).empty())
+          << s.name;
+    }
+  }
+}
+
+TEST(Integration, BaselineOrderingIsStableAcrossSeeds) {
+  // Fig. 13's qualitative ordering should not depend on the synthetic
+  // placement seed: this work <= ExTensor-like <= TPU-like on a sparse
+  // workload.
+  const EnergyParams e;
+  AccelConfig cfg;
+  cfg.num_pes = 256;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto a = synth_coo_matrix(1100, 1100, 660, seed);
+    const auto b = synth_coo_matrix(1100, 550, 330, seed + 50);
+    const auto ours = evaluate_baseline(AccelType::kFlexFlexHw, a, b, cfg, e);
+    const auto extensor =
+        evaluate_baseline(AccelType::kFlexFlexNone, a, b, cfg, e);
+    const auto tpu = evaluate_baseline(AccelType::kFixFixNone, a, b, cfg, e);
+    EXPECT_LE(ours.edp, extensor.edp * (1 + 1e-9)) << "seed " << seed;
+    EXPECT_LT(extensor.edp, tpu.edp) << "seed " << seed;
+  }
+}
+
+TEST(Integration, TensorPipelineMatchesKernelOracle) {
+  // Tensor path: SAGE's tensor choice, the conversion, and the MTTKRP
+  // kernel on the chosen ACF all agree with the dense oracle.
+  const EnergyParams e;
+  AccelConfig cfg;
+  cfg.num_pes = 64;
+  const auto x_coo = synth_coo_tensor(55, 14, 21, 660, 11);  // uber-like density
+  const auto choice = sage_select_tensor(x_coo, 16, Kernel::kMTTKRP, cfg, e);
+  EXPECT_NE(choice.acf_t, Format::kDense);  // far too sparse for Dense
+
+  const auto dense_x = x_coo.to_dense();
+  const AnyTensor stored = encode(dense_x, choice.mcf_t);
+  const AnyTensor compute_form = convert(stored, choice.acf_t);
+  EXPECT_EQ(max_abs_diff(decode(compute_form), dense_x), 0.0);
+}
+
+}  // namespace
+}  // namespace mt

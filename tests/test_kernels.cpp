@@ -1,0 +1,148 @@
+// Every sparse kernel against the dense reference, across shapes and
+// density regions (the four ACF algorithms of paper §III-B plus the
+// tensor kernels of §II).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernels/gemm.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/spgemm.hpp"
+#include "kernels/spmm.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/ttm.hpp"
+#include "testing.hpp"
+
+namespace mt {
+namespace {
+
+using testing::random_dense;
+using testing::random_tensor;
+
+constexpr double kTol = 1e-3;  // fp32 accumulation, different sum orders
+
+class MatMulAcfs
+    : public ::testing::TestWithParam<
+          std::tuple<index_t, index_t, index_t, double, double>> {};
+
+TEST_P(MatMulAcfs, AllFourAcfAlgorithmsAgreeWithDenseReference) {
+  const auto [m, k, n, da, db] = GetParam();
+  const auto a = random_dense(m, k, da, 111);
+  const auto b = random_dense(k, n, db, 222);
+  const auto want = gemm(a, b);
+
+  EXPECT_LE(max_abs_diff(spmm_coo_dense(CooMatrix::from_dense(a), b), want), kTol);
+  EXPECT_LE(max_abs_diff(spmm_csr_dense(CsrMatrix::from_dense(a), b), want), kTol);
+  EXPECT_LE(max_abs_diff(spmm_dense_csc(a, CscMatrix::from_dense(b)), want), kTol);
+  EXPECT_LE(max_abs_diff(spmm_csr_csc(CsrMatrix::from_dense(a),
+                                      CscMatrix::from_dense(b)),
+                         want),
+            kTol);
+}
+
+TEST_P(MatMulAcfs, SpgemmAgreesWithDenseReference) {
+  const auto [m, k, n, da, db] = GetParam();
+  const auto a = random_dense(m, k, da, 333);
+  const auto b = random_dense(k, n, db, 444);
+  const auto want = gemm(a, b);
+  const auto got =
+      spgemm_csr(CsrMatrix::from_dense(a), CsrMatrix::from_dense(b));
+  EXPECT_LE(max_abs_diff(got.to_dense(), want), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulAcfs,
+    ::testing::Values(
+        std::tuple<index_t, index_t, index_t, double, double>{8, 8, 8, 0.5, 0.5},
+        std::tuple<index_t, index_t, index_t, double, double>{16, 32, 8, 0.1, 0.9},
+        std::tuple<index_t, index_t, index_t, double, double>{32, 16, 24, 0.9, 0.1},
+        std::tuple<index_t, index_t, index_t, double, double>{64, 64, 64, 0.02, 0.02},
+        std::tuple<index_t, index_t, index_t, double, double>{64, 64, 64, 1.0, 1.0},
+        std::tuple<index_t, index_t, index_t, double, double>{1, 50, 50, 0.2, 0.2},
+        std::tuple<index_t, index_t, index_t, double, double>{50, 1, 50, 1.0, 0.3},
+        std::tuple<index_t, index_t, index_t, double, double>{50, 50, 1, 0.3, 1.0},
+        std::tuple<index_t, index_t, index_t, double, double>{128, 96, 80, 0.005, 0.05}));
+
+TEST(Gemm, RejectsMismatchedInner) {
+  EXPECT_THROW(gemm(DenseMatrix(2, 3), DenseMatrix(4, 2)),
+               std::invalid_argument);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  const auto a = random_dense(9, 9, 0.5, 17);
+  DenseMatrix eye(9, 9);
+  for (index_t i = 0; i < 9; ++i) eye.set(i, i, 1.0f);
+  EXPECT_LE(max_abs_diff(gemm(a, eye), a), kTol);
+  EXPECT_LE(max_abs_diff(gemm(eye, a), a), kTol);
+}
+
+TEST(Spgemm, EmptyOperandGivesEmptyResult) {
+  const auto a = CsrMatrix::from_dense(DenseMatrix(8, 8));
+  const auto b = CsrMatrix::from_dense(random_dense(8, 8, 0.5, 3));
+  EXPECT_EQ(spgemm_csr(a, b).nnz(), 0);
+  EXPECT_EQ(spgemm_csr(b, a).nnz(), 0);
+}
+
+TEST(Spmv, AgreesWithGemmColumn) {
+  const auto a = random_dense(40, 30, 0.15, 888);
+  const auto xs = random_dense(30, 1, 1.0, 999);
+  const auto want = gemm(a, xs);
+  const auto got = spmv_csr(CsrMatrix::from_dense(a), xs.values());
+  for (index_t i = 0; i < 40; ++i) {
+    EXPECT_NEAR(got[static_cast<std::size_t>(i)], want.at(i, 0), kTol);
+  }
+}
+
+TEST(Spmv, RejectsWrongLength) {
+  const auto a = CsrMatrix::from_dense(random_dense(4, 5, 0.5, 1));
+  EXPECT_THROW(spmv_csr(a, std::vector<value_t>(4, 1.f)),
+               std::invalid_argument);
+}
+
+class TensorKernels
+    : public ::testing::TestWithParam<
+          std::tuple<index_t, index_t, index_t, index_t, double>> {};
+
+TEST_P(TensorKernels, SpttmAgreesWithDenseReference) {
+  const auto [x, y, z, r, density] = GetParam();
+  const auto t = random_tensor(x, y, z, density, 606);
+  const auto u = random_dense(z, r, 1.0, 707);
+  const auto want = ttm_dense(t, u);
+  EXPECT_LE(max_abs_diff(spttm_coo(CooTensor3::from_dense(t), u), want), kTol);
+  EXPECT_LE(max_abs_diff(spttm_csf(CsfTensor3::from_dense(t), u), want), kTol);
+}
+
+TEST_P(TensorKernels, MttkrpAgreesWithDenseReference) {
+  const auto [x, y, z, r, density] = GetParam();
+  const auto t = random_tensor(x, y, z, density, 808);
+  const auto b = random_dense(y, r, 1.0, 909);
+  const auto c = random_dense(z, r, 1.0, 1010);
+  const auto want = mttkrp_dense(t, b, c);
+  EXPECT_LE(max_abs_diff(mttkrp_coo(CooTensor3::from_dense(t), b, c), want), kTol);
+  EXPECT_LE(max_abs_diff(mttkrp_csf(CsfTensor3::from_dense(t), b, c), want), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TensorKernels,
+    ::testing::Values(
+        std::tuple<index_t, index_t, index_t, index_t, double>{6, 6, 6, 4, 0.2},
+        std::tuple<index_t, index_t, index_t, index_t, double>{12, 4, 20, 8, 0.05},
+        std::tuple<index_t, index_t, index_t, index_t, double>{20, 20, 3, 5, 0.5},
+        std::tuple<index_t, index_t, index_t, index_t, double>{16, 16, 16, 1, 0.0},
+        std::tuple<index_t, index_t, index_t, index_t, double>{8, 8, 8, 16, 1.0}));
+
+TEST(TensorKernels, MttkrpRejectsRankMismatch) {
+  const auto t = random_tensor(4, 4, 4, 0.5, 1);
+  EXPECT_THROW(mttkrp_coo(CooTensor3::from_dense(t), DenseMatrix(4, 3),
+                          DenseMatrix(4, 5)),
+               std::invalid_argument);
+}
+
+TEST(TensorKernels, SpttmRejectsModeMismatch) {
+  const auto t = random_tensor(4, 4, 4, 0.5, 2);
+  EXPECT_THROW(spttm_coo(CooTensor3::from_dense(t), DenseMatrix(5, 3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mt

@@ -1,0 +1,278 @@
+// MINT: prefix-sum designs (Fig. 9), pipeline composition (Fig. 8),
+// design-point area/power (§VII-B), conversion cost model, and the
+// software-offload baseline (Fig. 10/11 substrate).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/prng.hpp"
+#include "mint/blocks.hpp"
+#include "mint/mint.hpp"
+#include "mint/pipelines.hpp"
+#include "mint/prefix_sum.hpp"
+#include "mint/sw_offload.hpp"
+
+namespace mt {
+namespace {
+
+// --- Prefix sum designs ---
+
+class ScanDesigns : public ::testing::TestWithParam<PrefixDesign> {};
+
+TEST_P(ScanDesigns, MatchesReferenceInclusiveScan) {
+  Prng rng(42);
+  for (std::size_t n : {0u, 1u, 2u, 7u, 16u, 33u, 128u}) {
+    std::vector<std::int64_t> x(n);
+    for (auto& v : x) v = static_cast<std::int64_t>(rng.next_below(100));
+    std::vector<std::int64_t> want(n);
+    std::inclusive_scan(x.begin(), x.end(), want.begin());
+    EXPECT_EQ(prefix_sum(x, GetParam()).sums, want) << "n=" << n;
+  }
+}
+
+TEST_P(ScanDesigns, LatencyFormulaIsConsistent) {
+  const auto d = GetParam();
+  EXPECT_EQ(prefix_sum(std::vector<std::int64_t>(32, 1), d).latency_cycles,
+            scan_latency(32, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ScanDesigns,
+                         ::testing::Values(PrefixDesign::kSerialChain,
+                                           PrefixDesign::kWorkEfficient,
+                                           PrefixDesign::kHighlyParallel),
+                         [](const auto& info) {
+                           std::string s(name_of(info.param));
+                           std::replace(s.begin(), s.end(), '-', '_');
+                           return s;
+                         });
+
+TEST(ScanDesigns, LatencyOrderingMatchesFig9) {
+  // Highly parallel: log N; work efficient: 2 log N; serial chain: N.
+  for (std::int64_t n : {8, 32, 256}) {
+    EXPECT_LT(scan_latency(n, PrefixDesign::kHighlyParallel),
+              scan_latency(n, PrefixDesign::kWorkEfficient));
+    EXPECT_LT(scan_latency(n, PrefixDesign::kWorkEfficient),
+              scan_latency(n, PrefixDesign::kSerialChain));
+  }
+  EXPECT_EQ(scan_latency(32, PrefixDesign::kHighlyParallel), 5);
+  EXPECT_EQ(scan_latency(32, PrefixDesign::kWorkEfficient), 10);
+  EXPECT_EQ(scan_latency(32, PrefixDesign::kSerialChain), 32);
+}
+
+TEST(ScanDesigns, AdderCountOrderingMatchesFig9) {
+  // More parallelism costs more active adders.
+  for (std::int64_t n : {16, 32, 128}) {
+    EXPECT_GT(scan_adder_count(n, PrefixDesign::kHighlyParallel),
+              scan_adder_count(n, PrefixDesign::kWorkEfficient));
+  }
+  // Kogge-Stone at 32 inputs: 32*5 - 32 + 1 = 129 adders.
+  EXPECT_EQ(scan_adder_count(32, PrefixDesign::kHighlyParallel), 129);
+}
+
+TEST(ScanDesigns, OverlayOverheadMatchesPaper) {
+  const auto serial = scan_overlay_overhead(PrefixDesign::kSerialChain);
+  EXPECT_DOUBLE_EQ(serial.area_frac, 0.02);   // +2% area (§VII-B)
+  EXPECT_DOUBLE_EQ(serial.power_frac, 0.03);  // +3% power
+  const auto par = scan_overlay_overhead(PrefixDesign::kHighlyParallel);
+  EXPECT_DOUBLE_EQ(par.area_frac, 0.20);      // +20% area
+  EXPECT_DOUBLE_EQ(par.power_frac, 0.27);     // +27% power
+}
+
+// --- Pipeline composition (Fig. 8) ---
+
+TEST(Pipelines, IdentityNeedsNoBlocks) {
+  EXPECT_TRUE(conversion_blocks(Format::kCSR, Format::kCSR).empty());
+}
+
+TEST(Pipelines, CsrToCscUsesSortCountPrefix) {
+  const auto v = conversion_blocks(Format::kCSR, Format::kCSC);
+  EXPECT_NE(std::find(v.begin(), v.end(), Block::kSorter), v.end());
+  EXPECT_NE(std::find(v.begin(), v.end(), Block::kClusterCounter), v.end());
+  EXPECT_NE(std::find(v.begin(), v.end(), Block::kPrefixSum), v.end());
+  // Transposition needs no divide/mod.
+  EXPECT_EQ(std::find(v.begin(), v.end(), Block::kParallelDiv), v.end());
+}
+
+TEST(Pipelines, RlcToCooUsesPrefixAndDivMod) {
+  const auto v = conversion_blocks(Format::kRLC, Format::kCOO);
+  EXPECT_NE(std::find(v.begin(), v.end(), Block::kPrefixSum), v.end());
+  EXPECT_NE(std::find(v.begin(), v.end(), Block::kParallelDiv), v.end());
+  EXPECT_NE(std::find(v.begin(), v.end(), Block::kParallelMod), v.end());
+}
+
+TEST(Pipelines, CsrToBsrUsesModComparatorsCluster) {
+  const auto v = conversion_blocks(Format::kCSR, Format::kBSR);
+  EXPECT_NE(std::find(v.begin(), v.end(), Block::kParallelMod), v.end());
+  EXPECT_NE(std::find(v.begin(), v.end(), Block::kComparators), v.end());
+  EXPECT_NE(std::find(v.begin(), v.end(), Block::kClusterCounter), v.end());
+}
+
+TEST(Pipelines, DenseToCsfUsesFullChain) {
+  const auto v = conversion_blocks(Format::kDense, Format::kCSF);
+  for (Block b : {Block::kPrefixSum, Block::kParallelDiv, Block::kParallelMod,
+                  Block::kComparators, Block::kMemController}) {
+    EXPECT_NE(std::find(v.begin(), v.end(), b), v.end()) << name_of(b);
+  }
+}
+
+TEST(Pipelines, EveryPairComposesFromCatalogBlocks) {
+  for (Format from : kMatrixMcfChoices) {
+    for (Format to : kMatrixAcfChoices) {
+      const auto v = conversion_blocks(from, to);
+      if (from == to) {
+        EXPECT_TRUE(v.empty());
+        continue;
+      }
+      EXPECT_FALSE(v.empty()) << name_of(from) << "->" << name_of(to);
+      // No duplicates: merged design keeps one instance per block.
+      auto s = v;
+      std::sort(s.begin(), s.end());
+      EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+    }
+  }
+}
+
+// --- Design points (§VII-B numbers) ---
+
+TEST(MintArea, DesignPointsMatchPaper) {
+  EXPECT_NEAR(mint_area_mm2(MintDesign::kBaseline), 0.95, 0.10);
+  EXPECT_NEAR(mint_area_mm2(MintDesign::kMerge), 0.41, 0.01);
+  EXPECT_NEAR(mint_area_mm2(MintDesign::kMergeReuse), 0.23, 0.01);
+}
+
+TEST(MintArea, MergeSavesOverHalfOverBaseline) {
+  const double reduction = 1.0 - mint_area_mm2(MintDesign::kMerge) /
+                                     mint_area_mm2(MintDesign::kBaseline);
+  EXPECT_NEAR(reduction, 0.57, 0.05);  // paper: ~57%
+}
+
+TEST(MintArea, ReuseSavesFurtherOverMerge) {
+  const double reduction = 1.0 - mint_area_mm2(MintDesign::kMergeReuse) /
+                                     mint_area_mm2(MintDesign::kMerge);
+  EXPECT_NEAR(reduction, 0.45, 0.05);  // paper: ~45%
+}
+
+TEST(MintArea, DivModDominatesMergedDesign) {
+  EXPECT_NEAR(divmod_area_fraction(), 0.74, 0.03);   // paper: 74%
+  EXPECT_NEAR(divmod_power_fraction(), 0.65, 0.03);  // paper: 65%
+}
+
+TEST(MintArea, TinyVersusAccelerator) {
+  // MINT_m should be ~0.5% of a 16384-MAC accelerator's area (§VII-B).
+  // The array model lives in accel/area.hpp; here assert the magnitude.
+  EXPECT_LT(mint_area_mm2(MintDesign::kMerge), 1.0);
+}
+
+// --- Conversion cost model ---
+
+TEST(ConversionCost, IdentityIsFree) {
+  const EnergyParams e;
+  const auto c = mint_matrix_conversion_cost(Format::kCSR, Format::kCSR, 1000,
+                                             1000, 10000, DataType::kFp32, e);
+  EXPECT_EQ(c.cycles, 0);
+  EXPECT_EQ(c.energy_j, 0.0);
+}
+
+TEST(ConversionCost, ScalesWithNnz) {
+  const EnergyParams e;
+  const auto small = mint_matrix_conversion_cost(
+      Format::kCSR, Format::kCSC, 10000, 10000, 100'000, DataType::kFp32, e);
+  const auto big = mint_matrix_conversion_cost(
+      Format::kCSR, Format::kCSC, 10000, 10000, 10'000'000, DataType::kFp32, e);
+  EXPECT_GT(big.cycles, small.cycles);
+  EXPECT_GT(big.energy_j, small.energy_j);
+}
+
+TEST(ConversionCost, DenseSourceSweepsEveryCell) {
+  const EnergyParams e;
+  // Same nnz, dense source must scan all cells -> more cycles.
+  const auto from_dense = mint_matrix_conversion_cost(
+      Format::kDense, Format::kCOO, 4000, 4000, 10'000, DataType::kFp32, e);
+  const auto from_csr = mint_matrix_conversion_cost(
+      Format::kCSR, Format::kCOO, 4000, 4000, 10'000, DataType::kFp32, e);
+  EXPECT_GT(from_dense.cycles, from_csr.cycles);
+}
+
+TEST(ConversionCost, OverlapsWithStreaming) {
+  // Pipelined conversion: cycles are max(stream, work) + fill, never the
+  // sum. A conversion whose work rate outpaces DRAM costs barely more
+  // than the DRAM stream itself.
+  const EnergyParams e;
+  const index_t m = 8000, k = 8000;
+  const std::int64_t nnz = 1'000'000;
+  const auto work = matrix_conversion_work(Format::kRLC, Format::kCOO, m, k,
+                                           nnz, DataType::kFp32);
+  const auto cost = mint_matrix_conversion_cost(Format::kRLC, Format::kCOO, m,
+                                                k, nnz, DataType::kFp32, e);
+  const auto stream_in = e.dram_cycles(work.in_bits);
+  const auto stream_out = e.dram_cycles(work.out_bits);
+  EXPECT_LT(cost.cycles,
+            stream_in + stream_out + nnz / 8);  // strictly below the sum
+  EXPECT_GE(cost.cycles, std::max(stream_in, stream_out));
+}
+
+TEST(ConversionCost, TensorPipelineWorks) {
+  const EnergyParams e;
+  const auto c = mint_tensor_conversion_cost(
+      Format::kCOO, Format::kCSF, 4400, 1100, 1700, 3'300'000, DataType::kFp32, e);
+  EXPECT_GT(c.cycles, 0);
+  EXPECT_GT(c.energy_j, 0.0);
+}
+
+TEST(ConversionCost, MagnitudeMatchesPaperAverage) {
+  // Paper §VII-C: average conversion energy 8.75e-5 J. A representative
+  // multimillion-nnz conversion should land within an order of magnitude.
+  const EnergyParams e;
+  const auto c = mint_matrix_conversion_cost(
+      Format::kRLC, Format::kCSC, 11'000, 3'600, 3'900'000, DataType::kFp32, e);
+  EXPECT_GT(c.energy_j, 8.75e-6);
+  EXPECT_LT(c.energy_j, 8.75e-4);
+}
+
+// --- Software offload baseline ---
+
+TEST(SwOffload, MintBeatsHostsOnTimeAndEnergy) {
+  const EnergyParams e;
+  const index_t m = 11'000, k = 3'600;
+  const std::int64_t nnz = 3'900'000;
+  const auto mint = mint_matrix_conversion_cost(Format::kCSR, Format::kCSC, m,
+                                                k, nnz, DataType::kFp32, e);
+  const double mint_s = e.seconds(mint.cycles);
+  for (HostPlatform p : {HostPlatform::kCpu, HostPlatform::kGpu}) {
+    const auto host =
+        sw_conversion_cost(Format::kCSR, Format::kCSC, m, k, nnz,
+                           DataType::kFp32, p, e);
+    EXPECT_GT(host.total_s(), mint_s) << name_of(p);
+    // Fig. 10c: roughly three orders of magnitude energy gap.
+    EXPECT_GT(host.energy_j / mint.energy_j, 1e3) << name_of(p);
+  }
+}
+
+TEST(SwOffload, GpuTransferFractionIsLarge) {
+  // Fig. 11: H2D/D2H reaches up to ~75% of total offload time with a
+  // geomean around 50%.
+  const EnergyParams e;
+  double worst = 0.0;
+  // Sweep the size spectrum like the Table III suite: small matrices are
+  // PCIe-latency dominated, large ones bandwidth dominated.
+  for (auto [m, nnz] : {std::pair<index_t, std::int64_t>{124, 12'000},
+                        std::pair<index_t, std::int64_t>{2'600, 76'000},
+                        std::pair<index_t, std::int64_t>{11'000, 3'900'000}}) {
+    const auto c = sw_conversion_cost(Format::kCSR, Format::kCSC, m, m, nnz,
+                                      DataType::kFp32, HostPlatform::kGpu, e);
+    worst = std::max(worst, c.transfer_fraction());
+    EXPECT_GT(c.transfer_fraction(), 0.2);
+  }
+  EXPECT_GT(worst, 0.5);
+}
+
+TEST(SwOffload, IdentityIsFree) {
+  const EnergyParams e;
+  const auto c = sw_conversion_cost(Format::kCSR, Format::kCSR, 100, 100, 50,
+                                    DataType::kFp32, HostPlatform::kCpu, e);
+  EXPECT_EQ(c.total_s(), 0.0);
+  EXPECT_EQ(c.energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace mt

@@ -1,0 +1,151 @@
+// ELLPACK and the structured-sparsity generators: the storage trades the
+// paper's format survey describes (DIA wins banded, BSR wins blocked,
+// ELL wins row-balanced, all lose on unstructured data).
+#include <gtest/gtest.h>
+
+#include "convert/convert.hpp"
+#include "formats/ell.hpp"
+#include "formats/storage.hpp"
+#include "workloads/structured.hpp"
+#include "testing.hpp"
+
+namespace mt {
+namespace {
+
+using testing::random_dense;
+
+TEST(EllMatrix, RoundTripAcrossShapes) {
+  for (auto [m, k, d] : {std::tuple<index_t, index_t, double>{16, 16, 0.0},
+                         std::tuple<index_t, index_t, double>{16, 16, 1.0},
+                         std::tuple<index_t, index_t, double>{33, 17, 0.1},
+                         std::tuple<index_t, index_t, double>{1, 64, 0.3},
+                         std::tuple<index_t, index_t, double>{64, 1, 0.3}}) {
+    const auto dm = random_dense(m, k, d, 11);
+    const auto e = EllMatrix::from_dense(dm);
+    EXPECT_EQ(max_abs_diff(e.to_dense(), dm), 0.0);
+    EXPECT_EQ(e.nnz(), dm.nnz());
+  }
+}
+
+TEST(EllMatrix, WidthIsMaxRowPopulation) {
+  DenseMatrix d(4, 8);
+  d.set(0, 1, 1.f);
+  d.set(2, 0, 2.f);
+  d.set(2, 3, 3.f);
+  d.set(2, 7, 4.f);
+  const auto e = EllMatrix::from_dense(d);
+  EXPECT_EQ(e.width(), 3);
+  EXPECT_EQ(static_cast<index_t>(e.values().size()), 4 * 3);
+}
+
+TEST(EllMatrix, EmptyMatrixHasZeroWidth) {
+  const auto e = EllMatrix::from_dense(DenseMatrix(8, 8));
+  EXPECT_EQ(e.width(), 0);
+  EXPECT_EQ(e.storage(DataType::kFp32).total_bits(), 0);
+}
+
+TEST(EllMatrix, PaddingChargesStorage) {
+  // One heavy row forces full-width padding everywhere.
+  DenseMatrix d(32, 32);
+  for (index_t c = 0; c < 32; ++c) d.set(0, c, 1.f);
+  d.set(5, 3, 1.f);
+  const auto ell_bits = EllMatrix::from_dense(d).storage(DataType::kFp32).total_bits();
+  const auto csr_bits = CsrMatrix::from_dense(d).storage(DataType::kFp32).total_bits();
+  EXPECT_GT(ell_bits, 10 * csr_bits);
+}
+
+TEST(EllMatrix, GenericLayerIntegration) {
+  const auto d = random_dense(24, 18, 0.15, 77);
+  const AnyMatrix m = encode(d, Format::kELL);
+  EXPECT_EQ(format_of(m), Format::kELL);
+  EXPECT_EQ(max_abs_diff(decode(convert(m, Format::kCSR)), d), 0.0);
+  EXPECT_EQ(max_abs_diff(decode(convert(encode(d, Format::kRLC), Format::kELL)), d), 0.0);
+}
+
+TEST(EllStorageModel, TracksExactOnRandomMatrices) {
+  for (double d : {0.02, 0.1, 0.4}) {
+    const auto dm = random_dense(128, 96, d, 5);
+    const auto exact =
+        EllMatrix::from_dense(dm).storage(DataType::kFp32).total_bits();
+    const auto model = expected_matrix_storage(Format::kELL, 128, 96, dm.nnz(),
+                                               DataType::kFp32).total_bits();
+    // Extreme-value approximation: generous but bounded tolerance.
+    EXPECT_NEAR(static_cast<double>(model), static_cast<double>(exact),
+                0.35 * static_cast<double>(exact) + 256.0)
+        << "density " << d;
+  }
+}
+
+// --- Structured generators and the formats that exploit them ---
+
+TEST(Structured, BandedMatrixIsCompactInDia) {
+  const auto d = synth_banded_matrix(128, 5, 3);
+  EXPECT_EQ(DiaMatrix::from_dense(d).num_diagonals(), 5);
+  const auto dia = DiaMatrix::from_dense(d).storage(DataType::kFp32).total_bits();
+  const auto coo = CooMatrix::from_dense(d).storage(DataType::kFp32).total_bits();
+  const auto csr = CsrMatrix::from_dense(d).storage(DataType::kFp32).total_bits();
+  EXPECT_LT(dia, coo);
+  EXPECT_LT(dia, csr);
+}
+
+TEST(Structured, UnstructuredMatrixIsCatastrophicInDia) {
+  const auto d = random_dense(128, 128, 0.03, 4);
+  const auto dia = DiaMatrix::from_dense(d).storage(DataType::kFp32).total_bits();
+  const auto csr = CsrMatrix::from_dense(d).storage(DataType::kFp32).total_bits();
+  EXPECT_GT(dia, 10 * csr);
+}
+
+TEST(Structured, BlockSparseMatrixIsCompactInBsr) {
+  const auto d = synth_block_sparse_matrix(128, 128, 4, 4, 0.1, 5);
+  const auto bsr =
+      BsrMatrix::from_dense(d, 4, 4).storage(DataType::kFp32).total_bits();
+  const auto coo = CooMatrix::from_dense(d).storage(DataType::kFp32).total_bits();
+  const auto csr = CsrMatrix::from_dense(d).storage(DataType::kFp32).total_bits();
+  EXPECT_LT(bsr, coo);
+  EXPECT_LT(bsr, csr);
+}
+
+TEST(Structured, MatchedBlockSizeBeatsMismatched) {
+  const auto d = synth_block_sparse_matrix(120, 120, 4, 4, 0.1, 6);
+  const auto matched =
+      BsrMatrix::from_dense(d, 4, 4).storage(DataType::kFp32).total_bits();
+  const auto mismatched =
+      BsrMatrix::from_dense(d, 3, 5).storage(DataType::kFp32).total_bits();
+  EXPECT_LT(matched, mismatched);
+}
+
+TEST(Structured, RowBalancedMatrixHasNoEllPadding) {
+  const auto d = synth_row_balanced_matrix(64, 256, 8, 7);
+  const auto e = EllMatrix::from_dense(d);
+  EXPECT_EQ(e.width(), 8);
+  EXPECT_EQ(e.nnz(), 64 * 8);
+  // Every slot is a real nonzero: ELL beats COO (narrower ids, no row id).
+  EXPECT_LT(e.storage(DataType::kFp32).total_bits(),
+            CooMatrix::from_dense(d).storage(DataType::kFp32).total_bits());
+}
+
+TEST(Structured, GeneratorsAreDeterministic) {
+  EXPECT_EQ(max_abs_diff(synth_banded_matrix(32, 3, 9),
+                         synth_banded_matrix(32, 3, 9)), 0.0);
+  EXPECT_EQ(max_abs_diff(synth_block_sparse_matrix(32, 32, 4, 4, 0.2, 9),
+                         synth_block_sparse_matrix(32, 32, 4, 4, 0.2, 9)), 0.0);
+  EXPECT_EQ(max_abs_diff(synth_row_balanced_matrix(32, 32, 4, 9),
+                         synth_row_balanced_matrix(32, 32, 4, 9)), 0.0);
+}
+
+TEST(Structured, BandedRejectsTooManyBands) {
+  EXPECT_THROW(synth_banded_matrix(4, 9, 1), std::invalid_argument);
+}
+
+TEST(Structured, CsrToBsrPreservesBlockStructure) {
+  // The MINT CSR->BSR pipeline on actually-blocked data produces exactly
+  // the populated blocks, no more.
+  const auto d = synth_block_sparse_matrix(64, 64, 4, 4, 0.15, 10);
+  const auto bsr = csr_to_bsr(CsrMatrix::from_dense(d), 4, 4);
+  EXPECT_EQ(bsr.num_blocks(),
+            BsrMatrix::from_dense(d, 4, 4).num_blocks());
+  EXPECT_EQ(max_abs_diff(bsr.to_dense(), d), 0.0);
+}
+
+}  // namespace
+}  // namespace mt

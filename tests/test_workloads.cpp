@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernels/gemm.hpp"
+#include "workloads/im2col.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/resnet.hpp"
+#include "workloads/synth.hpp"
+#include "testing.hpp"
+
+namespace mt {
+namespace {
+
+TEST(Registry, TableThreeShapes) {
+  EXPECT_EQ(table3_matrices().size(), 10u);
+  EXPECT_EQ(table3_tensors().size(), 3u);
+  const auto& j = matrix_workload("journal");
+  EXPECT_EQ(j.m, 124);
+  EXPECT_EQ(j.k, 124);
+  EXPECT_NEAR(j.density(), 0.785, 0.01);
+  const auto& m3 = matrix_workload("m3plates");
+  EXPECT_NEAR(m3.density(), 5.4e-5, 1e-5);
+  const auto& uber = tensor_workload("Uber");
+  EXPECT_EQ(uber.kernel, Kernel::kMTTKRP);
+  EXPECT_NEAR(uber.density(), 3.9e-4, 1e-4);
+  const auto& brainq = tensor_workload("BrainQ");
+  EXPECT_EQ(brainq.kernel, Kernel::kSpTTM);
+  EXPECT_NEAR(brainq.density(), 0.291, 0.01);
+}
+
+TEST(Registry, DensitySpansTheFullSpectrum) {
+  // The suite is chosen to cover 78.5% down to 5.4e-3% (paper §VII-A).
+  double lo = 1.0, hi = 0.0;
+  for (const auto& w : table3_matrices()) {
+    lo = std::min(lo, w.density());
+    hi = std::max(hi, w.density());
+  }
+  EXPECT_LT(lo, 1e-4);
+  EXPECT_GT(hi, 0.7);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(matrix_workload("nope"), std::invalid_argument);
+  EXPECT_THROW(tensor_workload("nope"), std::invalid_argument);
+}
+
+TEST(Registry, FactorColsIsHalfM) {
+  EXPECT_EQ(factor_cols(124), 62);
+  EXPECT_EQ(factor_cols(1), 1);
+}
+
+TEST(Synth, MatrixHasExactNnzAndBounds) {
+  const auto c = synth_coo_matrix(100, 200, 500, 42);
+  EXPECT_EQ(c.nnz(), 500);
+  EXPECT_EQ(c.rows(), 100);
+  EXPECT_EQ(c.cols(), 200);
+  for (std::int64_t i = 0; i < c.nnz(); ++i) {
+    EXPECT_GE(c.values()[i], 0.5f);
+    EXPECT_LT(c.values()[i], 1.5f);
+  }
+}
+
+TEST(Synth, Deterministic) {
+  const auto a = synth_coo_matrix(50, 50, 100, 7);
+  const auto b = synth_coo_matrix(50, 50, 100, 7);
+  EXPECT_EQ(a.row_ids(), b.row_ids());
+  EXPECT_EQ(a.col_ids(), b.col_ids());
+  EXPECT_EQ(a.values(), b.values());
+  const auto c = synth_coo_matrix(50, 50, 100, 8);
+  EXPECT_NE(a.row_ids(), c.row_ids());
+}
+
+TEST(Synth, TensorHasExactNnz) {
+  const auto t = synth_coo_tensor(20, 30, 40, 777, 9);
+  EXPECT_EQ(t.nnz(), 777);
+}
+
+TEST(Synth, TensorCoordinatesDecodeCorrectly) {
+  // z varies fastest in the linearization; verify coordinates are in range
+  // and distinct.
+  const auto t = synth_coo_tensor(7, 11, 13, 300, 10);
+  std::set<std::tuple<index_t, index_t, index_t>> seen;
+  for (std::int64_t i = 0; i < t.nnz(); ++i) {
+    EXPECT_LT(t.x_ids()[i], 7);
+    EXPECT_LT(t.y_ids()[i], 11);
+    EXPECT_LT(t.z_ids()[i], 13);
+    seen.insert({t.x_ids()[i], t.y_ids()[i], t.z_ids()[i]});
+  }
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(Synth, TableThreeWorkloadGeneratesAtScale) {
+  // m3plates: 6.6k nonzeros out of 1.21e8 cells — must be fast and exact.
+  const auto c = synth_coo_matrix(matrix_workload("m3plates"), 1);
+  EXPECT_EQ(c.nnz(), 6600);
+}
+
+TEST(Synth, DenseMatrixDensity) {
+  const auto d = synth_dense_matrix(64, 64, 0.25, 5);
+  EXPECT_EQ(d.nnz(), 1024);
+}
+
+TEST(Resnet, LayerTableMatchesFig14a) {
+  const auto& layers = resnet50_cifar10_layers();
+  ASSERT_EQ(layers.size(), 8u);
+  EXPECT_EQ(layers[0].c_in, 3);
+  EXPECT_EQ(layers[0].k_out, 64);
+  EXPECT_EQ(layers[6].k_out, 2048);
+  // Layer 8 under global pruning is 98.4% weight-sparse.
+  EXPECT_NEAR(layers[7].wgt_sparsity[2], 0.984, 1e-9);
+  // Normal strategy never prunes weights.
+  for (const auto& l : layers) EXPECT_EQ(l.wgt_sparsity[0], 0.0);
+  // Layer-wise pruning is exactly 50% everywhere.
+  for (const auto& l : layers) EXPECT_EQ(l.wgt_sparsity[1], 0.5);
+}
+
+TEST(Resnet, Im2colShape) {
+  const auto& l = resnet50_cifar10_layers()[3];  // 128->128, 16x16, 3x3
+  const auto s = im2col_gemm_shape(l, 64);
+  EXPECT_EQ(s.m, 128);
+  EXPECT_EQ(s.k, 128 * 3 * 3);
+  EXPECT_EQ(s.n, 16 * 16 * 64);
+}
+
+TEST(Im2col, MatchesDirectConvolution) {
+  const auto input = testing::random_tensor(3, 8, 8, 0.6, 77);
+  const auto filters = testing::random_dense(5, 3 * 3 * 3, 0.8, 88);
+  const auto want = conv2d_reference(input, filters, 3, 3, 1);
+  const auto got = conv2d_im2col(input, filters, 3, 3, 1);
+  EXPECT_LE(max_abs_diff(got, want), 1e-3);
+}
+
+TEST(Im2col, NoPaddingShrinksOutput) {
+  const auto input = testing::random_tensor(2, 6, 6, 1.0, 3);
+  const auto filters = testing::random_dense(4, 2 * 3 * 3, 1.0, 4);
+  const auto out = conv2d_im2col(input, filters, 3, 3, 0);
+  EXPECT_EQ(out.dim_y(), 4);
+  EXPECT_EQ(out.dim_z(), 4);
+  EXPECT_LE(max_abs_diff(out, conv2d_reference(input, filters, 3, 3, 0)), 1e-3);
+}
+
+TEST(Im2col, OneByOneFilterIsChannelMix) {
+  const auto input = testing::random_tensor(3, 5, 5, 1.0, 6);
+  const auto filters = testing::random_dense(2, 3, 1.0, 7);
+  const auto out = conv2d_im2col(input, filters, 1, 1, 0);
+  // Spot check one output: out(f, y, x) = sum_c filt(f,c) * in(c,y,x).
+  value_t want = 0.0f;
+  for (index_t c = 0; c < 3; ++c) want += filters.at(1, c) * input.at(c, 2, 3);
+  EXPECT_NEAR(out.at(1, 2, 3), want, 1e-4);
+}
+
+}  // namespace
+}  // namespace mt

@@ -1,0 +1,41 @@
+// Shared helpers for the test binaries: seeded random sparse operands and
+// tolerant float comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "common/prng.hpp"
+#include "formats/dense.hpp"
+#include "formats/tensor_dense.hpp"
+
+namespace mt::testing {
+
+// Dense rows x cols matrix with approximately `density` nonzero fraction
+// (exact nonzero count = round(density * rows * cols), placed uniformly).
+inline DenseMatrix random_dense(index_t rows, index_t cols, double density,
+                                std::uint64_t seed) {
+  Prng rng(seed);
+  DenseMatrix d(rows, cols);
+  const auto cells = static_cast<std::uint64_t>(rows * cols);
+  const auto k = static_cast<std::uint64_t>(
+      static_cast<double>(cells) * density + 0.5);
+  for (std::uint64_t p : rng.sample_distinct(cells, k)) {
+    d.values()[static_cast<std::size_t>(p)] = rng.next_value();
+  }
+  return d;
+}
+
+inline DenseTensor3 random_tensor(index_t x, index_t y, index_t z,
+                                  double density, std::uint64_t seed) {
+  Prng rng(seed);
+  DenseTensor3 t(x, y, z);
+  const auto cells = static_cast<std::uint64_t>(x * y * z);
+  const auto k = static_cast<std::uint64_t>(
+      static_cast<double>(cells) * density + 0.5);
+  for (std::uint64_t p : rng.sample_distinct(cells, k)) {
+    t.values()[static_cast<std::size_t>(p)] = rng.next_value();
+  }
+  return t;
+}
+
+}  // namespace mt::testing

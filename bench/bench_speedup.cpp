@@ -1,0 +1,127 @@
+// Serial-vs-OpenMP speedup per kernel, emitted as JSON. This is the
+// perf baseline bench/run_all.sh records into BENCH_kernels.json.
+//
+// Usage: bench_speedup [--smoke] [--threads N] [--out FILE]
+//   --smoke     tiny operands, one rep (CI launch check)
+//   --threads N parallel thread count (default: mt::num_threads())
+//   --out FILE  write JSON there instead of stdout
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/threads.hpp"
+#include "formats/csc.hpp"
+#include "formats/csf.hpp"
+#include "formats/csr.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/spgemm.hpp"
+#include "kernels/spmm.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/ttm.hpp"
+#include "workloads/synth.hpp"
+
+namespace {
+
+using namespace mt;
+using clock_t_ = std::chrono::steady_clock;
+
+// Best-of-reps wall time of f() at the given thread count, in ms.
+template <typename F>
+double time_ms(F&& f, int threads, int reps) {
+  set_num_threads(threads);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock_t_::now();
+    f();
+    const auto t1 = clock_t_::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  set_num_threads(0);
+  return best;
+}
+
+struct Row {
+  std::string kernel;
+  double serial_ms;
+  double parallel_ms;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int threads = num_threads();
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--threads N] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (threads < 1) threads = 1;
+  const int reps = smoke ? 1 : 3;
+  const index_t n = smoke ? 256 : 2048;
+  const index_t tdim = smoke ? 32 : 192;
+  const index_t rank = smoke ? 8 : 32;
+
+  const auto coo = synth_coo_matrix(n, n, n * n / 50, 7);
+  const auto csr = CsrMatrix::from_coo(coo);
+  const auto csc = CscMatrix::from_dense(coo.to_dense());
+  const auto dense_b = synth_dense_matrix(n, rank, 1.0, 8);
+  const auto dense_sq_a = synth_dense_matrix(smoke ? 64 : 512, smoke ? 64 : 512, 1.0, 9);
+  const auto dense_sq_b = synth_dense_matrix(smoke ? 64 : 512, smoke ? 64 : 512, 1.0, 10);
+  const std::vector<value_t> xvec(static_cast<std::size_t>(n), 1.0f);
+  const auto tcoo =
+      synth_coo_tensor(tdim, tdim, tdim,
+                       static_cast<std::int64_t>(tdim) * tdim * tdim / 50, 11);
+  const auto csf = CsfTensor3::from_coo(tcoo);
+  const auto fb = synth_dense_matrix(tdim, rank, 1.0, 12);
+  const auto fc = synth_dense_matrix(tdim, rank, 1.0, 13);
+
+  std::vector<Row> rows;
+  const auto run = [&](const char* name, auto&& f) {
+    rows.push_back({name, time_ms(f, 1, reps), time_ms(f, threads, reps)});
+  };
+  run("SpMV", [&] { spmv_csr(csr, xvec); });
+  run("SpMM", [&] { spmm_csr_dense(csr, dense_b); });
+  run("SpGEMM", [&] { spgemm_csr(csr, csr); });
+  run("MTTKRP", [&] { mttkrp_csf(csf, fb, fc); });
+  run("SpTTM", [&] { spttm_csf(csf, fc); });
+  run("GEMM", [&] { gemm(dense_sq_a, dense_sq_b); });
+
+  std::FILE* out = out_path ? std::fopen(out_path, "w") : stdout;
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"kernels_speedup\",\n");
+  std::fprintf(out, "  \"threads\": %d,\n  \"smoke\": %s,\n", threads,
+               smoke ? "true" : "false");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double speedup = r.parallel_ms > 0.0 ? r.serial_ms / r.parallel_ms : 0.0;
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"serial_ms\": %.4f, "
+                 "\"parallel_ms\": %.4f, \"speedup\": %.3f}%s\n",
+                 r.kernel.c_str(), r.serial_ms, r.parallel_ms, speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Run every bench binary and record the kernel perf baseline.
+#
+# Usage: bench/run_all.sh [--smoke] [BUILD_DIR]
+#   --smoke    launch-check only: tiny operands, figure benches get a
+#              timeout and count as OK if they start producing output.
+#   BUILD_DIR  cmake build tree (default: build)
+#
+# Output: BENCH_kernels.json (serial vs OpenMP speedup per kernel) in the
+# repo root, plus each binary's stdout under BUILD_DIR/bench_logs/.
+set -u
+
+SMOKE=0
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+case "$BUILD_DIR" in
+  /*) BUILD_ABS="$BUILD_DIR" ;;
+  *) BUILD_ABS="$ROOT/$BUILD_DIR" ;;
+esac
+BIN="$BUILD_ABS/bench"
+LOGS="$BUILD_ABS/bench_logs"
+mkdir -p "$LOGS"
+
+if [ ! -d "$BIN" ]; then
+  echo "error: $BIN not found — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+FAILED=0
+run_one() {
+  local name="$1"; shift
+  local log="$LOGS/$name.log"
+  printf '%-18s' "$name"
+  if [ "$SMOKE" -eq 1 ]; then
+    # Launch check: a bench that is still computing when the timeout hits
+    # (exit 124) has launched successfully.
+    timeout 20 "$BIN/$name" "$@" >"$log" 2>&1
+    local rc=$?
+    if [ $rc -eq 0 ] || [ $rc -eq 124 ]; then echo "ok"; else
+      echo "FAIL (exit $rc; see $log)"; FAILED=1
+    fi
+  else
+    if "$BIN/$name" "$@" >"$log" 2>&1; then echo "ok"; else
+      echo "FAIL (see $log)"; FAILED=1
+    fi
+  fi
+}
+
+FIG_BENCHES="bench_fig4 bench_fig5 bench_fig6 bench_fig7 bench_fig10 \
+bench_fig11 bench_fig12 bench_fig13 bench_fig14 bench_table3 \
+bench_ablation bench_mint_area"
+
+for b in $FIG_BENCHES; do
+  run_one "$b"
+done
+
+# Google Benchmark microbenches: in smoke mode just enumerate them.
+if [ "$SMOKE" -eq 1 ]; then
+  run_one bench_kernels --benchmark_list_tests=true
+else
+  run_one bench_kernels --benchmark_format=json \
+    --benchmark_out="$LOGS/bench_kernels.json"
+fi
+
+# Kernel serial-vs-OpenMP baseline -> BENCH_kernels.json in the repo root.
+# Smoke numbers are meaningless, so they go to the log dir instead of
+# clobbering the committed baseline.
+THREADS="${MT_NUM_THREADS:-4}"
+if [ "$SMOKE" -eq 1 ]; then
+  JSON_OUT="$LOGS/BENCH_kernels.smoke.json"
+else
+  JSON_OUT="$ROOT/BENCH_kernels.json"
+fi
+SPEEDUP_ARGS=(--threads "$THREADS" --out "$JSON_OUT")
+[ "$SMOKE" -eq 1 ] && SPEEDUP_ARGS+=(--smoke)
+run_one bench_speedup "${SPEEDUP_ARGS[@]}"
+[ -f "$JSON_OUT" ] && echo "wrote $JSON_OUT"
+
+exit $FAILED

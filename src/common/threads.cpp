@@ -1,0 +1,38 @@
+#include "common/threads.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace mt {
+namespace {
+
+std::atomic<int> g_override{0};  // 0 = no explicit override
+
+int env_or_default() {
+  if (const char* env = std::getenv("MT_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace
+
+int num_threads() {
+  const int n = g_override.load(std::memory_order_relaxed);
+  return n >= 1 ? n : env_or_default();
+}
+
+void set_num_threads(int n) {
+  g_override.store(n >= 1 ? n : 0, std::memory_order_relaxed);
+}
+
+}  // namespace mt

@@ -1,0 +1,18 @@
+// Thread-count knob for the OpenMP kernel paths.
+//
+// Resolution order: set_num_threads() (process-wide), then the
+// MT_NUM_THREADS environment variable, then the OpenMP runtime default
+// (1 when built without OpenMP). Always >= 1; 1 runs the kernels
+// serially so results are reproducible run-to-run.
+#pragma once
+
+namespace mt {
+
+// Thread count the kernels will use for their next parallel region.
+int num_threads();
+
+// Override the thread count for this process; n < 1 clears the override
+// and falls back to MT_NUM_THREADS / the OpenMP default.
+void set_num_threads(int n);
+
+}  // namespace mt

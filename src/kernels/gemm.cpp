@@ -1,6 +1,7 @@
 #include "kernels/gemm.hpp"
 
 #include "common/error.hpp"
+#include "common/threads.hpp"
 
 namespace mt {
 
@@ -11,7 +12,8 @@ DenseMatrix gemm(const DenseMatrix& a, const DenseMatrix& b) {
   const value_t* pa = a.values().data();
   const value_t* pb = b.values().data();
   value_t* po = o.values().data();
-#pragma omp parallel for schedule(static)
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(static)
   for (index_t i = 0; i < m; ++i) {
     // i-k-j loop order keeps the B row access contiguous.
     for (index_t kk = 0; kk < k; ++kk) {

@@ -1,6 +1,7 @@
 #include "kernels/mttkrp.hpp"
 
 #include "common/error.hpp"
+#include "common/threads.hpp"
 
 namespace mt {
 
@@ -38,7 +39,8 @@ DenseMatrix mttkrp_csf(const CsfTensor3& x, const DenseMatrix& b,
   // the z-fiber partial sum factors out B(j,:) — the classic CSF MTTKRP
   // operation-count saving.
   const auto n1 = static_cast<index_t>(x.x_ids().size());
-#pragma omp parallel
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel num_threads(nt)
   {
     std::vector<value_t> fiber_acc(static_cast<std::size_t>(rank));
 #pragma omp for schedule(dynamic, 8)

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/threads.hpp"
 
 namespace mt {
 
@@ -12,7 +13,8 @@ CsrMatrix spgemm_csr(const CsrMatrix& a, const CsrMatrix& b) {
   const index_t m = a.rows(), n = b.cols();
   std::vector<std::vector<index_t>> cols(static_cast<std::size_t>(m));
   std::vector<std::vector<value_t>> vals(static_cast<std::size_t>(m));
-#pragma omp parallel
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel num_threads(nt)
   {
     // Gustavson: per output row, a dense accumulator over N plus the list
     // of touched columns (sparse accumulator pattern).

@@ -1,6 +1,7 @@
 #include "kernels/spmm.hpp"
 
 #include "common/error.hpp"
+#include "common/threads.hpp"
 
 namespace mt {
 
@@ -29,7 +30,8 @@ DenseMatrix spmm_csr_dense(const CsrMatrix& a, const DenseMatrix& b) {
   const index_t n = b.cols();
   value_t* po = o.values().data();
   const value_t* pb = b.values().data();
-#pragma omp parallel for schedule(dynamic, 16)
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(dynamic, 16)
   for (index_t r = 0; r < a.rows(); ++r) {
     for (index_t i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
       const index_t k = a.col_ids()[i];
@@ -48,7 +50,8 @@ DenseMatrix spmm_dense_csc(const DenseMatrix& a, const CscMatrix& b) {
   const index_t m = a.rows(), k = a.cols(), n = b.cols();
   value_t* po = o.values().data();
   const value_t* pa = a.values().data();
-#pragma omp parallel for schedule(dynamic, 16)
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(dynamic, 16)
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = b.col_ptr()[j]; i < b.col_ptr()[j + 1]; ++i) {
       const index_t kk = b.row_ids()[i];
@@ -66,7 +69,8 @@ DenseMatrix spmm_csr_csc(const CsrMatrix& a, const CscMatrix& b) {
   DenseMatrix o(a.rows(), b.cols());
   const index_t n = b.cols();
   value_t* po = o.values().data();
-#pragma omp parallel for schedule(dynamic, 16)
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(dynamic, 16)
   for (index_t r = 0; r < a.rows(); ++r) {
     const index_t a_lo = a.row_ptr()[r], a_hi = a.row_ptr()[r + 1];
     if (a_lo == a_hi) continue;

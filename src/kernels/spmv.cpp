@@ -1,6 +1,7 @@
 #include "kernels/spmv.hpp"
 
 #include "common/error.hpp"
+#include "common/threads.hpp"
 
 namespace mt {
 
@@ -9,7 +10,8 @@ std::vector<value_t> spmv_csr(const CsrMatrix& a,
   MT_REQUIRE(static_cast<index_t>(x.size()) == a.cols(),
              "vector length must equal matrix columns");
   std::vector<value_t> y(static_cast<std::size_t>(a.rows()), 0.0f);
-#pragma omp parallel for schedule(dynamic, 64)
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(dynamic, 64)
   for (index_t r = 0; r < a.rows(); ++r) {
     value_t acc = 0.0f;
     for (index_t i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {

@@ -1,6 +1,7 @@
 #include "kernels/ttm.hpp"
 
 #include "common/error.hpp"
+#include "common/threads.hpp"
 
 namespace mt {
 
@@ -34,7 +35,8 @@ DenseTensor3 spttm_csf(const CsfTensor3& x, const DenseMatrix& u) {
       fiber_x[static_cast<std::size_t>(yi)] = static_cast<index_t>(xi);
     }
   }
-#pragma omp parallel for schedule(dynamic, 32)
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(dynamic, 32)
   for (index_t yi = 0; yi < n2; ++yi) {
     const index_t ix = x.x_ids()[static_cast<std::size_t>(fiber_x[static_cast<std::size_t>(yi)])];
     const index_t iy = x.y_ids()[static_cast<std::size_t>(yi)];

@@ -1,0 +1,152 @@
+// Parallel-vs-serial equivalence: every OpenMP kernel path must produce
+// the same result with MT_NUM_THREADS=4 as with 1. Parallelism in these
+// kernels is always across independent output rows/fibers, so the
+// per-element accumulation order is identical and results are
+// bit-identical, not merely tolerance-close.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/threads.hpp"
+#include "formats/csc.hpp"
+#include "formats/csf.hpp"
+#include "formats/csr.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/spgemm.hpp"
+#include "kernels/spmm.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/ttm.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace mt;
+
+constexpr int kThreads = 4;
+
+// Runs `f` serially and with kThreads threads, restoring the previous
+// setting, and returns the two results.
+template <typename F>
+auto serial_vs_parallel(F&& f) {
+  set_num_threads(1);
+  auto serial = f();
+  set_num_threads(kThreads);
+  auto parallel = f();
+  set_num_threads(0);
+  return std::pair(std::move(serial), std::move(parallel));
+}
+
+void expect_same(const std::vector<value_t>& a, const std::vector<value_t>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "element " << i;
+  }
+}
+
+void expect_same(const DenseMatrix& a, const DenseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  expect_same(a.values(), b.values());
+}
+
+TEST(Parallel, OpenMPIsActive) {
+#ifdef _OPENMP
+  set_num_threads(kThreads);
+  int observed = 0;
+  const int nt = num_threads();
+#pragma omp parallel num_threads(nt)
+  {
+#pragma omp single
+    observed = omp_get_num_threads();
+  }
+  set_num_threads(0);
+  EXPECT_EQ(observed, kThreads);
+#else
+  FAIL() << "built without OpenMP: parallel kernel paths are dead code";
+#endif
+}
+
+TEST(Parallel, ThreadsKnobPrecedence) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0);  // falls back to MT_NUM_THREADS / OpenMP default
+  EXPECT_GE(num_threads(), 1);
+}
+
+TEST(Parallel, SpmvCsr) {
+  const auto a = CsrMatrix::from_dense(mt::testing::random_dense(64, 96, 0.15, 11));
+  const auto xd = mt::testing::random_dense(96, 1, 1.0, 12);
+  const std::vector<value_t> x(xd.values().begin(), xd.values().end());
+  auto [s, p] = serial_vs_parallel([&] { return spmv_csr(a, x); });
+  expect_same(s, p);
+}
+
+TEST(Parallel, SpmmCsrDense) {
+  const auto a = CsrMatrix::from_dense(mt::testing::random_dense(48, 64, 0.2, 21));
+  const auto b = mt::testing::random_dense(64, 32, 1.0, 22);
+  auto [s, p] = serial_vs_parallel([&] { return spmm_csr_dense(a, b); });
+  expect_same(s, p);
+}
+
+TEST(Parallel, SpmmDenseCsc) {
+  const auto a = mt::testing::random_dense(40, 56, 1.0, 23);
+  const auto b = CscMatrix::from_dense(mt::testing::random_dense(56, 44, 0.2, 24));
+  auto [s, p] = serial_vs_parallel([&] { return spmm_dense_csc(a, b); });
+  expect_same(s, p);
+}
+
+TEST(Parallel, SpmmCsrCsc) {
+  const auto a = CsrMatrix::from_dense(mt::testing::random_dense(40, 56, 0.2, 25));
+  const auto b = CscMatrix::from_dense(mt::testing::random_dense(56, 44, 0.2, 26));
+  auto [s, p] = serial_vs_parallel([&] { return spmm_csr_csc(a, b); });
+  expect_same(s, p);
+}
+
+TEST(Parallel, SpgemmCsr) {
+  const auto a = CsrMatrix::from_dense(mt::testing::random_dense(48, 64, 0.15, 31));
+  const auto b = CsrMatrix::from_dense(mt::testing::random_dense(64, 56, 0.15, 32));
+  auto [s, p] = serial_vs_parallel([&] { return spgemm_csr(a, b); });
+  ASSERT_EQ(s.nnz(), p.nnz());
+  for (std::size_t i = 0; i < s.row_ptr().size(); ++i) {
+    EXPECT_EQ(s.row_ptr()[i], p.row_ptr()[i]);
+  }
+  for (std::size_t i = 0; i < s.values().size(); ++i) {
+    EXPECT_EQ(s.col_ids()[i], p.col_ids()[i]);
+    EXPECT_EQ(s.values()[i], p.values()[i]);
+  }
+}
+
+TEST(Parallel, MttkrpCsf) {
+  const auto t = mt::testing::random_tensor(24, 20, 16, 0.1, 41);
+  const auto x = CsfTensor3::from_dense(t);
+  const auto b = mt::testing::random_dense(20, 8, 1.0, 42);
+  const auto c = mt::testing::random_dense(16, 8, 1.0, 43);
+  auto [s, p] = serial_vs_parallel([&] { return mttkrp_csf(x, b, c); });
+  expect_same(s, p);
+}
+
+TEST(Parallel, SpttmCsf) {
+  const auto t = mt::testing::random_tensor(24, 20, 16, 0.1, 51);
+  const auto x = CsfTensor3::from_dense(t);
+  const auto u = mt::testing::random_dense(16, 8, 1.0, 52);
+  auto [s, p] = serial_vs_parallel([&] { return spttm_csf(x, u); });
+  ASSERT_EQ(s.dim_x(), p.dim_x());
+  ASSERT_EQ(s.dim_y(), p.dim_y());
+  ASSERT_EQ(s.dim_z(), p.dim_z());
+  expect_same(s.values(), p.values());
+}
+
+TEST(Parallel, Gemm) {
+  const auto a = mt::testing::random_dense(40, 48, 0.5, 61);
+  const auto b = mt::testing::random_dense(48, 36, 0.5, 62);
+  auto [s, p] = serial_vs_parallel([&] { return gemm(a, b); });
+  expect_same(s, p);
+}
+
+}  // namespace

@@ -1,12 +1,11 @@
 // Google-benchmark microbenchmarks of the software substrate: the
-// reference kernels and the direct format converters. These are the
-// measured-CPU numbers that back the Fig. 10 comparison and document the
-// throughput of the oracle implementations.
+// reference kernels (dispatched through the execution engine), the direct
+// format converters, and the engine's native-vs-fallback overhead. These
+// are the measured-CPU numbers that back the Fig. 10 comparison and
+// document the throughput of the oracle implementations.
 #include <benchmark/benchmark.h>
 
-#include "convert/convert.hpp"
-#include "kernels/spgemm.hpp"
-#include "kernels/spmm.hpp"
+#include "exec/exec.hpp"
 #include "workloads/synth.hpp"
 
 namespace {
@@ -46,24 +45,53 @@ BENCHMARK(BM_DenseToCsr)->Arg(512)->Arg(2048);
 
 void BM_SpmmCsrDense(benchmark::State& state) {
   const auto n = static_cast<index_t>(state.range(0));
-  const auto a = CsrMatrix::from_coo(synth_coo_matrix(n, n, n * n / 20, 4));
+  const AnyMatrix a =
+      convert(AnyMatrix(synth_coo_matrix(n, n, n * n / 20, 4)), Format::kCSR);
   const auto b = synth_coo_matrix(n, 64, n * 64, 5).to_dense();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(spmm_csr_dense(a, b));
+    benchmark::DoNotOptimize(exec::spmm(a, b));
   }
-  state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
+  state.SetItemsProcessed(state.iterations() * nnz_of(a) * 64);
 }
 BENCHMARK(BM_SpmmCsrDense)->Arg(512)->Arg(1024);
 
 void BM_SpgemmCsr(benchmark::State& state) {
   const auto n = static_cast<index_t>(state.range(0));
-  const auto a = CsrMatrix::from_coo(synth_coo_matrix(n, n, n * n / 50, 6));
-  const auto b = CsrMatrix::from_coo(synth_coo_matrix(n, n, n * n / 50, 7));
+  const AnyMatrix a =
+      convert(AnyMatrix(synth_coo_matrix(n, n, n * n / 50, 6)), Format::kCSR);
+  const AnyMatrix b =
+      convert(AnyMatrix(synth_coo_matrix(n, n, n * n / 50, 7)), Format::kCSR);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(spgemm_csr(a, b));
+    benchmark::DoNotOptimize(exec::spgemm(a, b));
   }
 }
 BENCHMARK(BM_SpgemmCsr)->Arg(512)->Arg(1024);
+
+// Native dispatch vs the conversion fallback on the same operand: the
+// price of asking the engine for a format with no registered kernel.
+void BM_ExecSpmvNativeEll(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const AnyMatrix a = convert(
+      AnyMatrix(synth_coo_matrix(n, n, n * n / 20, 8)), Format::kELL);
+  const std::vector<value_t> x(static_cast<std::size_t>(n), 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::spmv(a, x));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz_of(a));
+}
+BENCHMARK(BM_ExecSpmvNativeEll)->Arg(512)->Arg(2048);
+
+void BM_ExecSpmvFallbackDia(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const AnyMatrix a = convert(
+      AnyMatrix(synth_coo_matrix(n, n, n * n / 20, 8)), Format::kDIA);
+  const std::vector<value_t> x(static_cast<std::size_t>(n), 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::spmv(a, x));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz_of(a));
+}
+BENCHMARK(BM_ExecSpmvFallbackDia)->Arg(512)->Arg(2048);
 
 }  // namespace
 

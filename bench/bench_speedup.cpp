@@ -1,6 +1,11 @@
 // Serial-vs-OpenMP speedup per kernel, emitted as JSON. This is the
 // perf baseline bench/run_all.sh records into BENCH_kernels.json.
 //
+// Kernels run through the execution engine's format-generic dispatch (the
+// path every layer above uses); operand sizes are large enough that the
+// parallel-region overhead is amortized — the earlier 2048-point SpMV ran
+// 66us serial, far below the fork/join cost at small thread counts.
+//
 // Usage: bench_speedup [--smoke] [--threads N] [--out FILE]
 //   --smoke     tiny operands, one rep (CI launch check)
 //   --threads N parallel thread count (default: mt::num_threads())
@@ -13,15 +18,7 @@
 #include <vector>
 
 #include "common/threads.hpp"
-#include "formats/csc.hpp"
-#include "formats/csf.hpp"
-#include "formats/csr.hpp"
-#include "kernels/gemm.hpp"
-#include "kernels/mttkrp.hpp"
-#include "kernels/spgemm.hpp"
-#include "kernels/spmm.hpp"
-#include "kernels/spmv.hpp"
-#include "kernels/ttm.hpp"
+#include "exec/exec.hpp"
 #include "workloads/synth.hpp"
 
 namespace {
@@ -74,21 +71,32 @@ int main(int argc, char** argv) {
   }
   if (threads < 1) threads = 1;
   const int reps = smoke ? 1 : 3;
-  const index_t n = smoke ? 256 : 2048;
-  const index_t tdim = smoke ? 32 : 192;
-  const index_t rank = smoke ? 8 : 32;
+  // Uniform-random rows: static scheduling, sized so each kernel runs
+  // >= O(10M) scalar ops and the parallel region dominates its overhead.
+  const index_t n_spmv = smoke ? 256 : 8192;
+  const index_t n = smoke ? 256 : 4096;
+  const index_t rank = smoke ? 8 : 64;
+  const index_t n_spgemm = smoke ? 256 : 2048;
+  const index_t tdim = smoke ? 32 : 256;
+  const index_t gemm_n = smoke ? 64 : 512;
 
-  const auto coo = synth_coo_matrix(n, n, n * n / 50, 7);
-  const auto csr = CsrMatrix::from_coo(coo);
-  const auto csc = CscMatrix::from_dense(coo.to_dense());
+  const AnyMatrix csr_spmv = convert(
+      AnyMatrix(synth_coo_matrix(n_spmv, n_spmv, n_spmv * n_spmv / 50, 7)),
+      Format::kCSR);
+  const AnyMatrix csr =
+      convert(AnyMatrix(synth_coo_matrix(n, n, n * n / 50, 7)), Format::kCSR);
+  const AnyMatrix csr_gemm = convert(
+      AnyMatrix(synth_coo_matrix(n_spgemm, n_spgemm,
+                                 n_spgemm * n_spgemm / 50, 7)),
+      Format::kCSR);
   const auto dense_b = synth_dense_matrix(n, rank, 1.0, 8);
-  const auto dense_sq_a = synth_dense_matrix(smoke ? 64 : 512, smoke ? 64 : 512, 1.0, 9);
-  const auto dense_sq_b = synth_dense_matrix(smoke ? 64 : 512, smoke ? 64 : 512, 1.0, 10);
-  const std::vector<value_t> xvec(static_cast<std::size_t>(n), 1.0f);
+  const AnyMatrix dense_sq_a = AnyMatrix(synth_dense_matrix(gemm_n, gemm_n, 1.0, 9));
+  const AnyMatrix dense_sq_b = AnyMatrix(synth_dense_matrix(gemm_n, gemm_n, 1.0, 10));
+  const std::vector<value_t> xvec(static_cast<std::size_t>(n_spmv), 1.0f);
   const auto tcoo =
       synth_coo_tensor(tdim, tdim, tdim,
                        static_cast<std::int64_t>(tdim) * tdim * tdim / 50, 11);
-  const auto csf = CsfTensor3::from_coo(tcoo);
+  const AnyTensor csf = convert(AnyTensor(tcoo), Format::kCSF);
   const auto fb = synth_dense_matrix(tdim, rank, 1.0, 12);
   const auto fc = synth_dense_matrix(tdim, rank, 1.0, 13);
 
@@ -96,12 +104,12 @@ int main(int argc, char** argv) {
   const auto run = [&](const char* name, auto&& f) {
     rows.push_back({name, time_ms(f, 1, reps), time_ms(f, threads, reps)});
   };
-  run("SpMV", [&] { spmv_csr(csr, xvec); });
-  run("SpMM", [&] { spmm_csr_dense(csr, dense_b); });
-  run("SpGEMM", [&] { spgemm_csr(csr, csr); });
-  run("MTTKRP", [&] { mttkrp_csf(csf, fb, fc); });
-  run("SpTTM", [&] { spttm_csf(csf, fc); });
-  run("GEMM", [&] { gemm(dense_sq_a, dense_sq_b); });
+  run("SpMV", [&] { exec::spmv(csr_spmv, xvec); });
+  run("SpMM", [&] { exec::spmm(csr, dense_b); });
+  run("SpGEMM", [&] { exec::spgemm(csr_gemm, csr_gemm); });
+  run("MTTKRP", [&] { exec::mttkrp(csf, fb, fc); });
+  run("SpTTM", [&] { exec::ttm(csf, fc); });
+  run("GEMM", [&] { exec::spmm(dense_sq_a, dense_sq_b); });
 
   std::FILE* out = out_path ? std::fopen(out_path, "w") : stdout;
   if (!out) {

@@ -8,7 +8,9 @@
 #
 # Output: BENCH_kernels.json (serial vs OpenMP speedup per kernel) in the
 # repo root, plus each binary's stdout under BUILD_DIR/bench_logs/.
-set -u
+# pipefail so a crashing bench cannot hide behind a tee/grep downstream,
+# and the final exit status (see bottom) is what CI gates on.
+set -u -o pipefail
 
 SMOKE=0
 BUILD_DIR=build
@@ -26,12 +28,12 @@ case "$BUILD_DIR" in
 esac
 BIN="$BUILD_ABS/bench"
 LOGS="$BUILD_ABS/bench_logs"
-mkdir -p "$LOGS"
 
 if [ ! -d "$BIN" ]; then
   echo "error: $BIN not found — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
   exit 1
 fi
+mkdir -p "$LOGS"
 
 FAILED=0
 run_one() {
@@ -71,8 +73,10 @@ fi
 
 # Kernel serial-vs-OpenMP baseline -> BENCH_kernels.json in the repo root.
 # Smoke numbers are meaningless, so they go to the log dir instead of
-# clobbering the committed baseline.
-THREADS="${MT_NUM_THREADS:-4}"
+# clobbering the committed baseline. Threads default to the hardware core
+# count: oversubscribing (e.g. 4 threads on 1 core) records regressions
+# that say nothing about the kernels.
+THREADS="${MT_NUM_THREADS:-$(nproc 2>/dev/null || echo 4)}"
 if [ "$SMOKE" -eq 1 ]; then
   JSON_OUT="$LOGS/BENCH_kernels.smoke.json"
 else
@@ -83,4 +87,8 @@ SPEEDUP_ARGS=(--threads "$THREADS" --out "$JSON_OUT")
 run_one bench_speedup "${SPEEDUP_ARGS[@]}"
 [ -f "$JSON_OUT" ] && echo "wrote $JSON_OUT"
 
-exit $FAILED
+if [ "$FAILED" -ne 0 ]; then
+  echo "bench: FAILURES above" >&2
+  exit 1
+fi
+exit 0

@@ -1,15 +1,17 @@
-// Format explorer: a small CLI over the storage model and converter.
+// Format explorer: a small CLI over the storage model, converter, and
+// execution engine.
 //
 //   ./format_explorer [rows cols density]
 //
 // Prints the exact compactness of every matrix format for a synthesized
 // matrix of the requested shape (default 512x512 at 5%), the analytic
-// model's prediction, and the MINT pipeline each MCF->ACF conversion
-// would exercise.
+// model's prediction, the MINT pipeline each MCF->ACF conversion would
+// exercise, and the engine's (kernel x format) support matrix.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
-#include "convert/convert.hpp"
+#include "exec/exec.hpp"
 #include "formats/storage.hpp"
 #include "mint/pipelines.hpp"
 #include "workloads/synth.hpp"
@@ -49,6 +51,32 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
+  }
+
+  // The execution engine's coverage: which (kernel, format) pairs run in
+  // the operand's own format, which convert through the fallback ACF, and
+  // which are not applicable (matrix formats for tensor kernels etc.).
+  std::printf("\nexecution engine support (kernel x format):\n%-8s", "");
+  constexpr Format kAllFormats[] = {
+      Format::kDense, Format::kCOO, Format::kCSR,   Format::kCSC,
+      Format::kRLC,   Format::kZVC, Format::kBSR,   Format::kDIA,
+      Format::kELL,   Format::kCSF, Format::kHiCOO};
+  for (Format f : kAllFormats) {
+    std::printf(" %-8s", std::string(name_of(f)).c_str());
+  }
+  std::printf("\n");
+  for (Kernel k : kAllKernels) {
+    std::printf("%-8s", std::string(name_of(k)).c_str());
+    const auto supported = exec::supported_formats(k);
+    for (Format f : kAllFormats) {
+      const bool in_set =
+          std::find(supported.begin(), supported.end(), f) != supported.end();
+      const char* cell = !in_set             ? "-"
+                         : exec::has_native(k, f) ? "native"
+                                                  : "fallbk";
+      std::printf(" %-8s", cell);
+    }
+    std::printf("\n");
   }
   return 0;
 }

@@ -1,17 +1,16 @@
-// Quickstart: the end-to-end flow of the library in ~60 lines.
+// Quickstart: the end-to-end flow of the library in ~70 lines.
 //
 //   1. Build a sparse matrix and encode it in several compression formats.
 //   2. Ask SAGE for the best MCF/ACF combination for an SpMM.
-//   3. Execute the kernel both in software and on the cycle-level
-//      accelerator simulator and check they agree.
+//   3. Execute the winning choice through the format-generic execution
+//      engine (MCF -> ACF conversion + ACF kernel), verify it against the
+//      dense reference, and cross-check the cycle-level simulator.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 
 #include "accel/cycle_sim.hpp"
-#include "convert/convert.hpp"
-#include "kernels/gemm.hpp"
-#include "sage/sage.hpp"
+#include "sage/execute.hpp"
 #include "workloads/synth.hpp"
 
 int main() {
@@ -42,21 +41,27 @@ int main() {
   cfg.num_pes = 32;                 // small array for the demo
   cfg.pe_buffer_bytes = 48 * 4;     // one dense column fits
   const EnergyParams energy;
-  const auto choice = sage_select_matmul(CooMatrix::from_dense(a_dense),
-                                         CooMatrix::from_dense(b_dense), cfg,
-                                         energy);
+  const auto a_coo = CooMatrix::from_dense(a_dense);
+  const auto b_coo = CooMatrix::from_dense(b_dense);
+  const auto choice = sage_select_matmul(a_coo, b_coo, cfg, energy);
   std::printf("\nSAGE selects: %s\n", choice.describe().c_str());
   std::printf("  EDP %.3e J*s  (dram %lld + convert %lld + compute %lld cycles)\n",
               choice.edp, static_cast<long long>(choice.cost.dram_cycles),
               static_cast<long long>(choice.cost.convert_cycles),
               static_cast<long long>(choice.cost.compute_cycles));
 
-  // --- Run it: software kernel vs cycle-level simulator ---
-  const auto sw = gemm(a_dense, b_dense);
+  // --- Run it: the execution engine closes the loop SAGE priced ---
+  const auto run = execute_choice(choice, a_coo, b_coo);
+  std::printf("\nengine executed the winning choice: %s\n",
+              run.dispatch.describe().c_str());
+  std::printf("  matches dense reference: %s (max err %.2e)\n",
+              run.verified ? "yes" : "NO", run.max_abs_err);
+
+  // --- Cross-check the cycle-level simulator on the same ACFs ---
   const auto hw = simulate_ws_matmul(a_dense, b_dense, choice.acf_a,
                                      choice.acf_b, cfg);
-  std::printf("\naccelerator output matches software GEMM: %s\n",
-              max_abs_diff(hw.output, sw) < 1e-3 ? "yes" : "no");
+  std::printf("\naccelerator output matches the engine: %s\n",
+              max_abs_diff(hw.output, run.output) < 1e-3 ? "yes" : "no");
   std::printf("  phases: load %lld, stream %lld, compute %lld, drain %lld\n",
               static_cast<long long>(hw.phases.load_cycles),
               static_cast<long long>(hw.phases.stream_cycles),

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "baselines/baselines.hpp"
-#include "kernels/spgemm.hpp"
+#include "exec/exec.hpp"
 #include "workloads/registry.hpp"
 #include "workloads/synth.hpp"
 
@@ -31,15 +31,16 @@ int main() {
                 static_cast<long long>(w.k), static_cast<long long>(w.nnz),
                 100.0 * w.density());
 
-    // Functional check at workload scale: SpGEMM through the software
-    // kernel library (the accelerator's correctness oracle).
-    const auto csr_a = CsrMatrix::from_coo(a);
-    const auto csr_b = CsrMatrix::from_coo(b);
-    const auto product = spgemm_csr(csr_a, csr_b);
-    std::printf("  SpGEMM product: %lld nonzeros (density %.4f%%)\n",
+    // Functional check at workload scale: SpGEMM through the execution
+    // engine (COO operands dispatch via the convert-fallback into the CSR
+    // kernel — the report says which path ran).
+    exec::Dispatch d;
+    const auto product = exec::spgemm(AnyMatrix(a), AnyMatrix(b), &d);
+    std::printf("  SpGEMM product: %lld nonzeros (density %.4f%%) [%s]\n",
                 static_cast<long long>(product.nnz()),
                 100.0 * static_cast<double>(product.nnz()) /
-                    (static_cast<double>(w.m) * static_cast<double>(n)));
+                    (static_cast<double>(w.m) * static_cast<double>(n)),
+                d.describe().c_str());
 
     for (AccelType t : {AccelType::kFixFixNone, AccelType::kFlexFlexNone,
                         AccelType::kFlexFlexHw}) {
@@ -47,6 +48,17 @@ int main() {
       std::printf("  %-26s EDP %10.3e  (%s)\n",
                   std::string(name_of(t)).c_str(), r.edp,
                   r.describe().c_str());
+    }
+
+    // At demo scale the winning combination is also cheap to execute and
+    // verify end-to-end (dense-reference GEMM bounds the workload size).
+    if (w.name == "journal") {
+      SageChoice choice;
+      const auto run =
+          execute_baseline(AccelType::kFlexFlexHw, a, b, cfg, energy, &choice);
+      std::printf("  executed winning choice: %s -> %s, max err %.2e\n",
+                  choice.describe().c_str(), run.dispatch.describe().c_str(),
+                  run.max_abs_err);
     }
   }
   std::printf(

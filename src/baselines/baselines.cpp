@@ -102,4 +102,13 @@ SageChoice evaluate_baseline_spmm(AccelType t, const CooMatrix& a, index_t n,
   return best;
 }
 
+SageExecution execute_baseline(AccelType t, const CooMatrix& a,
+                               const CooMatrix& b, const AccelConfig& cfg,
+                               const EnergyParams& energy,
+                               SageChoice* choice_out) {
+  const auto choice = evaluate_baseline(t, a, b, cfg, energy);
+  if (choice_out != nullptr) *choice_out = choice;
+  return execute_choice(choice, a, b);
+}
+
 }  // namespace mt

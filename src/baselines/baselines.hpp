@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sage/execute.hpp"
 #include "sage/sage.hpp"
 
 namespace mt {
@@ -69,5 +70,15 @@ SageChoice evaluate_baseline(AccelType t, const CooMatrix& a,
 SageChoice evaluate_baseline_spmm(AccelType t, const CooMatrix& a, index_t n,
                                   const AccelConfig& cfg,
                                   const EnergyParams& energy);
+
+// Evaluates the archetype, then functionally executes its winning choice
+// through the execution engine (MCF materialization, MCF->ACF conversion,
+// ACF kernel) and verifies it against the dense reference. `choice_out`
+// receives the priced choice when non-null. Keep operand shapes modest:
+// the reference is a dense GEMM.
+SageExecution execute_baseline(AccelType t, const CooMatrix& a,
+                               const CooMatrix& b, const AccelConfig& cfg,
+                               const EnergyParams& energy,
+                               SageChoice* choice_out = nullptr);
 
 }  // namespace mt

@@ -6,6 +6,7 @@
 // bf16 or fp32 — mirroring the paper's Fig. 4 quantization study.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -51,6 +52,17 @@ constexpr std::string_view name_of(Kernel k) {
     case Kernel::kMTTKRP: return "MTTKRP";
   }
   return "?";
+}
+
+// Every kernel, in enum order — the iteration set for the execution
+// engine's coverage queries, benches, and test messages.
+inline constexpr std::array<Kernel, 6> kAllKernels = {
+    Kernel::kGemm,  Kernel::kSpMM,  Kernel::kSpGEMM,
+    Kernel::kSpMV,  Kernel::kSpTTM, Kernel::kMTTKRP};
+
+// Kernels whose primary operand is a 3-D tensor rather than a matrix.
+constexpr bool is_tensor_kernel(Kernel k) {
+  return k == Kernel::kSpTTM || k == Kernel::kMTTKRP;
 }
 
 }  // namespace mt

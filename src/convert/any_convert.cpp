@@ -12,6 +12,37 @@ struct Overloaded : Ts... {
 template <class... Ts>
 Overloaded(Ts...) -> Overloaded<Ts...>;
 
+// Formats whose encode/decode is O(nnz) via COO, without a dense
+// intermediate (RLC counts: Fig. 8d gives it direct COO pipelines).
+// ZVC/DIA/ELL encodings are defined over the dense linearization and
+// must round-trip through decode() instead.
+bool matrix_coo_path(Format f) {
+  return f == Format::kCOO || f == Format::kCSR || f == Format::kCSC ||
+         f == Format::kRLC || f == Format::kBSR;
+}
+
+CooMatrix hub_to_coo(const AnyMatrix& m) {
+  if (const auto* coo = std::get_if<CooMatrix>(&m)) return *coo;
+  if (const auto* csr = std::get_if<CsrMatrix>(&m)) return csr->to_coo();
+  if (const auto* csc = std::get_if<CscMatrix>(&m)) return csc->to_coo();
+  if (const auto* rlc = std::get_if<RlcMatrix>(&m)) return rlc_to_coo(*rlc);
+  if (const auto* bsr = std::get_if<BsrMatrix>(&m)) {
+    return bsr_to_csr(*bsr).to_coo();
+  }
+  MT_ENSURE(false, "format has no direct COO path");
+}
+
+AnyMatrix hub_from_coo(const CooMatrix& c, Format target) {
+  switch (target) {
+    case Format::kCOO: return c;
+    case Format::kCSR: return CsrMatrix::from_coo(c);
+    case Format::kCSC: return CscMatrix::from_coo(c);
+    case Format::kRLC: return coo_to_rlc(c);
+    case Format::kBSR: return csr_to_bsr(CsrMatrix::from_coo(c));
+    default: MT_ENSURE(false, "format has no direct COO path");
+  }
+}
+
 }  // namespace
 
 Format format_of(const AnyMatrix& m) {
@@ -91,8 +122,13 @@ AnyMatrix convert(const AnyMatrix& m, Format target) {
   if (const auto* bsr = std::get_if<BsrMatrix>(&m)) {
     if (target == Format::kCSR) return bsr_to_csr(*bsr);
   }
-  // COO hub: decode to dense only when one side is inherently dense-coupled
-  // (RLC/ZVC/DIA encodings are defined over the dense linearization).
+  // COO hub (paper §V-B: "COO enables fast translation to other formats"):
+  // compressed->compressed pairs stay O(nnz); only pairs with a
+  // dense-coupled side (ZVC/DIA/ELL, defined over the dense linearization)
+  // decode to a dense intermediate.
+  if (matrix_coo_path(format_of(m)) && matrix_coo_path(target)) {
+    return hub_from_coo(hub_to_coo(m), target);
+  }
   return encode(decode(m), target);
 }
 

@@ -1,0 +1,89 @@
+// Format-generic kernel execution engine.
+//
+// The paper decouples the memory format (MCF) from the algorithm format
+// (ACF); SAGE prices every pair, and this engine is what makes the chosen
+// pair *runnable*: one entry point per kernel, taking AnyMatrix/AnyTensor
+// operands, with a (Kernel x Format) registry underneath. A request whose
+// operand format has a registered native kernel routes straight to it;
+// anything else falls back by converting the operand through the COO-hub
+// convert() layer into the kernel's fallback ACF. Every call reports which
+// path was taken, so tests and benches can assert native coverage instead
+// of silently eating conversion costs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "convert/convert.hpp"
+#include "formats/dense.hpp"
+#include "formats/tensor_dense.hpp"
+
+namespace mt::exec {
+
+// Whether a call ran in the operand's own format or via conversion.
+enum class Path : std::uint8_t { kNative, kFallback };
+
+constexpr std::string_view name_of(Path p) {
+  return p == Path::kNative ? "native" : "fallback";
+}
+
+// How one engine call was executed: the operand formats as handed in and
+// the formats the kernel actually consumed (equal on the native path).
+struct Dispatch {
+  Kernel kernel = Kernel::kSpMV;
+  Path path = Path::kNative;
+  Format given_a = Format::kDense;
+  Format ran_a = Format::kDense;
+  bool has_b = false;               // second compressed operand present
+  Format given_b = Format::kDense;
+  Format ran_b = Format::kDense;
+
+  std::string describe() const;  // e.g. "SpMV over DIA: fallback via CSR"
+};
+
+// --- Entry points (one per kernel; the sparse operand is format-generic) ---
+
+std::vector<value_t> spmv(const AnyMatrix& a, const std::vector<value_t>& x,
+                          Dispatch* d = nullptr);
+
+// A (any format) times a dense factor B.
+DenseMatrix spmm(const AnyMatrix& a, const DenseMatrix& b,
+                 Dispatch* d = nullptr);
+
+// Both operands compressed — the ACF pairs of paper §III-B. (Dense, Dense)
+// routes to the GEMM kernel, so this also covers Kernel::kGemm.
+DenseMatrix spmm(const AnyMatrix& a, const AnyMatrix& b,
+                 Dispatch* d = nullptr);
+
+// Sparse x sparse with compressed output.
+CsrMatrix spgemm(const AnyMatrix& a, const AnyMatrix& b,
+                 Dispatch* d = nullptr);
+
+// Mode-3 SpTTM: Y(i,j,l) = sum_k X(i,j,k) * U(k,l).
+DenseTensor3 ttm(const AnyTensor& x, const DenseMatrix& u,
+                 Dispatch* d = nullptr);
+
+// Mode-1 MTTKRP with dense factors B and C.
+DenseMatrix mttkrp(const AnyTensor& x, const DenseMatrix& b,
+                   const DenseMatrix& c, Dispatch* d = nullptr);
+
+// --- Registry queries (drive the README support matrix and the tests) ---
+
+// True if `k` has a native kernel consuming the sparse operand in `f`
+// (other operands dense). SpGEMM reads this per operand.
+bool has_native(Kernel k, Format f);
+
+// True if the two-compressed-operand SpMM has a native kernel for the
+// exact (A, B) format pair.
+bool has_native_pair(Format fa, Format fb);
+
+// The ACF the engine converts to when no native kernel is registered.
+Format fallback_format(Kernel k);
+
+// Every format the engine accepts for `k`'s sparse operand (native or
+// fallback): the AnyMatrix alternatives for matrix kernels, the AnyTensor
+// alternatives for tensor kernels.
+std::vector<Format> supported_formats(Kernel k);
+
+}  // namespace mt::exec

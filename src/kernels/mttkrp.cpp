@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/threads.hpp"
+#include "kernels/partition.hpp"
 
 namespace mt {
 
@@ -43,7 +44,7 @@ DenseMatrix mttkrp_csf(const CsfTensor3& x, const DenseMatrix& b,
 #pragma omp parallel num_threads(nt)
   {
     std::vector<value_t> fiber_acc(static_cast<std::size_t>(rank));
-#pragma omp for schedule(dynamic, 8)
+#pragma omp for schedule(static)
     for (index_t xi = 0; xi < n1; ++xi) {
       const index_t ix = x.x_ids()[static_cast<std::size_t>(xi)];
       for (index_t yi = x.y_ptr()[xi]; yi < x.y_ptr()[xi + 1]; ++yi) {
@@ -59,6 +60,46 @@ DenseMatrix mttkrp_csf(const CsfTensor3& x, const DenseMatrix& b,
         for (index_t r = 0; r < rank; ++r) {
           pm[ix * rank + r] +=
               fiber_acc[static_cast<std::size_t>(r)] * pb[iy * rank + r];
+        }
+      }
+    }
+  }
+  return m;
+}
+
+DenseMatrix mttkrp_hicoo(const HicooTensor3& x, const DenseMatrix& b,
+                         const DenseMatrix& c) {
+  MT_REQUIRE(x.dim_y() == b.rows() && x.dim_z() == c.rows(),
+             "factor matrix rows must match tensor modes");
+  MT_REQUIRE(b.cols() == c.cols(), "factor rank mismatch");
+  const index_t rank = b.cols();
+  const index_t blk = x.block();
+  DenseMatrix m(x.dim_x(), rank);
+  value_t* pm = m.values().data();
+  const value_t* pb = b.values().data();
+  const value_t* pc = c.values().data();
+  const auto nblocks = x.num_blocks();
+  // Blocks with equal block_x cover the same output-row band [bx*B,
+  // bx*B+B); cutting the block array between distinct block_x values keeps
+  // those bands thread-private.
+  const int nt = num_threads();
+  const auto cut = key_aligned_cuts(x.block_x(), nblocks, nt);
+#pragma omp parallel for num_threads(nt) schedule(static, 1)
+  for (int t = 0; t < nt; ++t) {
+    for (std::int64_t bi = cut[static_cast<std::size_t>(t)];
+         bi < cut[static_cast<std::size_t>(t) + 1]; ++bi) {
+      const index_t base_x = x.block_x()[static_cast<std::size_t>(bi)] * blk;
+      const index_t base_y = x.block_y()[static_cast<std::size_t>(bi)] * blk;
+      const index_t base_z = x.block_z()[static_cast<std::size_t>(bi)] * blk;
+      for (index_t e = x.block_ptr()[static_cast<std::size_t>(bi)];
+           e < x.block_ptr()[static_cast<std::size_t>(bi) + 1]; ++e) {
+        const auto ei = static_cast<std::size_t>(e);
+        const index_t ix = base_x + x.elem_x()[ei];
+        const index_t iy = base_y + x.elem_y()[ei];
+        const index_t iz = base_z + x.elem_z()[ei];
+        const value_t v = x.values()[ei];
+        for (index_t r = 0; r < rank; ++r) {
+          pm[ix * rank + r] += v * pb[iy * rank + r] * pc[iz * rank + r];
         }
       }
     }

@@ -6,6 +6,7 @@
 
 #include "formats/csf.hpp"
 #include "formats/dense.hpp"
+#include "formats/hicoo.hpp"
 #include "formats/tensor_coo.hpp"
 #include "formats/tensor_dense.hpp"
 
@@ -15,6 +16,12 @@ DenseMatrix mttkrp_coo(const CooTensor3& x, const DenseMatrix& b,
                        const DenseMatrix& c);
 DenseMatrix mttkrp_csf(const CsfTensor3& x, const DenseMatrix& b,
                        const DenseMatrix& c);
+
+// HiCOO blocks are lexicographically sorted, so splitting the block array
+// at block-x boundaries gives each thread disjoint output-row ranges —
+// the same block-level parallelism Li et al. exploit, race-free.
+DenseMatrix mttkrp_hicoo(const HicooTensor3& x, const DenseMatrix& b,
+                         const DenseMatrix& c);
 
 // Quadruple-loop dense reference used as the oracle.
 DenseMatrix mttkrp_dense(const DenseTensor3& x, const DenseMatrix& b,

@@ -1,0 +1,34 @@
+// Work partitioning shared by the deterministic parallel kernels.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mt {
+
+// Splits [0, n) into at most `parts` contiguous ranges whose boundaries
+// never fall inside a run of equal `keys` values (keys must be sorted, or
+// at least grouped). With keys = row ids of a row-major COO this gives
+// each range exclusive ownership of its output rows, so ranges parallelize
+// without races and accumulate in the same order as a serial sweep.
+inline std::vector<std::int64_t> key_aligned_cuts(
+    const std::vector<index_t>& keys, std::int64_t n, int parts) {
+  std::vector<std::int64_t> cut(static_cast<std::size_t>(parts) + 1, n);
+  cut[0] = 0;
+  for (int t = 1; t < parts; ++t) {
+    std::int64_t p = n * t / parts;
+    while (p > 0 && p < n &&
+           keys[static_cast<std::size_t>(p)] ==
+               keys[static_cast<std::size_t>(p - 1)]) {
+      ++p;
+    }
+    cut[static_cast<std::size_t>(t)] =
+        std::max(p, cut[static_cast<std::size_t>(t - 1)]);
+  }
+  return cut;
+}
+
+}  // namespace mt

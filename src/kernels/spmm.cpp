@@ -1,7 +1,10 @@
 #include "kernels/spmm.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/threads.hpp"
+#include "kernels/partition.hpp"
 
 namespace mt {
 
@@ -11,14 +14,34 @@ DenseMatrix spmm_coo_dense(const CooMatrix& a, const DenseMatrix& b) {
   const index_t n = b.cols();
   value_t* po = o.values().data();
   const value_t* pb = b.values().data();
-  // Alg. 1 of the paper, kept serial over nnz: consecutive entries share
-  // output rows, so row-parallelism would race.
-  for (std::int64_t i = 0; i < a.nnz(); ++i) {
-    const index_t rid = a.row_ids()[i];
-    const index_t cid = a.col_ids()[i];
-    const value_t val = a.values()[i];
-    for (index_t j = 0; j < n; ++j) {
-      po[rid * n + j] += val * pb[cid * n + j];
+  const std::int64_t nnz = a.nnz();
+  if (!a.is_row_major_sorted()) {
+    // Alg. 1 of the paper over arbitrary entry order: consecutive entries
+    // may share output rows, so this path stays serial.
+    for (std::int64_t i = 0; i < nnz; ++i) {
+      const index_t rid = a.row_ids()[i];
+      const index_t cid = a.col_ids()[i];
+      const value_t val = a.values()[i];
+      for (index_t j = 0; j < n; ++j) {
+        po[rid * n + j] += val * pb[cid * n + j];
+      }
+    }
+    return o;
+  }
+  // Row-major entries: split the nnz range at row boundaries so each
+  // thread's output rows are disjoint (bit-identical to the serial sweep).
+  const int nt = num_threads();
+  const auto cut = key_aligned_cuts(a.row_ids(), nnz, nt);
+#pragma omp parallel for num_threads(nt) schedule(static, 1)
+  for (int t = 0; t < nt; ++t) {
+    for (std::int64_t i = cut[static_cast<std::size_t>(t)];
+         i < cut[static_cast<std::size_t>(t) + 1]; ++i) {
+      const index_t rid = a.row_ids()[i];
+      const index_t cid = a.col_ids()[i];
+      const value_t val = a.values()[i];
+      for (index_t j = 0; j < n; ++j) {
+        po[rid * n + j] += val * pb[cid * n + j];
+      }
     }
   }
   return o;
@@ -31,7 +54,7 @@ DenseMatrix spmm_csr_dense(const CsrMatrix& a, const DenseMatrix& b) {
   value_t* po = o.values().data();
   const value_t* pb = b.values().data();
   [[maybe_unused]] const int nt = num_threads();
-#pragma omp parallel for num_threads(nt) schedule(dynamic, 16)
+#pragma omp parallel for num_threads(nt) schedule(static)
   for (index_t r = 0; r < a.rows(); ++r) {
     for (index_t i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
       const index_t k = a.col_ids()[i];
@@ -40,6 +63,43 @@ DenseMatrix spmm_csr_dense(const CsrMatrix& a, const DenseMatrix& b) {
         po[r * n + j] += av * pb[k * n + j];
       }
     }
+  }
+  return o;
+}
+
+DenseMatrix spmm_csc_dense(const CscMatrix& a, const DenseMatrix& b) {
+  MT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+  DenseMatrix o(m, n);
+  value_t* po = o.values().data();
+  const value_t* pb = b.values().data();
+  // Scattering into shared output rows from different A columns would
+  // race, so columns are processed in fixed-width chunks with a private
+  // partial output per chunk, reduced in chunk order. The chunk width is
+  // independent of the thread count (deterministic results) and capped so
+  // the partials stay within 8x the output footprint.
+  const index_t chunk_cols = std::max<index_t>(256, (k + 7) / 8);
+  const index_t nchunks = (k + chunk_cols - 1) / chunk_cols;
+  if (nchunks == 0) return o;
+  std::vector<value_t> part(static_cast<std::size_t>(nchunks * m * n), 0.0f);
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(static)
+  for (index_t chunk = 0; chunk < nchunks; ++chunk) {
+    value_t* pp = part.data() + chunk * m * n;
+    const index_t c_hi = std::min(k, (chunk + 1) * chunk_cols);
+    for (index_t c = chunk * chunk_cols; c < c_hi; ++c) {
+      for (index_t i = a.col_ptr()[c]; i < a.col_ptr()[c + 1]; ++i) {
+        const index_t r = a.row_ids()[i];
+        const value_t av = a.values()[i];
+        for (index_t j = 0; j < n; ++j) {
+          pp[r * n + j] += av * pb[c * n + j];
+        }
+      }
+    }
+  }
+  for (index_t chunk = 0; chunk < nchunks; ++chunk) {
+    const value_t* pp = part.data() + chunk * m * n;
+    for (index_t e = 0; e < m * n; ++e) po[e] += pp[e];
   }
   return o;
 }

@@ -12,10 +12,17 @@
 namespace mt {
 
 // Paper Alg. 1: iterate the nonzeros of COO A, scale rows of dense B.
+// Parallel over entry ranges split at row boundaries (row-major input),
+// so threads own disjoint output rows; unsorted entries run serially.
 DenseMatrix spmm_coo_dense(const CooMatrix& a, const DenseMatrix& b);
 
 // Row-parallel CSR A times dense B.
 DenseMatrix spmm_csr_dense(const CsrMatrix& a, const DenseMatrix& b);
+
+// CSC A times dense B: column-parallel over fixed chunks of A columns,
+// per-chunk partial outputs reduced in chunk order (deterministic at any
+// thread count; the column-major dual of the CSR path).
+DenseMatrix spmm_csc_dense(const CscMatrix& a, const DenseMatrix& b);
 
 // Dense A times CSC B (EIE-style weight-stationary view: each output
 // column is a sparse combination of A columns).

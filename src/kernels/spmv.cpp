@@ -1,7 +1,10 @@
 #include "kernels/spmv.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/threads.hpp"
+#include "kernels/partition.hpp"
 
 namespace mt {
 
@@ -11,13 +14,144 @@ std::vector<value_t> spmv_csr(const CsrMatrix& a,
              "vector length must equal matrix columns");
   std::vector<value_t> y(static_cast<std::size_t>(a.rows()), 0.0f);
   [[maybe_unused]] const int nt = num_threads();
-#pragma omp parallel for num_threads(nt) schedule(dynamic, 64)
+#pragma omp parallel for num_threads(nt) schedule(static)
   for (index_t r = 0; r < a.rows(); ++r) {
     value_t acc = 0.0f;
     for (index_t i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
       acc += a.values()[i] * x[static_cast<std::size_t>(a.col_ids()[i])];
     }
     y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+std::vector<value_t> spmv_csc(const CscMatrix& a,
+                              const std::vector<value_t>& x) {
+  MT_REQUIRE(static_cast<index_t>(x.size()) == a.cols(),
+             "vector length must equal matrix columns");
+  const index_t rows = a.rows(), cols = a.cols();
+  std::vector<value_t> y(static_cast<std::size_t>(rows), 0.0f);
+  // Fixed chunk width (not a function of the thread count) keeps the
+  // chunk-order reduction below bit-identical at any MT_NUM_THREADS.
+  constexpr index_t kChunkCols = 512;
+  const index_t nchunks = (cols + kChunkCols - 1) / kChunkCols;
+  if (nchunks == 0) return y;
+  std::vector<value_t> part(static_cast<std::size_t>(nchunks * rows), 0.0f);
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(static)
+  for (index_t chunk = 0; chunk < nchunks; ++chunk) {
+    value_t* py = part.data() + chunk * rows;
+    const index_t c_hi = std::min(cols, (chunk + 1) * kChunkCols);
+    for (index_t c = chunk * kChunkCols; c < c_hi; ++c) {
+      const value_t xc = x[static_cast<std::size_t>(c)];
+      for (index_t i = a.col_ptr()[c]; i < a.col_ptr()[c + 1]; ++i) {
+        py[a.row_ids()[i]] += a.values()[i] * xc;
+      }
+    }
+  }
+  for (index_t chunk = 0; chunk < nchunks; ++chunk) {
+    const value_t* py = part.data() + chunk * rows;
+    for (index_t r = 0; r < rows; ++r) y[static_cast<std::size_t>(r)] += py[r];
+  }
+  return y;
+}
+
+std::vector<value_t> spmv_coo(const CooMatrix& a,
+                              const std::vector<value_t>& x) {
+  MT_REQUIRE(static_cast<index_t>(x.size()) == a.cols(),
+             "vector length must equal matrix columns");
+  std::vector<value_t> y(static_cast<std::size_t>(a.rows()), 0.0f);
+  const std::int64_t nnz = a.nnz();
+  if (!a.is_row_major_sorted()) {
+    // Arbitrary entry order: accumulate serially (any order is correct,
+    // but rows are no longer contiguous so the split below would race).
+    for (std::int64_t i = 0; i < nnz; ++i) {
+      y[static_cast<std::size_t>(a.row_ids()[static_cast<std::size_t>(i)])] +=
+          a.values()[static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(a.col_ids()[static_cast<std::size_t>(i)])];
+    }
+    return y;
+  }
+  const int nt = num_threads();
+  const auto cut = key_aligned_cuts(a.row_ids(), nnz, nt);
+#pragma omp parallel for num_threads(nt) schedule(static, 1)
+  for (int t = 0; t < nt; ++t) {
+    for (std::int64_t i = cut[static_cast<std::size_t>(t)];
+         i < cut[static_cast<std::size_t>(t) + 1]; ++i) {
+      y[static_cast<std::size_t>(a.row_ids()[static_cast<std::size_t>(i)])] +=
+          a.values()[static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(a.col_ids()[static_cast<std::size_t>(i)])];
+    }
+  }
+  return y;
+}
+
+std::vector<value_t> spmv_dense(const DenseMatrix& a,
+                                const std::vector<value_t>& x) {
+  MT_REQUIRE(static_cast<index_t>(x.size()) == a.cols(),
+             "vector length must equal matrix columns");
+  const index_t rows = a.rows(), cols = a.cols();
+  std::vector<value_t> y(static_cast<std::size_t>(rows), 0.0f);
+  const value_t* pa = a.values().data();
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(static)
+  for (index_t r = 0; r < rows; ++r) {
+    value_t acc = 0.0f;
+    for (index_t c = 0; c < cols; ++c) {
+      acc += pa[r * cols + c] * x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+std::vector<value_t> spmv_ell(const EllMatrix& a,
+                              const std::vector<value_t>& x) {
+  MT_REQUIRE(static_cast<index_t>(x.size()) == a.cols(),
+             "vector length must equal matrix columns");
+  const index_t rows = a.rows(), width = a.width();
+  std::vector<value_t> y(static_cast<std::size_t>(rows), 0.0f);
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(static)
+  for (index_t r = 0; r < rows; ++r) {
+    value_t acc = 0.0f;
+    for (index_t s = 0; s < width; ++s) {
+      const index_t c = a.col_ids()[static_cast<std::size_t>(r * width + s)];
+      if (c < 0) continue;  // padding slot
+      acc += a.values()[static_cast<std::size_t>(r * width + s)] *
+             x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+std::vector<value_t> spmv_bsr(const BsrMatrix& a,
+                              const std::vector<value_t>& x) {
+  MT_REQUIRE(static_cast<index_t>(x.size()) == a.cols(),
+             "vector length must equal matrix columns");
+  const index_t rows = a.rows(), cols = a.cols();
+  const index_t br = a.block_rows(), bc = a.block_cols();
+  const index_t grid_rows = a.block_grid_rows();
+  std::vector<value_t> y(static_cast<std::size_t>(rows), 0.0f);
+  [[maybe_unused]] const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(static)
+  for (index_t gr = 0; gr < grid_rows; ++gr) {
+    const index_t r_hi = std::min(rows - gr * br, br);  // edge-block clamp
+    for (index_t blk = a.block_row_ptr()[gr]; blk < a.block_row_ptr()[gr + 1];
+         ++blk) {
+      const index_t c0 = a.block_col_ids()[static_cast<std::size_t>(blk)] * bc;
+      const index_t c_hi = std::min(cols - c0, bc);
+      const value_t* pv =
+          a.block_values().data() + static_cast<std::size_t>(blk * br * bc);
+      for (index_t r = 0; r < r_hi; ++r) {
+        value_t acc = 0.0f;
+        for (index_t c = 0; c < c_hi; ++c) {
+          acc += pv[r * bc + c] * x[static_cast<std::size_t>(c0 + c)];
+        }
+        y[static_cast<std::size_t>(gr * br + r)] += acc;
+      }
+    }
   }
   return y;
 }

@@ -1,14 +1,45 @@
 // Sparse matrix x dense vector (SpMV) — the iterative-solver kernel the
 // paper's §II background calls out alongside SpMM.
+//
+// One implementation per ACF the execution engine registers natively.
+// Parallelism is always deterministic: either threads own disjoint output
+// rows (CSR/Dense/ELL/BSR/COO) or partial vectors are reduced in a fixed
+// chunk order independent of the thread count (CSC), so results are
+// bit-identical at any MT_NUM_THREADS.
 #pragma once
 
 #include <vector>
 
+#include "formats/bsr.hpp"
+#include "formats/coo.hpp"
+#include "formats/csc.hpp"
 #include "formats/csr.hpp"
+#include "formats/dense.hpp"
+#include "formats/ell.hpp"
 
 namespace mt {
 
 std::vector<value_t> spmv_csr(const CsrMatrix& a,
+                              const std::vector<value_t>& x);
+
+// Column-parallel over fixed 512-column chunks; per-chunk partial vectors
+// are reduced in chunk order (gather-free scatter without races).
+std::vector<value_t> spmv_csc(const CscMatrix& a,
+                              const std::vector<value_t>& x);
+
+// Entry range split at row boundaries so each thread owns disjoint output
+// rows (requires row-major order; unsorted entries run serially).
+std::vector<value_t> spmv_coo(const CooMatrix& a,
+                              const std::vector<value_t>& x);
+
+std::vector<value_t> spmv_dense(const DenseMatrix& a,
+                                const std::vector<value_t>& x);
+
+std::vector<value_t> spmv_ell(const EllMatrix& a,
+                              const std::vector<value_t>& x);
+
+// Block-row parallel; a block row owns its block_rows() output rows.
+std::vector<value_t> spmv_bsr(const BsrMatrix& a,
                               const std::vector<value_t>& x);
 
 }  // namespace mt

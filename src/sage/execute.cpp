@@ -1,0 +1,69 @@
+#include "sage/execute.hpp"
+
+#include "common/error.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/ttm.hpp"
+
+namespace mt {
+
+namespace {
+
+// MCF materialization followed by the MCF -> ACF conversion step: exactly
+// the data movement MINT performs on-accelerator, run through the software
+// converter so the result is functionally checkable.
+AnyMatrix through_mcf(const CooMatrix& a, Format mcf, Format acf) {
+  const AnyMatrix stored = convert(AnyMatrix(a), mcf);
+  return convert(stored, acf);
+}
+
+}  // namespace
+
+SageExecution execute_choice(const SageChoice& c, const CooMatrix& a,
+                             const CooMatrix& b, double tol) {
+  const AnyMatrix acf_a = through_mcf(a, c.mcf_a, c.acf_a);
+  const AnyMatrix acf_b = through_mcf(b, c.mcf_b, c.acf_b);
+  SageExecution r;
+  r.output = exec::spmm(acf_a, acf_b, &r.dispatch);
+  const auto want = gemm(a.to_dense(), b.to_dense());
+  r.max_abs_err = max_abs_diff(r.output, want);
+  r.verified = r.max_abs_err <= tol;
+  return r;
+}
+
+SageExecution execute_choice_spmm(const SageChoice& c, const CooMatrix& a,
+                                  const DenseMatrix& b, double tol) {
+  const AnyMatrix acf_a = through_mcf(a, c.mcf_a, c.acf_a);
+  SageExecution r;
+  if (c.acf_b == Format::kDense) {
+    r.output = exec::spmm(acf_a, b, &r.dispatch);
+  } else {
+    r.output = exec::spmm(acf_a, encode(b, c.acf_b), &r.dispatch);
+  }
+  const auto want = gemm(a.to_dense(), b);
+  r.max_abs_err = max_abs_diff(r.output, want);
+  r.verified = r.max_abs_err <= tol;
+  return r;
+}
+
+SageTensorExecution execute_tensor_choice(const SageTensorChoice& choice,
+                                          Kernel kernel, const CooTensor3& x,
+                                          const DenseMatrix& b,
+                                          const DenseMatrix& c, double tol) {
+  MT_REQUIRE(kernel == Kernel::kSpTTM || kernel == Kernel::kMTTKRP,
+             "tensor kernels are SpTTM or MTTKRP");
+  const AnyTensor stored = convert(AnyTensor(x), choice.mcf_t);
+  const AnyTensor acf = convert(stored, choice.acf_t);
+  SageTensorExecution r;
+  if (kernel == Kernel::kMTTKRP) {
+    const auto got = exec::mttkrp(acf, b, c, &r.dispatch);
+    r.max_abs_err = max_abs_diff(got, mttkrp_dense(x.to_dense(), b, c));
+  } else {
+    const auto got = exec::ttm(acf, b, &r.dispatch);
+    r.max_abs_err = max_abs_diff(got, ttm_dense(x.to_dense(), b));
+  }
+  r.verified = r.max_abs_err <= tol;
+  return r;
+}
+
+}  // namespace mt

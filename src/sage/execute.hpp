@@ -1,0 +1,49 @@
+// Functional execution of a SAGE decision — the closed loop the analytic
+// models alone cannot provide.
+//
+// SAGE prices MCF x ACF combinations; execute_choice() actually runs one:
+// the operands are materialized in the winning MCF, converted MCF -> ACF
+// through the software conversion layer (the functional mirror of MINT),
+// the kernel runs in the chosen ACF via the execution engine, and the
+// output is checked against the dense reference. A SageChoice that cannot
+// round-trip this path is a pricing-only artifact; the tests use this to
+// guarantee every modeled scenario is executable.
+#pragma once
+
+#include "exec/exec.hpp"
+#include "sage/sage.hpp"
+
+namespace mt {
+
+struct SageExecution {
+  bool verified = false;    // max_abs_err <= tol
+  double max_abs_err = 0.0; // vs the dense reference
+  exec::Dispatch dispatch;  // how the engine ran the ACF kernel
+  DenseMatrix output;       // decoded engine output
+};
+
+// Executes a matmul choice with both operands sparse (SpGEMM/SpMM regime).
+// Reference: dense GEMM over the decoded operands — keep shapes modest.
+SageExecution execute_choice(const SageChoice& c, const CooMatrix& a,
+                             const CooMatrix& b, double tol = 1e-3);
+
+// Executes an SpMM choice whose factor B is given dense (the
+// sage_select_spmm_dense_b scenario); B is encoded into the chosen ACFb.
+SageExecution execute_choice_spmm(const SageChoice& c, const CooMatrix& a,
+                                  const DenseMatrix& b, double tol = 1e-3);
+
+struct SageTensorExecution {
+  bool verified = false;
+  double max_abs_err = 0.0;
+  exec::Dispatch dispatch;
+};
+
+// Executes a tensor choice: MTTKRP takes factors (b, c); SpTTM takes u = b
+// and ignores c. Reference: the dense tensor kernel over x.to_dense().
+SageTensorExecution execute_tensor_choice(const SageTensorChoice& choice,
+                                          Kernel kernel, const CooTensor3& x,
+                                          const DenseMatrix& b,
+                                          const DenseMatrix& c,
+                                          double tol = 1e-3);
+
+}  // namespace mt

@@ -138,10 +138,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values(Format::kDense, Format::kCOO, Format::kCSR,
                           Format::kCSC, Format::kRLC, Format::kZVC,
-                          Format::kBSR, Format::kDIA),
+                          Format::kBSR, Format::kDIA, Format::kELL),
         ::testing::Values(Format::kDense, Format::kCOO, Format::kCSR,
                           Format::kCSC, Format::kRLC, Format::kZVC,
-                          Format::kBSR, Format::kDIA)),
+                          Format::kBSR, Format::kDIA, Format::kELL)),
     [](const auto& info) {
       return std::string(name_of(std::get<0>(info.param))) + "_to_" +
              std::string(name_of(std::get<1>(info.param)));

@@ -1,0 +1,278 @@
+// The execution engine: every (kernel x format) pair the engine accepts
+// must produce the dense-reference result, the dispatch report must match
+// the registry (native vs conversion fallback), and a SAGE winning choice
+// must be executable end-to-end — MCF materialization, MCF->ACF
+// conversion, ACF kernel — not just priced.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "exec/exec.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/ttm.hpp"
+#include "sage/execute.hpp"
+#include "testing.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/synth.hpp"
+
+namespace mt {
+namespace {
+
+using testing::random_dense;
+using testing::random_tensor;
+
+constexpr double kTol = 1e-4;  // satellite spec: engine vs dense reference
+
+std::string ctx(Kernel k, Format f) {
+  return std::string(name_of(k)) + " over " + std::string(name_of(f));
+}
+
+// --- Property: every supported (kernel x format) pair matches the dense
+// reference, and reports the path the registry promises. ---
+
+TEST(ExecProperty, SpmvEveryFormatMatchesDenseReference) {
+  const auto a = random_dense(37, 29, 0.18, 11);
+  const auto xd = random_dense(29, 1, 1.0, 12);
+  const std::vector<value_t> x(xd.values().begin(), xd.values().end());
+  const auto want = gemm(a, xd);
+  for (Format f : exec::supported_formats(Kernel::kSpMV)) {
+    exec::Dispatch d;
+    const auto got = exec::spmv(encode(a, f), x, &d);
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(a.rows()));
+    for (index_t r = 0; r < a.rows(); ++r) {
+      ASSERT_NEAR(got[static_cast<std::size_t>(r)], want.at(r, 0), kTol)
+          << ctx(Kernel::kSpMV, f);
+    }
+    EXPECT_EQ(d.path, exec::has_native(Kernel::kSpMV, f)
+                          ? exec::Path::kNative
+                          : exec::Path::kFallback)
+        << ctx(Kernel::kSpMV, f);
+    EXPECT_EQ(d.given_a, f);
+    if (d.path == exec::Path::kFallback) {
+      EXPECT_EQ(d.ran_a, exec::fallback_format(Kernel::kSpMV));
+    } else {
+      EXPECT_EQ(d.ran_a, f);
+    }
+  }
+}
+
+TEST(ExecProperty, SpmmEveryFormatMatchesDenseReference) {
+  const auto a = random_dense(26, 33, 0.22, 21);
+  const auto b = random_dense(33, 17, 1.0, 22);
+  const auto want = gemm(a, b);
+  for (Format f : exec::supported_formats(Kernel::kSpMM)) {
+    exec::Dispatch d;
+    const auto got = exec::spmm(encode(a, f), b, &d);
+    EXPECT_LE(max_abs_diff(got, want), kTol) << ctx(Kernel::kSpMM, f);
+    EXPECT_EQ(d.path, exec::has_native(Kernel::kSpMM, f)
+                          ? exec::Path::kNative
+                          : exec::Path::kFallback)
+        << ctx(Kernel::kSpMM, f);
+  }
+}
+
+TEST(ExecProperty, SpgemmEveryFormatPairMatchesDenseReference) {
+  const auto a = random_dense(24, 30, 0.2, 31);
+  const auto b = random_dense(30, 21, 0.25, 32);
+  const auto want = gemm(a, b);
+  for (Format fa : exec::supported_formats(Kernel::kSpGEMM)) {
+    for (Format fb : {Format::kCSR, Format::kCOO, Format::kZVC}) {
+      exec::Dispatch d;
+      const auto got = exec::spgemm(encode(a, fa), encode(b, fb), &d);
+      EXPECT_LE(max_abs_diff(got.to_dense(), want), kTol)
+          << ctx(Kernel::kSpGEMM, fa) << "/" << name_of(fb);
+      const bool native = fa == Format::kCSR && fb == Format::kCSR;
+      EXPECT_EQ(d.path,
+                native ? exec::Path::kNative : exec::Path::kFallback);
+    }
+  }
+}
+
+TEST(ExecProperty, SpmmPairDispatchMatchesDenseReference) {
+  const auto a = random_dense(22, 28, 0.3, 41);
+  const auto b = random_dense(28, 19, 0.4, 42);
+  const auto want = gemm(a, b);
+  // Every ACF pair SAGE can emit, plus non-native pairs that must fall
+  // back: (COO, CSC) has no kernel, (ELL, CSC) repairs both operands.
+  const std::pair<Format, Format> pairs[] = {
+      {Format::kDense, Format::kDense}, {Format::kCOO, Format::kDense},
+      {Format::kCSR, Format::kDense},   {Format::kCSC, Format::kDense},
+      {Format::kDense, Format::kCSC},   {Format::kCSR, Format::kCSC},
+      {Format::kCOO, Format::kCSC},     {Format::kELL, Format::kCSC},
+      {Format::kBSR, Format::kRLC}};
+  for (const auto& [fa, fb] : pairs) {
+    exec::Dispatch d;
+    const auto got = exec::spmm(encode(a, fa), encode(b, fb), &d);
+    EXPECT_LE(max_abs_diff(got, want), kTol)
+        << name_of(fa) << "/" << name_of(fb);
+    EXPECT_EQ(d.path, exec::has_native_pair(fa, fb) ? exec::Path::kNative
+                                                    : exec::Path::kFallback)
+        << name_of(fa) << "/" << name_of(fb);
+  }
+}
+
+TEST(ExecProperty, TtmEveryFormatMatchesDenseReference) {
+  const auto t = random_tensor(9, 11, 8, 0.15, 51);
+  const auto u = random_dense(8, 6, 1.0, 52);
+  const auto want = ttm_dense(t, u);
+  for (Format f : exec::supported_formats(Kernel::kSpTTM)) {
+    exec::Dispatch d;
+    const auto got = exec::ttm(encode(t, f), u, &d);
+    EXPECT_LE(max_abs_diff(got, want), kTol) << ctx(Kernel::kSpTTM, f);
+    EXPECT_EQ(d.path, exec::has_native(Kernel::kSpTTM, f)
+                          ? exec::Path::kNative
+                          : exec::Path::kFallback)
+        << ctx(Kernel::kSpTTM, f);
+  }
+}
+
+TEST(ExecProperty, MttkrpEveryFormatMatchesDenseReference) {
+  const auto t = random_tensor(10, 7, 12, 0.2, 61);
+  const auto b = random_dense(7, 5, 1.0, 62);
+  const auto c = random_dense(12, 5, 1.0, 63);
+  const auto want = mttkrp_dense(t, b, c);
+  for (Format f : exec::supported_formats(Kernel::kMTTKRP)) {
+    exec::Dispatch d;
+    const auto got = exec::mttkrp(encode(t, f), b, c, &d);
+    EXPECT_LE(max_abs_diff(got, want), kTol) << ctx(Kernel::kMTTKRP, f);
+    EXPECT_EQ(d.path, exec::has_native(Kernel::kMTTKRP, f)
+                          ? exec::Path::kNative
+                          : exec::Path::kFallback)
+        << ctx(Kernel::kMTTKRP, f);
+  }
+}
+
+// --- Registry coverage: the natives the README matrix promises. ---
+
+TEST(ExecRegistry, NativeCoverageMatchesReadmeMatrix) {
+  using exec::has_native;
+  for (Format f : {Format::kCSR, Format::kCSC, Format::kCOO, Format::kDense,
+                   Format::kELL, Format::kBSR}) {
+    EXPECT_TRUE(has_native(Kernel::kSpMV, f)) << name_of(f);
+  }
+  for (Format f : {Format::kCSR, Format::kCSC, Format::kCOO, Format::kDense}) {
+    EXPECT_TRUE(has_native(Kernel::kSpMM, f)) << name_of(f);
+  }
+  for (Format f : {Format::kCOO, Format::kCSF, Format::kHiCOO,
+                   Format::kDense}) {
+    EXPECT_TRUE(has_native(Kernel::kMTTKRP, f)) << name_of(f);
+  }
+  for (Format f : {Format::kCOO, Format::kCSF, Format::kDense}) {
+    EXPECT_TRUE(has_native(Kernel::kSpTTM, f)) << name_of(f);
+  }
+  EXPECT_TRUE(has_native(Kernel::kSpGEMM, Format::kCSR));
+  EXPECT_TRUE(has_native(Kernel::kGemm, Format::kDense));
+  // Formats that must route through the fallback.
+  EXPECT_FALSE(has_native(Kernel::kSpMV, Format::kDIA));
+  EXPECT_FALSE(has_native(Kernel::kSpMM, Format::kELL));
+  EXPECT_FALSE(has_native(Kernel::kMTTKRP, Format::kZVC));
+}
+
+// --- The convert-fallback path, exercised explicitly. ---
+
+TEST(ExecFallback, DiaSpmvConvertsThroughCsr) {
+  const auto a = random_dense(20, 20, 0.3, 71);
+  const auto xd = random_dense(20, 1, 1.0, 72);
+  const std::vector<value_t> x(xd.values().begin(), xd.values().end());
+  exec::Dispatch d;
+  const auto got = exec::spmv(encode(a, Format::kDIA), x, &d);
+  EXPECT_EQ(d.path, exec::Path::kFallback);
+  EXPECT_EQ(d.given_a, Format::kDIA);
+  EXPECT_EQ(d.ran_a, Format::kCSR);
+  const auto want = gemm(a, xd);
+  for (index_t r = 0; r < 20; ++r) {
+    EXPECT_NEAR(got[static_cast<std::size_t>(r)], want.at(r, 0), kTol);
+  }
+  EXPECT_NE(d.describe().find("fallback"), std::string::npos);
+}
+
+TEST(ExecFallback, ZvcMttkrpConvertsThroughCsf) {
+  const auto t = random_tensor(8, 9, 10, 0.15, 81);
+  const auto b = random_dense(9, 4, 1.0, 82);
+  const auto c = random_dense(10, 4, 1.0, 83);
+  exec::Dispatch d;
+  const auto got = exec::mttkrp(encode(t, Format::kZVC), b, c, &d);
+  EXPECT_EQ(d.path, exec::Path::kFallback);
+  EXPECT_EQ(d.ran_a, Format::kCSF);
+  EXPECT_LE(max_abs_diff(got, mttkrp_dense(t, b, c)), kTol);
+}
+
+// --- SAGE choices executed end-to-end, not just priced. ---
+
+TEST(SageExecute, Table3JournalWinningChoiceRunsAndVerifies) {
+  const auto& w = matrix_workload("journal");  // 124x124, 12k nnz
+  const auto a = synth_coo_matrix(w, 1);
+  const index_t n = factor_cols(w.m);
+  const auto b = synth_coo_matrix(w.k, n, w.k * n / 4, 2);
+  const AccelConfig cfg = AccelConfig::paper_default();
+  const EnergyParams energy;
+  const auto choice = sage_select_matmul(a, b, cfg, energy);
+  const auto r = execute_choice(choice, a, b);
+  EXPECT_TRUE(r.verified) << choice.describe()
+                          << " err=" << r.max_abs_err
+                          << " via " << r.dispatch.describe();
+  EXPECT_EQ(r.output.rows(), w.m);
+  EXPECT_EQ(r.output.cols(), n);
+}
+
+TEST(SageExecute, Table3TensorWinningChoiceRunsAndVerifies) {
+  // BrainQ at reduced nnz: Table III dimensions are kept exactly; the
+  // dense reference bounds how many nonzeros the test can afford.
+  const auto& w = tensor_workload("BrainQ");
+  const auto x = synth_coo_tensor(w.x, w.y, w.z, w.nnz / 64, 3);
+  const index_t rank = 8;
+  const auto fb = random_dense(w.z, rank, 1.0, 4);
+  const AccelConfig cfg = AccelConfig::paper_default();
+  const EnergyParams energy;
+  const auto choice = sage_select_tensor(x, rank, w.kernel, cfg, energy);
+  const auto r = execute_tensor_choice(choice, w.kernel, x, fb, fb);
+  EXPECT_TRUE(r.verified) << "MCF " << name_of(choice.mcf_t) << " ACF "
+                          << name_of(choice.acf_t)
+                          << " err=" << r.max_abs_err << " via "
+                          << r.dispatch.describe();
+}
+
+TEST(SageExecute, SpmmDenseBChoiceRunsAndVerifies) {
+  const auto a = synth_coo_matrix(96, 80, 96 * 80 / 12, 5);
+  const auto b = random_dense(80, 48, 1.0, 6);
+  const AccelConfig cfg = AccelConfig::paper_default();
+  const EnergyParams energy;
+  const auto choice = sage_select_spmm_dense_b(a, b.cols(), cfg, energy);
+  const auto r = execute_choice_spmm(choice, a, b);
+  EXPECT_TRUE(r.verified) << choice.describe() << " err=" << r.max_abs_err;
+}
+
+TEST(SageExecute, EveryBaselineArchetypeExecutesItsChoice) {
+  const auto a = synth_coo_matrix(48, 40, 48 * 40 / 8, 7);
+  const auto b = synth_coo_matrix(40, 36, 40 * 36 / 8, 8);
+  const AccelConfig cfg = AccelConfig::paper_default();
+  const EnergyParams energy;
+  for (AccelType t : kAllAccelTypes) {
+    SageChoice choice;
+    const auto r = execute_baseline(t, a, b, cfg, energy, &choice);
+    EXPECT_TRUE(r.verified)
+        << name_of(t) << ": " << choice.describe()
+        << " err=" << r.max_abs_err << " via " << r.dispatch.describe();
+  }
+}
+
+// --- Kernel iteration helpers (common/types.hpp satellite). ---
+
+TEST(KernelHelpers, AllKernelsIterateInEnumOrderWithNames) {
+  EXPECT_EQ(kAllKernels.size(), 6u);
+  for (std::size_t i = 0; i < kAllKernels.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(kAllKernels[i]), i);
+    EXPECT_NE(name_of(kAllKernels[i]), "?");
+  }
+  EXPECT_TRUE(is_tensor_kernel(Kernel::kSpTTM));
+  EXPECT_TRUE(is_tensor_kernel(Kernel::kMTTKRP));
+  EXPECT_FALSE(is_tensor_kernel(Kernel::kSpMV));
+  // Every kernel reports a fallback ACF and a non-empty format set.
+  for (Kernel k : kAllKernels) {
+    EXPECT_FALSE(exec::supported_formats(k).empty()) << name_of(k);
+    EXPECT_TRUE(exec::has_native(k, exec::fallback_format(k))) << name_of(k);
+  }
+}
+
+}  // namespace
+}  // namespace mt

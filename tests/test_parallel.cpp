@@ -87,6 +87,62 @@ TEST(Parallel, SpmvCsr) {
   expect_same(s, p);
 }
 
+// The engine's other SpMV ACFs: CSC reduces fixed column chunks in chunk
+// order, COO splits the entry range at row boundaries, Dense/ELL/BSR own
+// disjoint rows — all bit-identical by construction.
+TEST(Parallel, SpmvEngineFormats) {
+  const auto d = mt::testing::random_dense(70, 90, 0.15, 13);
+  const auto xd = mt::testing::random_dense(90, 1, 1.0, 14);
+  const std::vector<value_t> x(xd.values().begin(), xd.values().end());
+  {
+    const auto a = CscMatrix::from_dense(d);
+    auto [s, p] = serial_vs_parallel([&] { return spmv_csc(a, x); });
+    expect_same(s, p);
+  }
+  {
+    const auto a = CooMatrix::from_dense(d);
+    auto [s, p] = serial_vs_parallel([&] { return spmv_coo(a, x); });
+    expect_same(s, p);
+  }
+  {
+    auto [s, p] = serial_vs_parallel([&] { return spmv_dense(d, x); });
+    expect_same(s, p);
+  }
+  {
+    const auto a = EllMatrix::from_dense(d);
+    auto [s, p] = serial_vs_parallel([&] { return spmv_ell(a, x); });
+    expect_same(s, p);
+  }
+  {
+    const auto a = BsrMatrix::from_dense(d);
+    auto [s, p] = serial_vs_parallel([&] { return spmv_bsr(a, x); });
+    expect_same(s, p);
+  }
+}
+
+TEST(Parallel, SpmmCooDense) {
+  const auto a = CooMatrix::from_dense(mt::testing::random_dense(52, 60, 0.2, 15));
+  const auto b = mt::testing::random_dense(60, 28, 1.0, 16);
+  auto [s, p] = serial_vs_parallel([&] { return spmm_coo_dense(a, b); });
+  expect_same(s, p);
+}
+
+TEST(Parallel, SpmmCscDense) {
+  const auto a = CscMatrix::from_dense(mt::testing::random_dense(52, 60, 0.2, 17));
+  const auto b = mt::testing::random_dense(60, 28, 1.0, 18);
+  auto [s, p] = serial_vs_parallel([&] { return spmm_csc_dense(a, b); });
+  expect_same(s, p);
+}
+
+TEST(Parallel, MttkrpHicoo) {
+  const auto t = mt::testing::random_tensor(24, 20, 16, 0.1, 19);
+  const auto x = HicooTensor3::from_coo(CooTensor3::from_dense(t));
+  const auto b = mt::testing::random_dense(20, 8, 1.0, 44);
+  const auto c = mt::testing::random_dense(16, 8, 1.0, 45);
+  auto [s, p] = serial_vs_parallel([&] { return mttkrp_hicoo(x, b, c); });
+  expect_same(s, p);
+}
+
 TEST(Parallel, SpmmCsrDense) {
   const auto a = CsrMatrix::from_dense(mt::testing::random_dense(48, 64, 0.2, 21));
   const auto b = mt::testing::random_dense(64, 32, 1.0, 22);

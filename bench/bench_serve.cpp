@@ -1,0 +1,347 @@
+// bench_serve — load generator for the serving runtime (src/runtime).
+//
+// Measures what the plan cache and conversion cache buy on
+// repeated-workload traffic: the same request mix is driven through a
+// server with both caches enabled ("cached") and with both bypassed
+// ("bypass" — every request re-runs the SAGE search and re-converts its
+// operands, the PR-2 one-shot behavior). Two phases per mode:
+//
+//   closed-loop  N client threads submit back-to-back -> max throughput
+//   open-loop    a dispatcher fires requests on a fixed schedule (the
+//                same absolute rate for both modes, set from the cached
+//                throughput) -> p50/p99 latency measured from the
+//                *scheduled* arrival, so queue buildup in the slow mode
+//                is charged to latency, not hidden (no coordinated
+//                omission)
+//
+// Output: human-readable table on stdout plus a JSON record (--out,
+// default BENCH_serve.json) with per-mode throughput/latency/cache rates
+// and the cached-over-bypass speedup the ISSUE-3 acceptance bar reads.
+//
+// Usage: bench_serve [--smoke] [--out FILE] [--clients N] [--requests N]
+//                    [--workers N]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/server.hpp"
+#include "workloads/synth.hpp"
+
+namespace {
+
+using namespace mt;
+using namespace mt::runtime;
+
+struct Config {
+  bool smoke = false;
+  std::string out = "BENCH_serve.json";
+  int clients = 4;
+  int requests = 400;  // per client, closed-loop phase
+  int workers = 2;
+  int open_loop_requests = 200;
+  int trials = 3;  // best-of-N closed-loop runs (noise defense)
+};
+
+struct Operands {
+  std::vector<AnyMatrix> mats;
+  std::vector<MatrixHandle> handles;
+  AnyTensor tensor = AnyTensor(DenseTensor3(1, 1, 1));
+  TensorHandle tensor_handle;
+  std::vector<value_t> x;
+  DenseMatrix spmm_b, mttkrp_b, mttkrp_c;
+};
+
+struct ModeResult {
+  double throughput_rps = 0.0;
+  double closed_p50_us = 0.0, closed_p99_us = 0.0;
+  double open_rate_rps = 0.0;
+  double open_p50_us = 0.0, open_p99_us = 0.0;
+  CountersSnapshot counters;
+};
+
+ServerOptions make_options(const Config& cfg, bool caches_on) {
+  ServerOptions o;
+  o.num_workers = cfg.workers;
+  o.queue_capacity = 64;
+  o.use_plan_cache = caches_on;
+  o.use_conversion_cache = caches_on;
+  // Modest accelerator model: the SAGE search space is identical to the
+  // paper default's; only the pricing arithmetic inputs differ.
+  o.accel.num_pes = 64;
+  o.accel.pe_buffer_bytes = 128 * 4;
+  return o;
+}
+
+Operands register_operands(Server& srv, bool smoke) {
+  Operands ops;
+  const index_t n = smoke ? 48 : 96;
+  const double density = 0.04;
+  const Format mcfs[] = {Format::kCSR, Format::kZVC, Format::kCOO,
+                         Format::kRLC};
+  for (int i = 0; i < 4; ++i) {
+    const auto coo = synth_coo_matrix(
+        n, n, static_cast<std::int64_t>(density * static_cast<double>(n * n)),
+        40 + static_cast<std::uint64_t>(i));
+    ops.mats.push_back(convert(AnyMatrix(coo), mcfs[i]));
+    ops.handles.push_back(srv.register_matrix(ops.mats.back()));
+  }
+  ops.tensor = AnyTensor(synth_coo_tensor(16, 14, 12, smoke ? 80 : 250, 44));
+  ops.tensor_handle = srv.register_tensor(ops.tensor);
+
+  ops.x.assign(static_cast<std::size_t>(n), 1.0f);
+  for (std::size_t i = 0; i < ops.x.size(); ++i) {
+    ops.x[i] = 0.25f * static_cast<float>(i % 5);
+  }
+  const auto dense = [](index_t r, index_t c, std::uint64_t seed) {
+    return synth_coo_matrix(r, c, r * c, seed).to_dense();
+  };
+  ops.spmm_b = dense(n, 16, 45);
+  ops.mttkrp_b = dense(14, 8, 46);
+  ops.mttkrp_c = dense(12, 8, 47);
+  return ops;
+}
+
+// The repeated-traffic mix: SpMV- and SpMM-heavy with SpGEMM and MTTKRP
+// seasoning, round-robin over the registered operands.
+Request make_request(const Operands& ops, int seq) {
+  Request r;
+  const int roll = seq % 10;
+  const std::size_t op = static_cast<std::size_t>(seq) % ops.handles.size();
+  if (roll < 4) {
+    r.kernel = Kernel::kSpMV;
+    r.a = ops.handles[op];
+    r.vec = ops.x;
+  } else if (roll < 7) {
+    r.kernel = Kernel::kSpMM;
+    r.a = ops.handles[op];
+    r.dense_b = ops.spmm_b;
+  } else if (roll < 9) {
+    r.kernel = Kernel::kSpGEMM;
+    r.a = ops.handles[op];
+    r.b = ops.handles[(op + 1) % ops.handles.size()];
+  } else {
+    r.kernel = Kernel::kMTTKRP;
+    r.x = ops.tensor_handle;
+    r.dense_b = ops.mttkrp_b;
+    r.dense_c = ops.mttkrp_c;
+  }
+  return r;
+}
+
+double percentile(std::vector<double>& xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[idx];
+}
+
+// Closed-loop: each client thread submits back-to-back (one outstanding
+// request per client). Returns throughput; fills latencies (us).
+double closed_loop(Server& srv, const Operands& ops, int clients,
+                   int requests, std::vector<double>& latencies_us) {
+  std::vector<std::vector<double>> per_client(
+      static_cast<std::size_t>(clients));
+  const auto t0 = now_ns();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& lat = per_client[static_cast<std::size_t>(c)];
+      lat.reserve(static_cast<std::size_t>(requests));
+      for (int i = 0; i < requests; ++i) {
+        const auto ts = now_ns();
+        auto fut = srv.submit(make_request(ops, c * requests + i));
+        (void)fut.get();
+        lat.push_back(static_cast<double>(now_ns() - ts) / 1e3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = static_cast<double>(now_ns() - t0) / 1e9;
+  for (auto& lat : per_client) {
+    latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
+  }
+  return static_cast<double>(clients) * static_cast<double>(requests) /
+         wall_s;
+}
+
+// Open-loop: submit on a fixed schedule; latency runs from the scheduled
+// arrival to response completion (collector drains in FIFO submit order,
+// matching the server's FIFO queue).
+void open_loop(Server& srv, const Operands& ops, double rate_rps,
+               int requests, std::vector<double>& latencies_us) {
+  std::vector<std::future<Response>> futs;
+  std::vector<std::int64_t> scheduled;
+  futs.reserve(static_cast<std::size_t>(requests));
+  scheduled.reserve(static_cast<std::size_t>(requests));
+  const auto interval_ns =
+      static_cast<std::int64_t>(1e9 / std::max(rate_rps, 1.0));
+  const auto start = now_ns();
+  for (int i = 0; i < requests; ++i) {
+    const auto due = start + static_cast<std::int64_t>(i) * interval_ns;
+    while (now_ns() < due) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    scheduled.push_back(due);
+    futs.push_back(srv.submit(make_request(ops, i)));
+  }
+  latencies_us.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    (void)futs[static_cast<std::size_t>(i)].get();
+    latencies_us.push_back(
+        static_cast<double>(now_ns() - scheduled[static_cast<std::size_t>(i)]) /
+        1e3);
+  }
+}
+
+ModeResult run_mode(const Config& cfg, bool caches_on, double open_rate_rps) {
+  Server srv(make_options(cfg, caches_on));
+  const auto ops = register_operands(srv, cfg.smoke);
+
+  // Best-of-N: a shared 1-core box can deschedule the whole process for
+  // milliseconds; the best trial is the one least polluted by unrelated
+  // load, and both modes get the same treatment.
+  ModeResult r;
+  for (int t = 0; t < cfg.trials; ++t) {
+    std::vector<double> closed_lat;
+    const double thr =
+        closed_loop(srv, ops, cfg.clients, cfg.requests, closed_lat);
+    if (thr > r.throughput_rps) {
+      r.throughput_rps = thr;
+      r.closed_p50_us = percentile(closed_lat, 0.50);
+      r.closed_p99_us = percentile(closed_lat, 0.99);
+    }
+  }
+
+  // Open-loop phase on the same (now warmed) server, so the cached mode's
+  // tail reflects steady-state cache hits, not first-touch misses. The
+  // rate is either inherited (bypass runs at the cached mode's rate) or
+  // derived from this mode's own measured throughput.
+  r.open_rate_rps = open_rate_rps > 0.0
+                        ? open_rate_rps
+                        : std::max(r.throughput_rps * 0.5, 10.0);
+  std::vector<double> open_lat;
+  open_loop(srv, ops, r.open_rate_rps, cfg.open_loop_requests, open_lat);
+  r.open_p50_us = percentile(open_lat, 0.50);
+  r.open_p99_us = percentile(open_lat, 0.99);
+
+  r.counters = srv.counters();
+  srv.stop();
+  return r;
+}
+
+void print_mode(const char* name, const ModeResult& r) {
+  const double n = std::max(1.0, static_cast<double>(r.counters.completed));
+  std::printf(
+      "%-7s  %10.0f req/s   closed p50 %8.1f us  p99 %8.1f us\n"
+      "         open   p50 %8.1f us  p99 %8.1f us\n"
+      "         per-req avg: plan %6.1f us  convert %6.1f us  exec %6.1f us  "
+      "queue %6.1f us\n"
+      "         plan hit %5.1f%%  conversion hit %5.1f%%  (completed %lld, "
+      "failed %lld)\n",
+      name, r.throughput_rps, r.closed_p50_us, r.closed_p99_us, r.open_p50_us,
+      r.open_p99_us, static_cast<double>(r.counters.plan_ns) / n / 1e3,
+      static_cast<double>(r.counters.convert_ns) / n / 1e3,
+      static_cast<double>(r.counters.exec_ns) / n / 1e3,
+      static_cast<double>(r.counters.queue_wait_ns) / n / 1e3,
+      100.0 * r.counters.plan_hit_rate(),
+      100.0 * r.counters.conversion_hit_rate(),
+      static_cast<long long>(r.counters.completed),
+      static_cast<long long>(r.counters.failed));
+}
+
+void write_json(const Config& cfg, const ModeResult& cached,
+                const ModeResult& bypass, double open_rate, double speedup) {
+  std::ofstream os(cfg.out);
+  auto mode = [&](const char* name, const ModeResult& r, bool last) {
+    os << "  \"" << name << "\": {\n"
+       << "    \"throughput_rps\": " << r.throughput_rps << ",\n"
+       << "    \"closed_loop_p50_us\": " << r.closed_p50_us << ",\n"
+       << "    \"closed_loop_p99_us\": " << r.closed_p99_us << ",\n"
+       << "    \"open_loop_p50_us\": " << r.open_p50_us << ",\n"
+       << "    \"open_loop_p99_us\": " << r.open_p99_us << ",\n"
+       << "    \"plan_hit_rate\": " << r.counters.plan_hit_rate() << ",\n"
+       << "    \"conversion_hit_rate\": " << r.counters.conversion_hit_rate()
+       << ",\n"
+       << "    \"completed\": " << r.counters.completed << ",\n"
+       << "    \"failed\": " << r.counters.failed << "\n"
+       << "  }" << (last ? "\n" : ",\n");
+  };
+  os << "{\n"
+     << "  \"bench\": \"serve\",\n"
+     << "  \"smoke\": " << (cfg.smoke ? "true" : "false") << ",\n"
+     << "  \"workers\": " << cfg.workers << ",\n"
+     << "  \"clients\": " << cfg.clients << ",\n"
+     << "  \"requests_per_client\": " << cfg.requests << ",\n"
+     << "  \"open_loop_rate_rps\": " << open_rate << ",\n"
+     << "  \"speedup_cached_over_bypass\": " << speedup << ",\n";
+  mode("cached", cached, false);
+  mode("bypass", bypass, true);
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](int& out) {
+      if (i + 1 < argc) out = std::atoi(argv[++i]);
+    };
+    if (arg == "--smoke") {
+      cfg.smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      cfg.out = argv[++i];
+    } else if (arg == "--clients") {
+      next(cfg.clients);
+    } else if (arg == "--requests") {
+      next(cfg.requests);
+    } else if (arg == "--workers") {
+      next(cfg.workers);
+    }
+  }
+  if (cfg.smoke) {
+    cfg.clients = std::min(cfg.clients, 2);
+    cfg.requests = std::min(cfg.requests, 20);
+    cfg.open_loop_requests = 30;
+    cfg.trials = 1;
+  }
+
+  mt::bench::banner("Serving runtime: cached vs no-cache repeated traffic");
+  std::printf("workers %d, clients %d, %d requests/client closed-loop\n",
+              cfg.workers, cfg.clients, cfg.requests);
+
+  // Cached mode first; its measured throughput sets the open-loop rate
+  // both modes are measured at (so the bypass mode's queue buildup shows
+  // up as tail latency at the same offered load).
+  mt::bench::subhead("caches enabled (plan + conversion)");
+  const ModeResult cached =
+      run_mode(cfg, /*caches_on=*/true, /*open_rate_rps=*/0.0);
+  print_mode("cached", cached);
+
+  mt::bench::subhead("caches bypassed (SAGE + convert on every request)");
+  const ModeResult bypass =
+      run_mode(cfg, /*caches_on=*/false, cached.open_rate_rps);
+  print_mode("bypass", bypass);
+  const double open_rate = cached.open_rate_rps;
+
+  const double speedup =
+      bypass.throughput_rps > 0.0
+          ? cached.throughput_rps / bypass.throughput_rps
+          : 0.0;
+  std::printf("\nthroughput speedup (cached / bypass): %.2fx %s\n", speedup,
+              speedup >= 5.0 ? "(meets the >=5x acceptance bar)"
+                             : "(below the 5x bar)");
+
+  write_json(cfg, cached, bypass, open_rate, speedup);
+  std::printf("wrote %s\n", cfg.out.c_str());
+  return 0;
+}

@@ -87,6 +87,18 @@ SPEEDUP_ARGS=(--threads "$THREADS" --out "$JSON_OUT")
 run_one bench_speedup "${SPEEDUP_ARGS[@]}"
 [ -f "$JSON_OUT" ] && echo "wrote $JSON_OUT"
 
+# Serving-runtime cache speedup -> BENCH_serve.json in the repo root.
+# Same smoke policy as above: smoke numbers stay in the log dir.
+if [ "$SMOKE" -eq 1 ]; then
+  SERVE_OUT="$LOGS/BENCH_serve.smoke.json"
+else
+  SERVE_OUT="$ROOT/BENCH_serve.json"
+fi
+SERVE_ARGS=(--out "$SERVE_OUT")
+[ "$SMOKE" -eq 1 ] && SERVE_ARGS+=(--smoke)
+run_one bench_serve "${SERVE_ARGS[@]}"
+[ -f "$SERVE_OUT" ] && echo "wrote $SERVE_OUT"
+
 if [ "$FAILED" -ne 0 ]; then
   echo "bench: FAILURES above" >&2
   exit 1

@@ -1,7 +1,9 @@
 #include "common/threads.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <thread>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -26,6 +28,14 @@ int env_or_default() {
 
 }  // namespace
 
+int hardware_threads() {
+#ifdef _OPENMP
+  return std::max(1, omp_get_num_procs());
+#else
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+#endif
+}
+
 int num_threads() {
   const int n = g_override.load(std::memory_order_relaxed);
   return n >= 1 ? n : env_or_default();
@@ -33,6 +43,17 @@ int num_threads() {
 
 void set_num_threads(int n) {
   g_override.store(n >= 1 ? n : 0, std::memory_order_relaxed);
+}
+
+int num_threads_override() {
+  return std::max(g_override.load(std::memory_order_relaxed), 0);
+}
+
+int threads_per_worker(int pool_size) {
+  if (pool_size <= 1) return num_threads();
+  const int per_worker = std::max(1, hardware_threads() / pool_size);
+  // Never hand a worker more threads than a solo caller would get.
+  return std::min(per_worker, num_threads());
 }
 
 }  // namespace mt

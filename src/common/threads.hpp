@@ -4,6 +4,16 @@
 // MT_NUM_THREADS environment variable, then the OpenMP runtime default
 // (1 when built without OpenMP). Always >= 1; 1 runs the kernels
 // serially so results are reproducible run-to-run.
+//
+// Interplay with the serving runtime's worker pool (src/runtime): each
+// worker thread that calls a kernel opens its own OpenMP team, so the
+// process runs up to pool_size x num_threads() compute threads at once.
+// The pool therefore applies threads_per_worker() through set_num_threads()
+// while it is live — kernel teams x workers stay within the hardware
+// concurrency whenever the pool itself fits (each worker keeps at least
+// one thread) — and restores the previous override on shutdown. The cap is
+// process-wide: kernels invoked directly while a capped pool is running
+// share the capped width.
 #pragma once
 
 namespace mt {
@@ -14,5 +24,21 @@ int num_threads();
 // Override the thread count for this process; n < 1 clears the override
 // and falls back to MT_NUM_THREADS / the OpenMP default.
 void set_num_threads(int n);
+
+// The raw override value (0 = no override set). Lets a scoped owner —
+// the serving runtime's worker pool — save the knob and restore it
+// exactly, including the "no override" state.
+int num_threads_override();
+
+// Hardware parallelism available to this process (always >= 1).
+int hardware_threads();
+
+// Hardware thread budget for one of `pool_size` concurrent kernel callers:
+// always >= 1, so pool_size * threads_per_worker(pool_size) stays within
+// the hardware concurrency whenever pool_size itself fits (pool_size >
+// hardware_threads() degrades to one kernel thread per worker — the pool
+// itself already oversubscribes). With pool_size <= 1 this is just the
+// current num_threads() resolution.
+int threads_per_worker(int pool_size);
 
 }  // namespace mt

@@ -34,7 +34,6 @@ CooMatrix hub_to_coo(const AnyMatrix& m) {
 
 AnyMatrix hub_from_coo(const CooMatrix& c, Format target) {
   switch (target) {
-    case Format::kCOO: return c;
     case Format::kCSR: return CsrMatrix::from_coo(c);
     case Format::kCSC: return CscMatrix::from_coo(c);
     case Format::kRLC: return coo_to_rlc(c);
@@ -127,7 +126,15 @@ AnyMatrix convert(const AnyMatrix& m, Format target) {
   // dense-coupled side (ZVC/DIA/ELL, defined over the dense linearization)
   // decode to a dense intermediate.
   if (matrix_coo_path(format_of(m)) && matrix_coo_path(target)) {
-    return hub_from_coo(hub_to_coo(m), target);
+    // A COO source feeds the hub converters directly — no copy of the
+    // operand is ever made (the serving runtime's conversion cache relies
+    // on const-ref conversion from shared, read-only representations).
+    if (const auto* coo = std::get_if<CooMatrix>(&m)) {
+      return hub_from_coo(*coo, target);
+    }
+    CooMatrix hub = hub_to_coo(m);
+    if (target == Format::kCOO) return AnyMatrix(std::move(hub));
+    return hub_from_coo(hub, target);
   }
   return encode(decode(m), target);
 }

@@ -9,6 +9,14 @@
 // convert() layer into the kernel's fallback ACF. Every call reports which
 // path was taken, so tests and benches can assert native coverage instead
 // of silently eating conversion costs.
+//
+// Concurrency contract: every entry point takes its operands by const
+// reference end-to-end and never mutates or copies them on the native
+// path (fallback materializes only the converted temporary it consumes).
+// The dispatch registry is immutable after first use, so the serving
+// runtime (src/runtime) can feed one shared, read-only operand — e.g. a
+// conversion-cache representation — to many threads calling these entry
+// points concurrently.
 #pragma once
 
 #include <string>

@@ -1,0 +1,87 @@
+#include "runtime/conversion_cache.hpp"
+
+namespace mt::runtime {
+
+template <typename Ptr, typename Convert>
+Ptr ConversionCache::get(
+    std::unordered_map<Key, std::shared_future<Ptr>, KeyHash>& map, Key key,
+    const Convert& fn, bool* hit) {
+  std::shared_future<Ptr> fut;
+  std::promise<Ptr> mine;
+  bool compute = false;
+  {
+    std::lock_guard lk(mu_);
+    auto it = map.find(key);
+    if (it != map.end()) {
+      fut = it->second;
+    } else {
+      fut = mine.get_future().share();
+      map.emplace(key, fut);
+      compute = true;
+    }
+  }
+  if (hit != nullptr) *hit = !compute;
+  (compute ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+  if (compute) {
+    try {
+      mine.set_value(fn());
+    } catch (...) {
+      {
+        std::lock_guard lk(mu_);
+        map.erase(key);
+      }
+      mine.set_exception(std::current_exception());
+    }
+  }
+  return fut.get();
+}
+
+ConversionCache::MatrixPtr ConversionCache::matrix(std::uint64_t id, Format f,
+                                                   const MatrixPtr& src,
+                                                   bool* hit) {
+  if (format_of(*src) == f) {
+    // Identity: share the registered representation, no copy.
+    if (hit != nullptr) *hit = true;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return src;
+  }
+  return get(matrices_, Key{id, f},
+             [&] { return std::make_shared<const AnyMatrix>(convert(*src, f)); },
+             hit);
+}
+
+ConversionCache::TensorPtr ConversionCache::tensor(std::uint64_t id, Format f,
+                                                   const TensorPtr& src,
+                                                   bool* hit) {
+  if (format_of(*src) == f) {
+    if (hit != nullptr) *hit = true;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return src;
+  }
+  return get(tensors_, Key{id, f},
+             [&] { return std::make_shared<const AnyTensor>(convert(*src, f)); },
+             hit);
+}
+
+void ConversionCache::evict(std::uint64_t id) {
+  std::lock_guard lk(mu_);
+  for (auto it = matrices_.begin(); it != matrices_.end();) {
+    it = it->first.id == id ? matrices_.erase(it) : std::next(it);
+  }
+  for (auto it = tensors_.begin(); it != tensors_.end();) {
+    it = it->first.id == id ? tensors_.erase(it) : std::next(it);
+  }
+}
+
+void ConversionCache::clear() {
+  std::lock_guard lk(mu_);
+  matrices_.clear();
+  tensors_.clear();
+}
+
+std::size_t ConversionCache::size() const {
+  std::lock_guard lk(mu_);
+  return matrices_.size() + tensors_.size();
+}
+
+}  // namespace mt::runtime

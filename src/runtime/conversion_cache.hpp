@@ -1,0 +1,79 @@
+// Conversion cache — each registered operand's converted representations,
+// materialized once and shared read-only across all requests.
+//
+// The exec engine's fallback path re-runs convert() on every call; under
+// serving traffic that is the dominant per-request cost after SAGE search.
+// This cache keys (operand id, target format) to a shared_ptr<const ...>
+// representation: the first request pays the O(nnz) conversion, every
+// later request — on any worker thread — borrows the same immutable
+// object and feeds it to the engine's const-ref entry points, which then
+// dispatch natively (zero conversions, zero copies).
+//
+// A request for the operand's own registered format shares the registered
+// representation itself and counts as a hit: identity is the cheapest
+// conversion. Like the plan cache, population is single-flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "convert/convert.hpp"
+
+namespace mt::runtime {
+
+class ConversionCache {
+ public:
+  using MatrixPtr = std::shared_ptr<const AnyMatrix>;
+  using TensorPtr = std::shared_ptr<const AnyTensor>;
+
+  // Representation of matrix operand `id` (whose registered form is
+  // `src`) in format `f`. `hit` reports whether the conversion was
+  // already materialized (or unnecessary because format_of(*src) == f).
+  MatrixPtr matrix(std::uint64_t id, Format f, const MatrixPtr& src,
+                   bool* hit);
+
+  // Tensor flavor of the same contract.
+  TensorPtr tensor(std::uint64_t id, Format f, const TensorPtr& src,
+                   bool* hit);
+
+  // Drops every cached representation of operand `id`. In-flight requests
+  // holding the shared_ptr keep their representation alive; the cache just
+  // stops handing it out.
+  void evict(std::uint64_t id);
+
+  void clear();
+
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+ private:
+  struct Key {
+    std::uint64_t id = 0;
+    Format f = Format::kDense;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(k.id * 64 +
+                                        static_cast<std::uint64_t>(k.f));
+    }
+  };
+
+  template <typename Ptr, typename Convert>
+  Ptr get(std::unordered_map<Key, std::shared_future<Ptr>, KeyHash>& map,
+          Key key, const Convert& fn, bool* hit);
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_future<MatrixPtr>, KeyHash> matrices_;
+  std::unordered_map<Key, std::shared_future<TensorPtr>, KeyHash> tensors_;
+  std::atomic<std::int64_t> hits_{0}, misses_{0};
+};
+
+}  // namespace mt::runtime

@@ -1,0 +1,80 @@
+// Bounded multi-producer multi-consumer queue — the admission channel of
+// the serving runtime.
+//
+// Intentionally a mutex + two condition variables rather than a lock-free
+// ring: requests carry promises and operand handles, so the per-item cost
+// is dominated by kernel execution, not queue ops, and the blocking
+// semantics are the feature — a full queue exerts backpressure on open-loop
+// clients (the submit side blocks), which bench_serve measures as queue
+// wait. The simple locking discipline is also trivially ThreadSanitizer-
+// clean, which the runtime stress test enforces in CI.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace mt::runtime {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity)
+      : cap_(capacity == 0 ? 1 : capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false — leaving `v` untouched —
+  // if the queue was closed before space opened up.
+  bool push(T&& v) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || q_.size() < cap_; });
+    if (closed_) return false;
+    q_.push_back(std::move(v));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty. After close(), drains the remaining
+  // items in FIFO order, then returns nullopt to every consumer.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(q_.front()));
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  // Idempotent: rejects future pushes and wakes every blocked thread.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  const std::size_t cap_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace mt::runtime

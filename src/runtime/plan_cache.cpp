@@ -1,0 +1,87 @@
+#include "runtime/plan_cache.hpp"
+
+namespace mt::runtime {
+
+namespace {
+
+void mix(std::size_t& h, std::uint64_t v) {
+  // splitmix64-style avalanche, folded into the running hash.
+  v ^= v >> 30;
+  v *= 0xbf58476d1ce4e5b9ull;
+  v ^= v >> 27;
+  v *= 0x94d049bb133111ebull;
+  v ^= v >> 31;
+  h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+       (h >> 2);
+}
+
+}  // namespace
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  std::size_t h = 0;
+  mix(h, static_cast<std::uint64_t>(k.kernel));
+  mix(h, k.a);
+  mix(h, k.b);
+  mix(h, k.model);
+  mix(h, static_cast<std::uint64_t>(k.width));
+  return h;
+}
+
+PlanCache::PlanPtr PlanCache::get_or_compute(const PlanKey& key,
+                                             const Compute& fn, bool* hit) {
+  std::shared_future<PlanPtr> fut;
+  std::promise<PlanPtr> mine;
+  bool compute = false;
+  {
+    std::lock_guard lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      fut = it->second;
+    } else {
+      fut = mine.get_future().share();
+      map_.emplace(key, fut);
+      compute = true;
+    }
+  }
+  if (hit != nullptr) *hit = !compute;
+  (compute ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+  if (compute) {
+    try {
+      mine.set_value(fn());
+    } catch (...) {
+      // Un-publish so later requests retry instead of caching the error,
+      // then propagate to this caller and any waiters.
+      // (If clear()/evict raced us this may drop a successor's fresh
+      // entry; that only costs one recompute, never a wrong result.)
+      {
+        std::lock_guard lk(mu_);
+        map_.erase(key);
+      }
+      mine.set_exception(std::current_exception());
+    }
+  }
+  return fut.get();  // rethrows the computing thread's exception, if any
+}
+
+void PlanCache::evict_operand(std::uint64_t id) {
+  std::lock_guard lk(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.a == id || it->first.b == id) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::clear() {
+  std::lock_guard lk(mu_);
+  map_.clear();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lk(mu_);
+  return map_.size();
+}
+
+}  // namespace mt::runtime

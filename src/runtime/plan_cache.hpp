@@ -1,0 +1,88 @@
+// Plan cache — memoizes SAGE decisions per distinct serving workload.
+//
+// SAGE enumerates the full MCF x ACF space on every call (hundreds of
+// priced combinations); under serving traffic the same (kernel, operand,
+// accelerator) workload recurs thousands of times, so the search should
+// run exactly once. The cache keys on the registered operands' stable
+// handle ids plus sage::plan_fingerprint of the accelerator/energy model
+// — operand contents behind a handle are immutable by contract, so id
+// equality implies workload equality.
+//
+// Lookup is single-flight: concurrent misses on one key elect one
+// computing thread; the others block on a shared_future rather than
+// duplicating the SAGE search. A throwing computation un-publishes the
+// entry so later requests can retry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "formats/format.hpp"
+#include "sage/sage.hpp"
+
+namespace mt::runtime {
+
+// Identity of one distinct serving workload.
+struct PlanKey {
+  Kernel kernel = Kernel::kSpMV;
+  std::uint64_t a = 0;      // first registered operand id (matrix or tensor)
+  std::uint64_t b = 0;      // second registered operand id (0 = none/dense)
+  std::uint64_t model = 0;  // sage::plan_fingerprint(cfg, energy)
+  index_t width = 0;        // dense factor columns: N for SpMM, rank for
+                            // tensor kernels, 1 for SpMV, 0 otherwise
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const;
+};
+
+// A reusable, fully-resolved decision: the winning SAGE combination plus
+// the ACFs the server actually executes. run_a/run_b are "repaired" to the
+// nearest formats with native exec-engine kernels, so a served request
+// never pays a per-call conversion fallback inside the engine — the
+// conversion cache materializes exactly these formats, once.
+struct Plan {
+  Kernel kernel = Kernel::kSpMV;
+  SageChoice choice;               // matrix kernels (unset for kGemm)
+  SageTensorChoice tensor_choice;  // tensor kernels
+  Format run_a = Format::kDense;   // executed ACF of operand A / tensor X
+  Format run_b = Format::kDense;   // executed ACF of operand B (if any)
+};
+
+class PlanCache {
+ public:
+  using PlanPtr = std::shared_ptr<const Plan>;
+  using Compute = std::function<PlanPtr()>;
+
+  // Returns the plan for `key`, invoking `fn` at most once across all
+  // concurrent callers of the same key. `hit` reports whether the entry
+  // already existed (i.e. this caller paid no SAGE search).
+  PlanPtr get_or_compute(const PlanKey& key, const Compute& fn, bool* hit);
+
+  // Drops every plan mentioning operand `id` (called on eviction; ids are
+  // never reused, so this is memory hygiene rather than correctness).
+  void evict_operand(std::uint64_t id);
+
+  void clear();
+
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<PlanKey, std::shared_future<PlanPtr>, PlanKeyHash> map_;
+  std::atomic<std::int64_t> hits_{0}, misses_{0};
+};
+
+}  // namespace mt::runtime

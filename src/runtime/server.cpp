@@ -1,0 +1,411 @@
+#include "runtime/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/threads.hpp"
+#include "sage/plan_key.hpp"
+
+namespace mt::runtime {
+
+namespace {
+
+// Repair a SAGE (ACFa, ACFb) pair to the nearest pair the exec engine runs
+// natively, mirroring the engine's own fallback order (keep A, densify B;
+// then CSR-ify A, keep B; then CSR x Dense). The conversion cache then
+// materializes exactly what will execute, so serving never pays the
+// engine's per-call conversion fallback.
+void repair_pair(Format& ra, Format& rb) {
+  if (exec::has_native_pair(ra, rb)) return;
+  if (exec::has_native_pair(ra, Format::kDense)) {
+    rb = Format::kDense;
+  } else if (exec::has_native_pair(Format::kCSR, rb)) {
+    ra = Format::kCSR;
+  } else {
+    ra = Format::kCSR;
+    rb = Format::kDense;
+  }
+}
+
+Format repair_single(Kernel k, Format acf) {
+  return exec::has_native(k, acf) ? acf : exec::fallback_format(k);
+}
+
+const CooMatrix& as_coo(const AnyMatrix& m) {
+  const auto* coo = std::get_if<CooMatrix>(&m);
+  MT_ENSURE(coo != nullptr, "SAGE input representation must be COO");
+  return *coo;
+}
+
+const CooTensor3& as_coo(const AnyTensor& t) {
+  const auto* coo = std::get_if<CooTensor3>(&t);
+  MT_ENSURE(coo != nullptr, "SAGE input representation must be COO");
+  return *coo;
+}
+
+// Process-wide kernel-thread budget shared by every live multi-worker
+// server: the cap is hardware / (total workers across servers), so the
+// "workers x kernel width never oversubscribes" invariant holds even with
+// overlapping Server lifetimes (the sharded-servers direction in the
+// ROADMAP). The pre-cap override is saved once and restored when the last
+// capping server stops.
+class ThreadCapRegistry {
+ public:
+  void acquire(int workers) {
+    std::lock_guard lk(mu_);
+    if (servers_ == 0) {
+      saved_override_ = num_threads_override();
+      baseline_ = num_threads();
+    }
+    ++servers_;
+    total_workers_ += workers;
+    apply();
+  }
+
+  void release(int workers) {
+    std::lock_guard lk(mu_);
+    --servers_;
+    total_workers_ -= workers;
+    if (servers_ == 0) {
+      set_num_threads(saved_override_);
+    } else {
+      apply();
+    }
+  }
+
+  static ThreadCapRegistry& instance() {
+    static ThreadCapRegistry r;
+    return r;
+  }
+
+ private:
+  void apply() {
+    const int cap = std::max(1, hardware_threads() / total_workers_);
+    set_num_threads(std::min(cap, baseline_));
+  }
+
+  std::mutex mu_;
+  int servers_ = 0;
+  int total_workers_ = 0;
+  int saved_override_ = 0;
+  int baseline_ = 1;  // solo kernel width before any cap
+};
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      fingerprint_(plan_fingerprint(opts_.accel, opts_.energy)),
+      queue_(opts_.queue_capacity) {
+  MT_REQUIRE(opts_.num_workers >= 1, "server needs at least one worker");
+  if (opts_.cap_kernel_threads && opts_.num_workers > 1) {
+    ThreadCapRegistry::instance().acquire(opts_.num_workers);
+    capped_threads_ = true;
+  }
+  workers_.reserve(static_cast<std::size_t>(opts_.num_workers));
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (capped_threads_) ThreadCapRegistry::instance().release(opts_.num_workers);
+}
+
+// --- Registry ---
+
+MatrixHandle Server::register_matrix(AnyMatrix m) {
+  const auto id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto rep = std::make_shared<const AnyMatrix>(std::move(m));
+  std::unique_lock lk(reg_mu_);
+  matrices_.emplace(id, std::move(rep));
+  return {id};
+}
+
+TensorHandle Server::register_tensor(AnyTensor t) {
+  const auto id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto rep = std::make_shared<const AnyTensor>(std::move(t));
+  std::unique_lock lk(reg_mu_);
+  tensors_.emplace(id, std::move(rep));
+  return {id};
+}
+
+void Server::evict(MatrixHandle h) {
+  {
+    std::unique_lock lk(reg_mu_);
+    matrices_.erase(h.id);
+  }
+  reps_.evict(h.id);
+  plans_.evict_operand(h.id);
+}
+
+void Server::evict(TensorHandle h) {
+  {
+    std::unique_lock lk(reg_mu_);
+    tensors_.erase(h.id);
+  }
+  reps_.evict(h.id);
+  plans_.evict_operand(h.id);
+}
+
+ConversionCache::MatrixPtr Server::matrix_src(std::uint64_t id) const {
+  std::shared_lock lk(reg_mu_);
+  auto it = matrices_.find(id);
+  MT_REQUIRE(it != matrices_.end(), "unknown or evicted matrix handle");
+  return it->second;
+}
+
+ConversionCache::TensorPtr Server::tensor_src(std::uint64_t id) const {
+  std::shared_lock lk(reg_mu_);
+  auto it = tensors_.find(id);
+  MT_REQUIRE(it != tensors_.end(), "unknown or evicted tensor handle");
+  return it->second;
+}
+
+bool Server::operand_registered(std::uint64_t id) const {
+  std::shared_lock lk(reg_mu_);
+  return matrices_.contains(id) || tensors_.contains(id);
+}
+
+// --- Representation resolution ---
+
+ConversionCache::MatrixPtr Server::matrix_rep(MatrixHandle h, Format f,
+                                              ServeStats& s) {
+  MT_REQUIRE(h.valid(), "request names no matrix operand");
+  auto src = matrix_src(h.id);
+  if (!opts_.use_conversion_cache) {
+    if (format_of(*src) == f) {
+      // Identity needs no conversion even with the cache bypassed.
+      ++s.conversion_hits;
+      return src;
+    }
+    ++s.conversion_misses;
+    return std::make_shared<const AnyMatrix>(convert(*src, f));
+  }
+  bool hit = false;
+  auto rep = reps_.matrix(h.id, f, src, &hit);
+  ++(hit ? s.conversion_hits : s.conversion_misses);
+  // evict() may have purged the caches between our registry lookup and the
+  // insert above; ids are never reused, so re-purge rather than leak an
+  // unreachable entry. (evict erases the registry before purging, so if
+  // the id is still registered here, its purge cannot have missed us.)
+  if (!hit && !operand_registered(h.id)) reps_.evict(h.id);
+  return rep;
+}
+
+ConversionCache::TensorPtr Server::tensor_rep(TensorHandle h, Format f,
+                                              ServeStats& s) {
+  MT_REQUIRE(h.valid(), "request names no tensor operand");
+  auto src = tensor_src(h.id);
+  if (!opts_.use_conversion_cache) {
+    if (format_of(*src) == f) {
+      ++s.conversion_hits;
+      return src;
+    }
+    ++s.conversion_misses;
+    return std::make_shared<const AnyTensor>(convert(*src, f));
+  }
+  bool hit = false;
+  auto rep = reps_.tensor(h.id, f, src, &hit);
+  ++(hit ? s.conversion_hits : s.conversion_misses);
+  if (!hit && !operand_registered(h.id)) reps_.evict(h.id);
+  return rep;
+}
+
+// --- Planning ---
+
+PlanKey Server::key_for(const Request& r) const {
+  PlanKey k;
+  k.kernel = r.kernel;
+  k.model = fingerprint_;
+  if (is_tensor_kernel(r.kernel)) {
+    k.a = r.x.id;
+    k.width = r.dense_b.cols();
+  } else {
+    k.a = r.a.id;
+    k.b = r.b.id;
+    switch (r.kernel) {
+      case Kernel::kSpMV: k.width = 1; break;
+      case Kernel::kGemm:
+      case Kernel::kSpMM:
+        k.width = r.b.valid() ? 0 : r.dense_b.cols();
+        break;
+      default: break;
+    }
+  }
+  return k;
+}
+
+PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s) {
+  auto plan = std::make_shared<Plan>();
+  plan->kernel = r.kernel;
+  switch (r.kernel) {
+    case Kernel::kGemm:
+      // Dense x Dense is the only native GEMM; no search needed.
+      plan->run_a = plan->run_b = Format::kDense;
+      break;
+    case Kernel::kSpMV: {
+      const auto a = matrix_rep(r.a, Format::kCOO, s);
+      plan->choice = sage_select_spmm_dense_b(as_coo(*a), 1, opts_.accel,
+                                              opts_.energy);
+      plan->run_a = repair_single(Kernel::kSpMV, plan->choice.acf_a);
+      break;
+    }
+    case Kernel::kSpMM: {
+      const auto a = matrix_rep(r.a, Format::kCOO, s);
+      if (r.b.valid()) {
+        const auto b = matrix_rep(r.b, Format::kCOO, s);
+        plan->choice = sage_select_matmul(as_coo(*a), as_coo(*b), opts_.accel,
+                                          opts_.energy);
+        plan->run_a = plan->choice.acf_a;
+        plan->run_b = plan->choice.acf_b;
+        repair_pair(plan->run_a, plan->run_b);
+      } else {
+        plan->choice = sage_select_spmm_dense_b(
+            as_coo(*a), r.dense_b.cols(), opts_.accel, opts_.energy);
+        plan->run_a = repair_single(Kernel::kSpMM, plan->choice.acf_a);
+        // The factor arrives dense in the request body and is consumed
+        // dense; only registered operands go through the conversion cache.
+        plan->run_b = Format::kDense;
+      }
+      break;
+    }
+    case Kernel::kSpGEMM: {
+      const auto a = matrix_rep(r.a, Format::kCOO, s);
+      const auto b = matrix_rep(r.b, Format::kCOO, s);
+      // Priced for the stats/describe; the engine's native SpGEMM pair is
+      // CSR x CSR, so that is what the server executes and caches.
+      plan->choice = sage_select_matmul(as_coo(*a), as_coo(*b), opts_.accel,
+                                        opts_.energy);
+      plan->run_a = plan->run_b = Format::kCSR;
+      break;
+    }
+    case Kernel::kSpTTM:
+    case Kernel::kMTTKRP: {
+      const auto x = tensor_rep(r.x, Format::kCOO, s);
+      plan->tensor_choice =
+          sage_select_tensor(as_coo(*x), r.dense_b.cols(), r.kernel,
+                             opts_.accel, opts_.energy);
+      plan->run_a = repair_single(r.kernel, plan->tensor_choice.acf_t);
+      break;
+    }
+  }
+  return plan;
+}
+
+PlanCache::PlanPtr Server::resolve_plan(const Request& r, ServeStats& s) {
+  const auto t0 = now_ns();
+  PlanCache::PlanPtr plan;
+  if (!opts_.use_plan_cache) {
+    s.plan_cache_hit = false;
+    plan = compute_plan(r, s);
+  } else {
+    const PlanKey key = key_for(r);
+    bool hit = false;
+    plan = plans_.get_or_compute(
+        key, [&] { return compute_plan(r, s); }, &hit);
+    s.plan_cache_hit = hit;
+    // Same evict race as in matrix_rep/tensor_rep: un-publish a plan
+    // inserted for an operand that was concurrently evicted.
+    if (!hit) {
+      if (key.a != 0 && !operand_registered(key.a)) {
+        plans_.evict_operand(key.a);
+      }
+      if (key.b != 0 && !operand_registered(key.b)) {
+        plans_.evict_operand(key.b);
+      }
+    }
+  }
+  s.plan_ns = now_ns() - t0;
+  return plan;
+}
+
+PlanCache::PlanPtr Server::plan_for(const Request& r) {
+  ServeStats scratch;
+  return resolve_plan(r, scratch);
+}
+
+// --- Serving ---
+
+std::future<Response> Server::submit(Request r) {
+  Item item;
+  item.req = std::move(r);
+  item.enqueue_ns = now_ns();
+  auto fut = item.promise.get_future();
+  if (!queue_.push(std::move(item))) {
+    item.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("server is stopped; request rejected")));
+  }
+  return fut;
+}
+
+Response Server::serve(Request& req, std::int64_t queue_wait_ns) {
+  Response resp;
+  ServeStats& s = resp.stats;
+  s.queue_wait_ns = queue_wait_ns;
+
+  const auto plan = resolve_plan(req, s);
+
+  const auto t_conv = now_ns();
+  ConversionCache::MatrixPtr rep_a, rep_b;
+  ConversionCache::TensorPtr rep_x;
+  if (is_tensor_kernel(req.kernel)) {
+    rep_x = tensor_rep(req.x, plan->run_a, s);
+  } else {
+    rep_a = matrix_rep(req.a, plan->run_a, s);
+    if (req.b.valid()) rep_b = matrix_rep(req.b, plan->run_b, s);
+  }
+  s.convert_ns = now_ns() - t_conv;
+
+  const auto t_exec = now_ns();
+  switch (req.kernel) {
+    case Kernel::kSpMV:
+      resp.result = exec::spmv(*rep_a, req.vec, &s.dispatch);
+      break;
+    case Kernel::kGemm:
+    case Kernel::kSpMM:
+      if (rep_b != nullptr) {
+        resp.result = exec::spmm(*rep_a, *rep_b, &s.dispatch);
+      } else {
+        resp.result = exec::spmm(*rep_a, req.dense_b, &s.dispatch);
+      }
+      break;
+    case Kernel::kSpGEMM:
+      MT_REQUIRE(rep_b != nullptr, "SpGEMM needs two registered operands");
+      resp.result = exec::spgemm(*rep_a, *rep_b, &s.dispatch);
+      break;
+    case Kernel::kSpTTM:
+      resp.result = exec::ttm(*rep_x, req.dense_b, &s.dispatch);
+      break;
+    case Kernel::kMTTKRP:
+      resp.result = exec::mttkrp(*rep_x, req.dense_b, req.dense_c,
+                                 &s.dispatch);
+      break;
+  }
+  s.exec_ns = now_ns() - t_exec;
+  return resp;
+}
+
+void Server::worker_loop() {
+  while (auto item = queue_.pop()) {
+    const auto dequeued = now_ns();
+    try {
+      Response resp = serve(item->req, dequeued - item->enqueue_ns);
+      counters_.record(resp.stats);
+      item->promise.set_value(std::move(resp));
+    } catch (...) {
+      counters_.record_failure();
+      item->promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace mt::runtime

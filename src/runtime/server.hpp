@@ -1,0 +1,181 @@
+// Concurrent serving runtime — a stateful server in front of the exec
+// engine (paper north star: amortize per-request setup across a stream of
+// requests, SimBricks-style client/server shape).
+//
+//   clients                                        workers
+//   submit(Request) ──► bounded MPMC queue ──► worker pool ──► exec engine
+//        │                                        │
+//        └── future<Response>                     ├── plan cache (SAGE once
+//                                                 │   per distinct workload)
+//                                                 └── conversion cache
+//                                                     (operand ACF reps,
+//                                                      shared read-only)
+//
+// Operands are registered up front and referred to by stable handles;
+// their contents are immutable for the handle's lifetime (that contract
+// is what lets handle ids key both caches). Each request resolves a Plan
+// (memoized SAGE decision), borrows the operand's converted representation
+// from the conversion cache, and runs the kernel natively through the
+// exec engine's const-ref entry points. Results return through futures
+// together with a ServeStats record; aggregate counters feed benches.
+//
+// Thread policy (see common/threads.hpp): with more than one worker the
+// server joins a process-wide thread budget that caps the OpenMP kernel
+// width to hardware_threads() / (total workers across all live servers),
+// so kernel teams x workers never oversubscribe the machine even with
+// overlapping Server lifetimes; the pre-cap setting is restored when the
+// last capping server stops.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "energy/energy_model.hpp"
+#include "runtime/conversion_cache.hpp"
+#include "runtime/mpmc_queue.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/stats.hpp"
+
+namespace mt::runtime {
+
+struct MatrixHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+struct TensorHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+// One unit of work. Which fields matter depends on the kernel:
+//   kSpMV            a + vec
+//   kGemm / kSpMM    a + dense_b, or a + b (both registered/sparse)
+//   kSpGEMM          a + b
+//   kSpTTM           x + dense_b (the factor U)
+//   kMTTKRP          x + dense_b + dense_c
+struct Request {
+  Kernel kernel = Kernel::kSpMV;
+  MatrixHandle a;              // sparse/registered matrix operand
+  MatrixHandle b;              // second registered operand (pair kernels)
+  TensorHandle x;              // tensor operand (tensor kernels)
+  std::vector<value_t> vec;    // SpMV input vector
+  DenseMatrix dense_b;         // dense factor (SpMM B / SpTTM U / MTTKRP B)
+  DenseMatrix dense_c;         // MTTKRP C
+};
+
+using Result =
+    std::variant<std::vector<value_t>,  // SpMV
+                 DenseMatrix,           // GEMM / SpMM / MTTKRP
+                 CsrMatrix,             // SpGEMM
+                 DenseTensor3>;         // SpTTM
+
+struct Response {
+  Result result;
+  ServeStats stats;
+};
+
+struct ServerOptions {
+  int num_workers = 2;
+  std::size_t queue_capacity = 64;
+  // Cache bypass switches exist for benchmarking the no-cache path
+  // (bench_serve) and for debugging; serving traffic wants both on.
+  bool use_plan_cache = true;        // off: SAGE search on every request
+  bool use_conversion_cache = true;  // off: operands re-convert per request
+  bool cap_kernel_threads = true;    // keep workers x OpenMP width <= hw
+  AccelConfig accel = AccelConfig::paper_default();
+  EnergyParams energy;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();  // stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // --- Operand registry (callable concurrently with serving) ---
+
+  // Registers an operand in whatever MCF it arrives in; the returned
+  // handle is stable for the server's lifetime and never reused. The
+  // operand's contents are immutable once registered.
+  MatrixHandle register_matrix(AnyMatrix m);
+  TensorHandle register_tensor(AnyTensor t);
+
+  // Unregisters the operand and purges its cache entries. In-flight
+  // requests already holding its representations finish normally;
+  // requests that name the handle afterwards fail (via their future).
+  void evict(MatrixHandle h);
+  void evict(TensorHandle h);
+
+  // --- Serving ---
+
+  // Enqueues the request (blocking while the queue is full — bounded-queue
+  // backpressure) and returns the future carrying the Response. Errors
+  // (unknown handle, shape mismatch, stopped server) surface as exceptions
+  // on the future.
+  std::future<Response> submit(Request r);
+
+  // Resolves (and, caches enabled, memoizes) the plan for `r` without
+  // executing it — warmup and tests use this to learn run_a/run_b.
+  PlanCache::PlanPtr plan_for(const Request& r);
+
+  // --- Observability / lifecycle ---
+
+  CountersSnapshot counters() const { return counters_.snapshot(); }
+  const PlanCache& plan_cache() const { return plans_; }
+  const ConversionCache& conversion_cache() const { return reps_; }
+  const ServerOptions& options() const { return opts_; }
+
+  // Closes intake, drains queued requests, joins workers, restores the
+  // kernel-thread setting. Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct Item {
+    Request req;
+    std::promise<Response> promise;
+    std::int64_t enqueue_ns = 0;
+  };
+
+  void worker_loop();
+  Response serve(Request& req, std::int64_t queue_wait_ns);
+  PlanCache::PlanPtr resolve_plan(const Request& r, ServeStats& s);
+  PlanCache::PlanPtr compute_plan(const Request& r, ServeStats& s);
+  PlanKey key_for(const Request& r) const;
+
+  ConversionCache::MatrixPtr matrix_src(std::uint64_t id) const;
+  ConversionCache::TensorPtr tensor_src(std::uint64_t id) const;
+  bool operand_registered(std::uint64_t id) const;
+  ConversionCache::MatrixPtr matrix_rep(MatrixHandle h, Format f,
+                                        ServeStats& s);
+  ConversionCache::TensorPtr tensor_rep(TensorHandle h, Format f,
+                                        ServeStats& s);
+
+  ServerOptions opts_;
+  std::uint64_t fingerprint_ = 0;  // sage::plan_fingerprint(accel, energy)
+
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::shared_mutex reg_mu_;
+  std::unordered_map<std::uint64_t, ConversionCache::MatrixPtr> matrices_;
+  std::unordered_map<std::uint64_t, ConversionCache::TensorPtr> tensors_;
+
+  PlanCache plans_;
+  ConversionCache reps_;
+  ServerCounters counters_;
+
+  MpmcQueue<Item> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+  bool capped_threads_ = false;
+};
+
+}  // namespace mt::runtime

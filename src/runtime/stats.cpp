@@ -1,0 +1,17 @@
+#include "runtime/stats.hpp"
+
+#include <sstream>
+
+namespace mt::runtime {
+
+std::string ServeStats::describe() const {
+  std::ostringstream os;
+  os << dispatch.describe() << " | plan "
+     << (plan_cache_hit ? "hit" : "miss") << ", conv " << conversion_hits
+     << '/' << conversion_misses << ", queue " << queue_wait_ns / 1000
+     << "us, plan " << plan_ns / 1000 << "us, convert " << convert_ns / 1000
+     << "us, exec " << exec_ns / 1000 << "us";
+  return os.str();
+}
+
+}  // namespace mt::runtime

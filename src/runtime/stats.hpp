@@ -1,0 +1,112 @@
+// Per-request and aggregate observability for the serving runtime.
+//
+// Every Response carries a ServeStats record: where the request's time
+// went (queue wait, SAGE planning, conversion, kernel execution), whether
+// the plan cache and conversion cache absorbed the setup work, and the
+// exec-engine Dispatch describing the kernel/format actually run. The
+// Server folds each record into a ServerCounters instance whose snapshot
+// feeds bench_serve and the examples.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "exec/exec.hpp"
+
+namespace mt::runtime {
+
+// Monotonic nanosecond timestamp shared by the queue/server/bench timing.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// How one request was served.
+struct ServeStats {
+  std::int64_t queue_wait_ns = 0;  // enqueue -> worker dequeue
+  std::int64_t plan_ns = 0;        // plan resolution (near-zero on a hit)
+  std::int64_t convert_ns = 0;     // operand-representation resolution
+  std::int64_t exec_ns = 0;        // ACF kernel execution
+  bool plan_cache_hit = false;
+  int conversion_hits = 0;    // operand reps served from cache (or shared)
+  int conversion_misses = 0;  // operand reps materialized for this request
+  exec::Dispatch dispatch;    // how the exec engine ran the kernel
+
+  std::int64_t total_ns() const {
+    return queue_wait_ns + plan_ns + convert_ns + exec_ns;
+  }
+
+  // e.g. "SpMV over CSR: native | plan hit, conv 1/0, queue 12us, exec 48us"
+  std::string describe() const;
+};
+
+// Aggregate view of a ServerCounters instance at one instant.
+struct CountersSnapshot {
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t plan_hits = 0;
+  std::int64_t plan_misses = 0;
+  std::int64_t conversion_hits = 0;
+  std::int64_t conversion_misses = 0;
+  std::int64_t queue_wait_ns = 0;
+  std::int64_t plan_ns = 0;
+  std::int64_t convert_ns = 0;
+  std::int64_t exec_ns = 0;
+
+  double plan_hit_rate() const {
+    const auto n = plan_hits + plan_misses;
+    return n == 0 ? 0.0 : static_cast<double>(plan_hits) / static_cast<double>(n);
+  }
+  double conversion_hit_rate() const {
+    const auto n = conversion_hits + conversion_misses;
+    return n == 0 ? 0.0
+                  : static_cast<double>(conversion_hits) / static_cast<double>(n);
+  }
+};
+
+// Lock-free accumulation of ServeStats records across worker threads.
+// Relaxed ordering: counters are monotonic telemetry, not synchronization.
+class ServerCounters {
+ public:
+  void record(const ServeStats& s) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    (s.plan_cache_hit ? plan_hits_ : plan_misses_)
+        .fetch_add(1, std::memory_order_relaxed);
+    conversion_hits_.fetch_add(s.conversion_hits, std::memory_order_relaxed);
+    conversion_misses_.fetch_add(s.conversion_misses,
+                                 std::memory_order_relaxed);
+    queue_wait_ns_.fetch_add(s.queue_wait_ns, std::memory_order_relaxed);
+    plan_ns_.fetch_add(s.plan_ns, std::memory_order_relaxed);
+    convert_ns_.fetch_add(s.convert_ns, std::memory_order_relaxed);
+    exec_ns_.fetch_add(s.exec_ns, std::memory_order_relaxed);
+  }
+
+  void record_failure() { failed_.fetch_add(1, std::memory_order_relaxed); }
+
+  CountersSnapshot snapshot() const {
+    CountersSnapshot c;
+    c.completed = completed_.load(std::memory_order_relaxed);
+    c.failed = failed_.load(std::memory_order_relaxed);
+    c.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+    c.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+    c.conversion_hits = conversion_hits_.load(std::memory_order_relaxed);
+    c.conversion_misses = conversion_misses_.load(std::memory_order_relaxed);
+    c.queue_wait_ns = queue_wait_ns_.load(std::memory_order_relaxed);
+    c.plan_ns = plan_ns_.load(std::memory_order_relaxed);
+    c.convert_ns = convert_ns_.load(std::memory_order_relaxed);
+    c.exec_ns = exec_ns_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+ private:
+  std::atomic<std::int64_t> completed_{0}, failed_{0};
+  std::atomic<std::int64_t> plan_hits_{0}, plan_misses_{0};
+  std::atomic<std::int64_t> conversion_hits_{0}, conversion_misses_{0};
+  std::atomic<std::int64_t> queue_wait_ns_{0}, plan_ns_{0}, convert_ns_{0},
+      exec_ns_{0};
+};
+
+}  // namespace mt::runtime

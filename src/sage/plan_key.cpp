@@ -1,0 +1,49 @@
+#include "sage/plan_key.hpp"
+
+#include <bit>
+
+namespace mt {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffull;
+    h *= kFnvPrime;
+  }
+}
+
+void mix(std::uint64_t& h, double v) { mix(h, std::bit_cast<std::uint64_t>(v)); }
+
+}  // namespace
+
+std::uint64_t plan_fingerprint(const AccelConfig& cfg,
+                               const EnergyParams& energy) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(cfg.num_pes));
+  mix(h, static_cast<std::uint64_t>(cfg.vector_width));
+  mix(h, static_cast<std::uint64_t>(cfg.pe_buffer_bytes));
+  mix(h, static_cast<std::uint64_t>(cfg.bus_bits));
+  mix(h, static_cast<std::uint64_t>(cfg.dtype));
+  mix(h, cfg.index_match_rate);
+  mix(h, energy.int32_add_j);
+  mix(h, energy.fp32_mult_j);
+  mix(h, energy.fp32_mac_j);
+  mix(h, energy.int8_mac_j);
+  mix(h, energy.dram_j_per_32b);
+  mix(h, energy.sram_small_j_per_32b);
+  mix(h, energy.sram_large_j_per_32b);
+  mix(h, energy.noc_j_per_32b_hop);
+  mix(h, energy.clock_hz);
+  mix(h, energy.dram_bytes_per_cycle);
+  mix(h, energy.pcie_bytes_per_second);
+  mix(h, energy.pcie_latency_s);
+  mix(h, energy.cpu_tdp_w);
+  mix(h, energy.gpu_tdp_w);
+  return h;
+}
+
+}  // namespace mt

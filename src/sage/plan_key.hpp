@@ -1,0 +1,27 @@
+// Plan identity for serving-layer memoization.
+//
+// A SAGE decision is a pure function of the workload operands, the
+// accelerator configuration, and the energy calibration: rerunning the
+// search with the same inputs always returns the same SageChoice /
+// SageTensorChoice, so the choice itself is a reusable plan. The serving
+// runtime identifies registered operands by stable handles; this header
+// supplies the remaining key ingredient — a stable fingerprint of the
+// model inputs — so that (kernel, operand ids, fingerprint, factor width)
+// fully identifies a distinct workload and the plan cache can hand the
+// memoized choice to every subsequent request.
+#pragma once
+
+#include <cstdint>
+
+#include "accel/config.hpp"
+#include "energy/energy_model.hpp"
+
+namespace mt {
+
+// Order-sensitive FNV-1a over every AccelConfig and EnergyParams field
+// that influences SAGE pricing. Two configurations with equal fingerprints
+// price identically; any field change reseeds the plan space.
+std::uint64_t plan_fingerprint(const AccelConfig& cfg,
+                               const EnergyParams& energy);
+
+}  // namespace mt

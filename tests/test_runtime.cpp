@@ -1,0 +1,377 @@
+// Serving-runtime unit tests: plan-cache and conversion-cache hit/miss
+// accounting, bit-identical equivalence with direct exec-engine calls,
+// cache-bypass modes, eviction, backpressure, and the kernel-thread cap.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/threads.hpp"
+#include "runtime/mpmc_queue.hpp"
+#include "runtime/server.hpp"
+#include "sage/plan_key.hpp"
+#include "testing.hpp"
+#include "workloads/synth.hpp"
+
+namespace mt::runtime {
+namespace {
+
+using testing::random_dense;
+
+// A small server configuration that keeps SAGE searches cheap in tests.
+ServerOptions small_opts() {
+  ServerOptions o;
+  o.num_workers = 2;
+  o.queue_capacity = 8;
+  o.accel.num_pes = 32;
+  o.accel.pe_buffer_bytes = 64 * 4;
+  return o;
+}
+
+Request spmv_request(MatrixHandle a, const std::vector<value_t>& x) {
+  Request r;
+  r.kernel = Kernel::kSpMV;
+  r.a = a;
+  r.vec = x;
+  return r;
+}
+
+TEST(PlanCache, HitMissAccountingAndMemoization) {
+  Server srv(small_opts());
+  const auto a_dense = random_dense(48, 40, 0.05, 7);
+  const auto h = srv.register_matrix(encode(a_dense, Format::kCSR));
+  const std::vector<value_t> x(40, 1.0f);
+
+  const auto r1 = srv.submit(spmv_request(h, x)).get();
+  EXPECT_FALSE(r1.stats.plan_cache_hit);
+  const auto r2 = srv.submit(spmv_request(h, x)).get();
+  EXPECT_TRUE(r2.stats.plan_cache_hit);
+  const auto r3 = srv.submit(spmv_request(h, x)).get();
+  EXPECT_TRUE(r3.stats.plan_cache_hit);
+
+  EXPECT_EQ(srv.plan_cache().misses(), 1);
+  EXPECT_EQ(srv.plan_cache().hits(), 2);
+  EXPECT_EQ(srv.plan_cache().size(), 1u);
+
+  const auto c = srv.counters();
+  EXPECT_EQ(c.completed, 3);
+  EXPECT_EQ(c.plan_misses, 1);
+  EXPECT_EQ(c.plan_hits, 2);
+
+  // A second operand is a distinct workload: its first request misses.
+  const auto h2 = srv.register_matrix(encode(random_dense(48, 40, 0.05, 8),
+                                             Format::kCSR));
+  const auto r4 = srv.submit(spmv_request(h2, x)).get();
+  EXPECT_FALSE(r4.stats.plan_cache_hit);
+  EXPECT_EQ(srv.plan_cache().size(), 2u);
+}
+
+TEST(PlanCache, FingerprintSeparatesAccelConfigs) {
+  const EnergyParams energy;
+  AccelConfig a = AccelConfig::paper_default();
+  AccelConfig b = a;
+  EXPECT_EQ(plan_fingerprint(a, energy), plan_fingerprint(b, energy));
+  b.num_pes = a.num_pes / 2;
+  EXPECT_NE(plan_fingerprint(a, energy), plan_fingerprint(b, energy));
+  b = a;
+  b.index_match_rate = 0.5;
+  EXPECT_NE(plan_fingerprint(a, energy), plan_fingerprint(b, energy));
+  EnergyParams e2;
+  e2.dram_j_per_32b *= 2.0;
+  EXPECT_NE(plan_fingerprint(a, energy), plan_fingerprint(a, e2));
+}
+
+TEST(ConversionCache, HitMissAccountingAndIdentitySharing) {
+  Server srv(small_opts());
+  const auto a_dense = random_dense(48, 40, 0.05, 9);
+  const auto h = srv.register_matrix(encode(a_dense, Format::kZVC));
+  const std::vector<value_t> x(40, 0.5f);
+
+  // First request: the plan itself needs a COO rep (miss) and the kernel
+  // an ACF rep (miss unless the ACF happens to be ZVC, which SAGE's ACF
+  // space excludes, or COO, which would re-hit the plan's rep).
+  const auto r1 = srv.submit(spmv_request(h, x)).get();
+  EXPECT_GE(r1.stats.conversion_misses, 1);
+  const auto after_first = srv.conversion_cache().misses();
+
+  // Steady state: everything is cached, nothing converts.
+  const auto r2 = srv.submit(spmv_request(h, x)).get();
+  EXPECT_EQ(r2.stats.conversion_misses, 0);
+  EXPECT_GE(r2.stats.conversion_hits, 1);
+  EXPECT_EQ(srv.conversion_cache().misses(), after_first);
+
+  // An operand already registered in the executed ACF shares its
+  // representation: no conversion entry is ever created for it.
+  const auto plan = srv.plan_for(spmv_request(h, x));
+  const auto h2 = srv.register_matrix(
+      convert(encode(a_dense, Format::kZVC), plan->run_a));
+  const auto size_before = srv.conversion_cache().size();
+  const auto r3 = srv.submit(spmv_request(h2, x)).get();
+  // New operand, new plan: at most the COO rep for SAGE is materialized
+  // (none when the ACF is COO itself); the executed ACF rep is an identity
+  // share, not a conversion.
+  EXPECT_LE(srv.conversion_cache().size(), size_before + 1);
+  EXPECT_GE(r3.stats.conversion_hits, 1);
+}
+
+// Served results must be bit-identical to a direct exec-engine call on the
+// same converted representation — the serving layer adds caching and
+// concurrency, never arithmetic.
+TEST(Server, SpmvBitIdenticalToDirectExec) {
+  Server srv(small_opts());
+  const auto a_dense = random_dense(64, 48, 0.08, 11);
+  const AnyMatrix a_any = encode(a_dense, Format::kCSC);
+  const auto h = srv.register_matrix(a_any);
+  std::vector<value_t> x;
+  for (index_t i = 0; i < 48; ++i) x.push_back(0.25f * static_cast<float>(i));
+
+  const auto plan = srv.plan_for(spmv_request(h, x));
+  const auto want = exec::spmv(convert(a_any, plan->run_a), x);
+  const auto got = srv.submit(spmv_request(h, x)).get();
+  EXPECT_EQ(std::get<std::vector<value_t>>(got.result), want);
+}
+
+TEST(Server, SpmmDenseFactorBitIdenticalToDirectExec) {
+  Server srv(small_opts());
+  const auto a_dense = random_dense(56, 40, 0.06, 12);
+  const AnyMatrix a_any = encode(a_dense, Format::kRLC);
+  const auto h = srv.register_matrix(a_any);
+  const auto b = random_dense(40, 24, 1.0, 13);
+
+  Request r;
+  r.kernel = Kernel::kSpMM;
+  r.a = h;
+  r.dense_b = b;
+  const auto plan = srv.plan_for(r);
+  const auto want = exec::spmm(convert(a_any, plan->run_a), b);
+  const auto got = srv.submit(r).get();
+  EXPECT_EQ(std::get<DenseMatrix>(got.result), want);
+  EXPECT_EQ(got.stats.dispatch.path, exec::Path::kNative);
+}
+
+TEST(Server, SpmmRegisteredPairBitIdenticalToDirectExec) {
+  Server srv(small_opts());
+  const auto a_dense = random_dense(40, 32, 0.05, 14);
+  const auto b_dense = random_dense(32, 28, 0.5, 15);
+  const AnyMatrix a_any = encode(a_dense, Format::kCSR);
+  const AnyMatrix b_any = encode(b_dense, Format::kZVC);
+  const auto ha = srv.register_matrix(a_any);
+  const auto hb = srv.register_matrix(b_any);
+
+  Request r;
+  r.kernel = Kernel::kSpMM;
+  r.a = ha;
+  r.b = hb;
+  const auto plan = srv.plan_for(r);
+  // The repaired pair must run natively in the engine.
+  EXPECT_TRUE(exec::has_native_pair(plan->run_a, plan->run_b));
+  const auto want =
+      exec::spmm(convert(a_any, plan->run_a), convert(b_any, plan->run_b));
+  const auto got = srv.submit(r).get();
+  EXPECT_EQ(std::get<DenseMatrix>(got.result), want);
+}
+
+TEST(Server, SpgemmBitIdenticalToDirectExec) {
+  Server srv(small_opts());
+  const auto a_dense = random_dense(36, 30, 0.08, 16);
+  const auto b_dense = random_dense(30, 26, 0.08, 17);
+  const AnyMatrix a_any = encode(a_dense, Format::kCOO);
+  const AnyMatrix b_any = encode(b_dense, Format::kCSC);
+  const auto ha = srv.register_matrix(a_any);
+  const auto hb = srv.register_matrix(b_any);
+
+  Request r;
+  r.kernel = Kernel::kSpGEMM;
+  r.a = ha;
+  r.b = hb;
+  const auto want = exec::spgemm(convert(a_any, Format::kCSR),
+                                 convert(b_any, Format::kCSR));
+  const auto got = srv.submit(r).get();
+  const auto& csr = std::get<CsrMatrix>(got.result);
+  EXPECT_EQ(csr.row_ptr(), want.row_ptr());
+  EXPECT_EQ(csr.col_ids(), want.col_ids());
+  EXPECT_EQ(csr.values(), want.values());
+}
+
+TEST(Server, TensorKernelsBitIdenticalToDirectExec) {
+  Server srv(small_opts());
+  const auto x_coo = synth_coo_tensor(10, 9, 8, 60, 18);
+  const AnyTensor x_any = AnyTensor(x_coo);
+  const auto hx = srv.register_tensor(x_any);
+  const auto factor_b = random_dense(9, 6, 1.0, 19);   // MTTKRP B: dim_y x R
+  const auto factor_c = random_dense(8, 6, 1.0, 20);   // MTTKRP C: dim_z x R
+  const auto factor_u = random_dense(8, 6, 1.0, 21);   // SpTTM U: dim_z x R
+
+  Request mk;
+  mk.kernel = Kernel::kMTTKRP;
+  mk.x = hx;
+  mk.dense_b = factor_b;
+  mk.dense_c = factor_c;
+  const auto mplan = srv.plan_for(mk);
+  const auto mwant =
+      exec::mttkrp(convert(x_any, mplan->run_a), factor_b, factor_c);
+  EXPECT_EQ(std::get<DenseMatrix>(srv.submit(mk).get().result), mwant);
+
+  Request tk;
+  tk.kernel = Kernel::kSpTTM;
+  tk.x = hx;
+  tk.dense_b = factor_u;
+  const auto tplan = srv.plan_for(tk);
+  const auto twant = exec::ttm(convert(x_any, tplan->run_a), factor_u);
+  EXPECT_EQ(std::get<DenseTensor3>(srv.submit(tk).get().result), twant);
+}
+
+TEST(Server, GemmServesDenseOperands) {
+  Server srv(small_opts());
+  const auto a = random_dense(24, 20, 1.0, 22);
+  const auto b = random_dense(20, 16, 1.0, 23);
+  const auto h = srv.register_matrix(AnyMatrix(a));
+  Request r;
+  r.kernel = Kernel::kGemm;
+  r.a = h;
+  r.dense_b = b;
+  const auto want = exec::spmm(AnyMatrix(a), b);
+  const auto got = srv.submit(r).get();
+  EXPECT_EQ(std::get<DenseMatrix>(got.result), want);
+  EXPECT_FALSE(got.stats.plan_cache_hit);
+  EXPECT_TRUE(srv.submit(r).get().stats.plan_cache_hit);
+}
+
+TEST(Server, CacheBypassModesProduceIdenticalResults) {
+  const auto a_dense = random_dense(48, 40, 0.06, 24);
+  const AnyMatrix a_any = encode(a_dense, Format::kRLC);
+  const std::vector<value_t> x(40, 1.5f);
+
+  std::vector<value_t> cached_result, bypass_result;
+  {
+    Server srv(small_opts());
+    const auto h = srv.register_matrix(a_any);
+    (void)srv.submit(spmv_request(h, x)).get();
+    cached_result = std::get<std::vector<value_t>>(
+        srv.submit(spmv_request(h, x)).get().result);
+  }
+  {
+    auto opts = small_opts();
+    opts.use_plan_cache = false;
+    opts.use_conversion_cache = false;
+    Server srv(opts);
+    const auto h = srv.register_matrix(a_any);
+    const auto r1 = srv.submit(spmv_request(h, x)).get();
+    EXPECT_FALSE(r1.stats.plan_cache_hit);
+    const auto r2 = srv.submit(spmv_request(h, x)).get();
+    EXPECT_FALSE(r2.stats.plan_cache_hit);  // bypass: misses forever
+    // The bypassed caches stay empty.
+    EXPECT_EQ(srv.plan_cache().size(), 0u);
+    EXPECT_EQ(srv.conversion_cache().size(), 0u);
+    bypass_result = std::get<std::vector<value_t>>(r2.result);
+  }
+  EXPECT_EQ(cached_result, bypass_result);
+}
+
+TEST(Server, EvictionInvalidatesHandleAndPurgesCaches) {
+  Server srv(small_opts());
+  const auto a_dense = random_dense(40, 32, 0.05, 25);
+  const auto h = srv.register_matrix(encode(a_dense, Format::kCSR));
+  const std::vector<value_t> x(32, 1.0f);
+
+  (void)srv.submit(spmv_request(h, x)).get();
+  EXPECT_GT(srv.conversion_cache().size() + srv.plan_cache().size(), 0u);
+
+  srv.evict(h);
+  EXPECT_EQ(srv.conversion_cache().size(), 0u);
+  EXPECT_EQ(srv.plan_cache().size(), 0u);
+  auto fut = srv.submit(spmv_request(h, x));
+  EXPECT_THROW(fut.get(), std::invalid_argument);
+  EXPECT_EQ(srv.counters().failed, 1);
+
+  // Re-registration issues a fresh handle that serves normally.
+  const auto h2 = srv.register_matrix(encode(a_dense, Format::kCSR));
+  EXPECT_NE(h2.id, h.id);
+  (void)srv.submit(spmv_request(h2, x)).get();
+}
+
+TEST(Server, BoundedQueueBackpressureCompletesEverything) {
+  auto opts = small_opts();
+  opts.queue_capacity = 2;  // force submit-side blocking
+  Server srv(opts);
+  const auto h = srv.register_matrix(
+      encode(random_dense(32, 24, 0.1, 26), Format::kCSR));
+  const std::vector<value_t> x(24, 1.0f);
+
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 32; ++i) futs.push_back(srv.submit(spmv_request(h, x)));
+  for (auto& f : futs) EXPECT_NO_THROW((void)f.get());
+  EXPECT_EQ(srv.counters().completed, 32);
+}
+
+TEST(Server, SubmitAfterStopFailsFast) {
+  Server srv(small_opts());
+  const auto h = srv.register_matrix(
+      encode(random_dense(16, 12, 0.2, 27), Format::kCSR));
+  srv.stop();
+  auto fut = srv.submit(spmv_request(h, std::vector<value_t>(12, 1.0f)));
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(Server, WorkerPoolCapsKernelThreadsAndRestores) {
+  const int before_override = num_threads_override();
+  const int before = num_threads();
+  {
+    auto opts = small_opts();
+    opts.num_workers = 4;
+    Server srv(opts);
+    // While the pool is live, kernel width is capped so that
+    // pool x width never oversubscribes the machine.
+    EXPECT_EQ(num_threads(), threads_per_worker(4));
+  }
+  EXPECT_EQ(num_threads_override(), before_override);
+  EXPECT_EQ(num_threads(), before);
+}
+
+TEST(Server, OverlappingServersShareOneThreadBudget) {
+  const int before = num_threads();
+  {
+    auto opts_a = small_opts();
+    opts_a.num_workers = 4;
+    Server a(opts_a);
+    {
+      auto opts_b = small_opts();
+      opts_b.num_workers = 2;
+      Server b(opts_b);
+      // Budget divides over all live workers (4 + 2), never exceeding the
+      // solo width.
+      EXPECT_EQ(num_threads(),
+                std::min(std::max(1, hardware_threads() / 6), before));
+    }
+    // b stopped: the budget re-expands to a's pool alone.
+    EXPECT_EQ(num_threads(),
+              std::min(std::max(1, hardware_threads() / 4), before));
+  }
+  EXPECT_EQ(num_threads(), before);
+}
+
+TEST(ThreadsPerWorker, NeverOversubscribesAndNeverExceedsSolo) {
+  const int solo = num_threads();
+  for (int pool = 1; pool <= 8; ++pool) {
+    const int per = threads_per_worker(pool);
+    EXPECT_GE(per, 1);
+    EXPECT_LE(per, solo);
+  }
+}
+
+TEST(MpmcQueue, FifoDrainAndCloseSemantics) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  q.close();
+  int untouched = 99;
+  EXPECT_FALSE(q.push(std::move(untouched)));
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::optional<int>(3));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace mt::runtime

@@ -1,0 +1,262 @@
+// Serving-runtime stress test — the suite CI runs under ThreadSanitizer.
+//
+// Many client threads fire mixed kernels at one server while also churning
+// private operands through register/evict cycles. Every response is
+// checked bit-identical against a direct exec-engine call on the same
+// converted representation: the serving layer (queue, worker pool, plan
+// cache, conversion cache) must add zero arithmetic variation under
+// arbitrary interleavings. Seeds are fixed, so the workload is
+// deterministic run-to-run even though the interleaving is not.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "runtime/server.hpp"
+#include "testing.hpp"
+#include "workloads/synth.hpp"
+
+namespace mt::runtime {
+namespace {
+
+using testing::random_dense;
+
+constexpr int kClients = 6;
+constexpr int kRequestsPerClient = 80;
+constexpr index_t kSpmmCols = 12;
+constexpr index_t kRank = 6;
+
+struct SharedWorkload {
+  // Registered shared operands (never evicted).
+  std::vector<AnyMatrix> mats;
+  std::vector<MatrixHandle> mat_handles;
+  AnyTensor tensor = AnyTensor(DenseTensor3(1, 1, 1));
+  TensorHandle tensor_handle;
+  // Request payloads.
+  std::vector<value_t> x;          // SpMV input
+  DenseMatrix spmm_b;              // SpMM dense factor
+  DenseMatrix mttkrp_b, mttkrp_c;  // MTTKRP factors
+  // Expected results, precomputed from the memoized plans.
+  std::vector<std::vector<value_t>> want_spmv;
+  std::vector<DenseMatrix> want_spmm;
+  CsrMatrix want_spgemm;
+  DenseMatrix want_mttkrp;
+};
+
+Request make_spmv(const SharedWorkload& w, std::size_t i) {
+  Request r;
+  r.kernel = Kernel::kSpMV;
+  r.a = w.mat_handles[i];
+  r.vec = w.x;
+  return r;
+}
+
+Request make_spmm(const SharedWorkload& w, std::size_t i) {
+  Request r;
+  r.kernel = Kernel::kSpMM;
+  r.a = w.mat_handles[i];
+  r.dense_b = w.spmm_b;
+  return r;
+}
+
+Request make_spgemm(const SharedWorkload& w) {
+  Request r;
+  r.kernel = Kernel::kSpGEMM;
+  r.a = w.mat_handles[0];
+  r.b = w.mat_handles[1];
+  return r;
+}
+
+Request make_mttkrp(const SharedWorkload& w) {
+  Request r;
+  r.kernel = Kernel::kMTTKRP;
+  r.x = w.tensor_handle;
+  r.dense_b = w.mttkrp_b;
+  r.dense_c = w.mttkrp_c;
+  return r;
+}
+
+SharedWorkload build_workload(Server& srv) {
+  SharedWorkload w;
+  // Square and same-shaped so every payload fits every operand and the
+  // SpGEMM pair is dimension-compatible; different contents and MCFs so
+  // each handle is a distinct cached workload.
+  const Format mcfs[] = {Format::kCSR, Format::kZVC, Format::kCOO};
+  for (int i = 0; i < 3; ++i) {
+    w.mats.push_back(
+        encode(random_dense(36, 36, 0.06, 100 + static_cast<unsigned>(i)),
+               mcfs[i]));
+    w.mat_handles.push_back(srv.register_matrix(w.mats.back()));
+  }
+  w.tensor = AnyTensor(synth_coo_tensor(10, 9, 8, 50, 104));
+  w.tensor_handle = srv.register_tensor(w.tensor);
+
+  for (index_t i = 0; i < 36; ++i) {
+    w.x.push_back(0.125f * static_cast<float>(i % 7));
+  }
+  w.spmm_b = random_dense(36, kSpmmCols, 1.0, 105);
+  w.mttkrp_b = random_dense(9, kRank, 1.0, 106);
+  w.mttkrp_c = random_dense(8, kRank, 1.0, 107);
+
+  // Learn the plans once, then precompute expected results with direct
+  // engine calls on identically converted operands.
+  for (std::size_t i = 0; i < w.mats.size(); ++i) {
+    const auto pv = srv.plan_for(make_spmv(w, i));
+    w.want_spmv.push_back(exec::spmv(convert(w.mats[i], pv->run_a), w.x));
+    const auto pm = srv.plan_for(make_spmm(w, i));
+    w.want_spmm.push_back(
+        exec::spmm(convert(w.mats[i], pm->run_a), w.spmm_b));
+  }
+  w.want_spgemm = exec::spgemm(convert(w.mats[0], Format::kCSR),
+                               convert(w.mats[1], Format::kCSR));
+  const auto pt = srv.plan_for(make_mttkrp(w));
+  w.want_mttkrp =
+      exec::mttkrp(convert(w.tensor, pt->run_a), w.mttkrp_b, w.mttkrp_c);
+  return w;
+}
+
+void expect_same_csr(const CsrMatrix& got, const CsrMatrix& want) {
+  EXPECT_EQ(got.row_ptr(), want.row_ptr());
+  EXPECT_EQ(got.col_ids(), want.col_ids());
+  EXPECT_EQ(got.values(), want.values());
+}
+
+// One client: fires a deterministic pseudo-random mix of shared-operand
+// requests, keeps a window of outstanding futures, and periodically churns
+// a private operand through register -> serve -> evict.
+void client_thread(Server& srv, const SharedWorkload& w, int client_id,
+                   std::atomic<int>& failures) {
+  std::mt19937 rng(static_cast<unsigned>(7700 + client_id));
+  std::uniform_int_distribution<int> pick(0, 99);
+
+  // Private operand state (re-created every churn cycle with the same
+  // contents, so the expected result is stable across handles).
+  const auto priv_dense =
+      random_dense(32, 36, 0.08, 200 + static_cast<unsigned>(client_id));
+  const AnyMatrix priv_any = encode(priv_dense, Format::kCSR);
+  MatrixHandle priv = srv.register_matrix(priv_any);
+  std::vector<value_t> priv_want;  // learned on first use per handle
+
+  struct Pending {
+    std::future<Response> fut;
+    int kind = 0;          // 0..2 shared kernels by operand, 3 spgemm,
+    std::size_t operand = 0;  // 4 mttkrp, 5 private spmv
+  };
+  std::vector<Pending> window;
+
+  auto drain = [&](std::size_t keep) {
+    while (window.size() > keep) {
+      Pending p = std::move(window.front());
+      window.erase(window.begin());
+      try {
+        Response resp = p.fut.get();
+        switch (p.kind) {
+          case 0:
+            EXPECT_EQ(std::get<std::vector<value_t>>(resp.result),
+                      w.want_spmv[p.operand]);
+            break;
+          case 1:
+            EXPECT_EQ(std::get<DenseMatrix>(resp.result),
+                      w.want_spmm[p.operand]);
+            break;
+          case 3:
+            expect_same_csr(std::get<CsrMatrix>(resp.result), w.want_spgemm);
+            break;
+          case 4:
+            EXPECT_EQ(std::get<DenseMatrix>(resp.result), w.want_mttkrp);
+            break;
+          case 5:
+            EXPECT_EQ(std::get<std::vector<value_t>>(resp.result), priv_want);
+            break;
+          default: break;
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  for (int i = 0; i < kRequestsPerClient; ++i) {
+    const int roll = pick(rng);
+    Pending p;
+    if (roll < 30) {
+      p.kind = 0;
+      p.operand = static_cast<std::size_t>(roll % 3);
+      p.fut = srv.submit(make_spmv(w, p.operand));
+    } else if (roll < 55) {
+      p.kind = 1;
+      p.operand = static_cast<std::size_t>(roll % 3);
+      p.fut = srv.submit(make_spmm(w, p.operand));
+    } else if (roll < 70) {
+      p.kind = 3;
+      p.fut = srv.submit(make_spgemm(w));
+    } else if (roll < 85) {
+      p.kind = 4;
+      p.fut = srv.submit(make_mttkrp(w));
+    } else {
+      // Private-operand traffic with churn: every few uses, drain, evict
+      // the handle, and re-register the same contents under a new id.
+      if (roll >= 95) {
+        drain(0);
+        srv.evict(priv);
+        priv = srv.register_matrix(priv_any);
+        priv_want.clear();
+      }
+      if (priv_want.empty()) {
+        Request probe;
+        probe.kernel = Kernel::kSpMV;
+        probe.a = priv;
+        probe.vec = w.x;
+        const auto plan = srv.plan_for(probe);
+        priv_want = exec::spmv(convert(priv_any, plan->run_a), w.x);
+      }
+      p.kind = 5;
+      Request r;
+      r.kernel = Kernel::kSpMV;
+      r.a = priv;
+      r.vec = w.x;
+      p.fut = srv.submit(std::move(r));
+    }
+    window.push_back(std::move(p));
+    if (window.size() >= 8) drain(4);
+  }
+  drain(0);
+  srv.evict(priv);
+}
+
+TEST(RuntimeStress, ConcurrentMixedTrafficBitIdentical) {
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 16;
+  opts.accel.num_pes = 32;
+  opts.accel.pe_buffer_bytes = 64 * 4;
+  Server srv(opts);
+
+  const auto w = build_workload(srv);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(
+        [&srv, &w, c, &failures] { client_thread(srv, w, c, failures); });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto counters = srv.counters();
+  EXPECT_EQ(counters.failed, 0);
+  EXPECT_EQ(counters.completed, kClients * kRequestsPerClient);
+  // Steady-state traffic must be absorbed by the caches: far more hits
+  // than distinct workloads.
+  EXPECT_GT(counters.plan_hits, counters.plan_misses);
+  EXPECT_GT(counters.conversion_hits, counters.conversion_misses);
+
+  srv.stop();  // explicit stop before destruction exercises idempotence
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace mt::runtime

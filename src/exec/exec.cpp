@@ -294,6 +294,74 @@ DenseMatrix mttkrp(const AnyTensor& x, const DenseMatrix& b,
   return reg.mttkrp[idx(info.ran_a)](convert(x, info.ran_a), b, c);
 }
 
+DenseMatrix stack_columns(
+    const std::vector<const std::vector<value_t>*>& cols) {
+  MT_REQUIRE(!cols.empty(), "stack_columns needs at least one vector");
+  const index_t rows = static_cast<index_t>(cols.front()->size());
+  const index_t n = static_cast<index_t>(cols.size());
+  DenseMatrix out(rows, n);
+  value_t* po = out.values().data();
+  for (index_t j = 0; j < n; ++j) {
+    const auto& col = *cols[static_cast<std::size_t>(j)];
+    MT_REQUIRE(static_cast<index_t>(col.size()) == rows,
+               "stacked vectors must share one length");
+    for (index_t r = 0; r < rows; ++r) {
+      po[r * n + j] = col[static_cast<std::size_t>(r)];
+    }
+  }
+  return out;
+}
+
+DenseMatrix concat_columns(const std::vector<const DenseMatrix*>& blocks) {
+  MT_REQUIRE(!blocks.empty(), "concat_columns needs at least one block");
+  const index_t rows = blocks.front()->rows();
+  index_t total = 0;
+  for (const auto* b : blocks) {
+    MT_REQUIRE(b->rows() == rows, "concatenated blocks must share row count");
+    total += b->cols();
+  }
+  DenseMatrix out(rows, total);
+  value_t* po = out.values().data();
+  index_t at = 0;
+  for (const auto* b : blocks) {
+    const index_t w = b->cols();
+    const value_t* pb = b->values().data();
+    for (index_t r = 0; r < rows; ++r) {
+      for (index_t c = 0; c < w; ++c) {
+        po[r * total + at + c] = pb[r * w + c];
+      }
+    }
+    at += w;
+  }
+  return out;
+}
+
+DenseMatrix column_block(const DenseMatrix& m, index_t col0, index_t ncols) {
+  MT_REQUIRE(col0 >= 0 && ncols >= 0 && col0 + ncols <= m.cols(),
+             "column block must lie inside the matrix");
+  DenseMatrix out(m.rows(), ncols);
+  const value_t* pm = m.values().data();
+  value_t* po = out.values().data();
+  const index_t stride = m.cols();
+  for (index_t r = 0; r < m.rows(); ++r) {
+    for (index_t c = 0; c < ncols; ++c) {
+      po[r * ncols + c] = pm[r * stride + col0 + c];
+    }
+  }
+  return out;
+}
+
+std::vector<value_t> column_of(const DenseMatrix& m, index_t c) {
+  MT_REQUIRE(c >= 0 && c < m.cols(), "column index in range");
+  std::vector<value_t> out(static_cast<std::size_t>(m.rows()));
+  const value_t* pm = m.values().data();
+  const index_t stride = m.cols();
+  for (index_t r = 0; r < m.rows(); ++r) {
+    out[static_cast<std::size_t>(r)] = pm[r * stride + c];
+  }
+  return out;
+}
+
 bool has_native(Kernel k, Format f) {
   const auto& reg = registry();
   switch (k) {

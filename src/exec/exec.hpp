@@ -76,6 +76,29 @@ DenseTensor3 ttm(const AnyTensor& x, const DenseMatrix& u,
 DenseMatrix mttkrp(const AnyTensor& x, const DenseMatrix& b,
                    const DenseMatrix& c, Dispatch* d = nullptr);
 
+// --- Column-block helpers (the serving batcher's gather/scatter path) ---
+//
+// The runtime batcher coalesces n SpMV requests into one SpMM by stacking
+// their input vectors as columns, and fuses same-plan SpMM requests by
+// concatenating their dense factors; after the fused kernel it scatters
+// each caller's column block back out. These are the only places the
+// engine copies dense data on behalf of the batcher, kept here so the
+// layout convention (row-major, column j of request j) lives next to the
+// kernels that consume it.
+
+// Stacks n equal-length vectors as the n columns of a dense matrix.
+DenseMatrix stack_columns(
+    const std::vector<const std::vector<value_t>*>& cols);
+
+// Concatenates matrices with equal row counts side by side ([B0 | B1 | …]).
+DenseMatrix concat_columns(const std::vector<const DenseMatrix*>& blocks);
+
+// Copies columns [col0, col0 + ncols) of `m` into a new dense matrix.
+DenseMatrix column_block(const DenseMatrix& m, index_t col0, index_t ncols);
+
+// Copies column `c` of `m` out as a vector (an SpMV result un-stacked).
+std::vector<value_t> column_of(const DenseMatrix& m, index_t c);
+
 // --- Registry queries (drive the README support matrix and the tests) ---
 
 // True if `k` has a native kernel consuming the sparse operand in `f`

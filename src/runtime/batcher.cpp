@@ -1,0 +1,91 @@
+#include "runtime/batcher.hpp"
+
+#include <unordered_map>
+
+namespace mt::runtime {
+
+namespace {
+
+// Fusion identity of one batchable request. Two requests fuse only if the
+// whole key matches: same kernel and operand (same plan-cache entry) and
+// the same payload shape (so stacking/concatenation is well-formed and a
+// malformed request fails alone with its own error, never poisoning a
+// batch).
+struct FuseKey {
+  Kernel kernel = Kernel::kSpMV;
+  std::uint64_t a = 0;
+  index_t rows = 0;
+  index_t width = 0;
+
+  bool operator==(const FuseKey&) const = default;
+};
+
+struct FuseKeyHash {
+  std::size_t operator()(const FuseKey& k) const {
+    std::size_t h = static_cast<std::size_t>(k.kernel);
+    h = h * 0x9e3779b97f4a7c15ull + k.a;
+    h = h * 0x9e3779b97f4a7c15ull + static_cast<std::size_t>(k.rows);
+    h = h * 0x9e3779b97f4a7c15ull + static_cast<std::size_t>(k.width);
+    return h;
+  }
+};
+
+}  // namespace
+
+bool coalescible_spmv_format(Format acf) {
+  // CSR: both kernels sweep each row's nonzeros in index order into a
+  // single-precision accumulator — identical FLOP sequence per column.
+  // COO: both use the same fixed row-aligned nnz partition (serial sweep
+  // when unsorted), again identical per-column accumulation order.
+  // CSC is excluded: spmv_csc and spmm_csc_dense reduce over different
+  // fixed chunk widths (512 vs max(256, k/8)), so for wide matrices the
+  // partial-sum order differs. Dense is excluded: gemm() skips zero
+  // entries of A while spmv_dense accumulates them, which diverges on
+  // non-finite inputs. ELL/BSR have no native SpMM kernel at all.
+  return acf == Format::kCSR || acf == Format::kCOO;
+}
+
+std::vector<BatchGroup> form_batches(const std::vector<BatchItem>& items) {
+  std::vector<BatchGroup> groups;
+  groups.reserve(items.size());
+  // Fusion key -> group still accepting members.
+  std::unordered_map<FuseKey, std::size_t, FuseKeyHash> open;
+  // Operand id -> index of the last group touching it. A request may only
+  // join a group that is the *latest* toucher of every operand it names;
+  // otherwise joining would hoist it over an intervening request on the
+  // same handle and break per-handle FIFO completion order.
+  std::unordered_map<std::uint64_t, std::size_t> last_touch;
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& it = items[i];
+    const std::uint64_t handles[] = {it.a, it.b, it.x};
+    if (it.fusible) {
+      const FuseKey key{it.kernel, it.a, it.rows, it.width};
+      const auto og = open.find(key);
+      if (og != open.end()) {
+        bool fifo_safe = true;
+        for (const auto h : handles) {
+          if (h == 0) continue;
+          const auto lt = last_touch.find(h);
+          fifo_safe = fifo_safe && lt != last_touch.end() &&
+                      lt->second == og->second;
+        }
+        if (fifo_safe) {
+          groups[og->second].members.push_back(i);
+          continue;  // last_touch already points at this group
+        }
+      }
+    }
+    const std::size_t g = groups.size();
+    groups.push_back({{i}, it.fusible});
+    if (it.fusible) {
+      open[FuseKey{it.kernel, it.a, it.rows, it.width}] = g;
+    }
+    for (const auto h : handles) {
+      if (h != 0) last_touch[h] = g;
+    }
+  }
+  return groups;
+}
+
+}  // namespace mt::runtime

@@ -1,0 +1,75 @@
+// Request batching — the stage between the MPMC queue and the worker pool.
+//
+// PR 3 amortized per-request *setup* (SAGE search, conversions); this stage
+// reshapes the *work itself*: a worker drains a window of queued requests
+// and coalesces the batchable ones into fewer, wider kernel launches.
+//
+//   SpMV coalescing   n SpMV requests on one operand stack their input
+//                     vectors into the columns of a dense block and run a
+//                     single SpMM — one pass over the matrix instead of n
+//                     (higher arithmetic intensity), one dispatch instead
+//                     of n. The result's columns scatter back to the
+//                     per-request futures.
+//   SpMM/GEMM fusion  same-plan requests with dense factors concatenate
+//                     their factor columns into one wide factor; each
+//                     caller gets its column block of the fused output.
+//
+// Unbatchable kernels (SpGEMM, SpTTM, MTTKRP, two-registered-operand SpMM)
+// pass through untouched. Grouping preserves FIFO order per operand
+// handle: a request joins an earlier group only if no later-arriving
+// request touching any of the same handles sits between them, and groups
+// execute in first-arrival order, so requests on one handle always
+// complete in submission order within a drained window (exactly the
+// guarantee the un-batched single-pop worker gave).
+//
+// Bit-identity contract: fused execution must produce byte-for-byte the
+// results of serving each request alone. Dense-factor SpMM/GEMM kernels
+// compute output columns independently, so concatenation is always safe;
+// SpMV-as-SpMM is only taken for ACFs whose SpMM kernel walks each row's
+// nonzeros in the same order as its SpMV kernel (CSR, COO — see
+// coalescible_spmv_format), every other plan passes through unfused.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "formats/format.hpp"
+
+namespace mt::runtime {
+
+// Whether (and how aggressively) the server batches at the queue head.
+enum class BatchPolicy : std::uint8_t {
+  kOff,     // PR-3 behavior: one pop, one kernel per request
+  kWindow,  // drain up to ServerOptions::batch_window requests per wakeup
+};
+
+// What the grouping pass needs to know about one drained request.
+struct BatchItem {
+  Kernel kernel = Kernel::kSpMV;
+  std::uint64_t a = 0;   // registered matrix operand id (0 = none)
+  std::uint64_t b = 0;   // second registered matrix operand id (0 = none)
+  std::uint64_t x = 0;   // registered tensor operand id (0 = none)
+  index_t rows = 0;      // dense payload rows (vec length / factor rows)
+  index_t width = 0;     // dense factor columns (1 for SpMV)
+  bool fusible = false;  // dense-factor kernel, candidate for fusion
+};
+
+// One unit of execution: indices into the drained window, in FIFO order.
+// `fused` marks a group whose members share a fusion key (same kernel,
+// operand, payload shape — i.e. same plan-cache key); a fused group of
+// size > 1 executes as one coalesced kernel.
+struct BatchGroup {
+  std::vector<std::size_t> members;
+  bool fused = false;
+};
+
+// Partitions a drained window into execution groups, preserving per-handle
+// FIFO order (see file comment). Pure function — unit-tested directly.
+std::vector<BatchGroup> form_batches(const std::vector<BatchItem>& items);
+
+// True if SpMV requests planned onto `acf` may be coalesced into the SpMM
+// kernel for the same format with bit-identical per-column results.
+bool coalescible_spmv_format(Format acf);
+
+}  // namespace mt::runtime

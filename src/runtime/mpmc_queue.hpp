@@ -15,6 +15,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace mt::runtime {
 
@@ -50,6 +51,24 @@ class MpmcQueue {
     lk.unlock();
     not_full_.notify_one();
     return v;
+  }
+
+  // Non-blocking bulk pop: appends up to `max_items` immediately-available
+  // items to `out` in FIFO order and returns how many were taken. Never
+  // waits — the batching worker uses this to extend a window with whatever
+  // is already queued without stalling for more traffic.
+  std::size_t try_pop_n(std::vector<T>& out, std::size_t max_items) {
+    std::size_t taken = 0;
+    {
+      std::lock_guard lk(mu_);
+      while (taken < max_items && !q_.empty()) {
+        out.push_back(std::move(q_.front()));
+        q_.pop_front();
+        ++taken;
+      }
+    }
+    if (taken > 0) not_full_.notify_all();
+    return taken;
   }
 
   // Idempotent: rejects future pushes and wakes every blocked thread.

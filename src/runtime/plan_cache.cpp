@@ -74,6 +74,20 @@ void PlanCache::evict_operand(std::uint64_t id) {
   }
 }
 
+std::size_t PlanCache::retire(std::uint64_t model) {
+  std::lock_guard lk(mu_);
+  std::size_t retired = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.model == model) {
+      it = map_.erase(it);
+      ++retired;
+    } else {
+      ++it;
+    }
+  }
+  return retired;
+}
+
 void PlanCache::clear() {
   std::lock_guard lk(mu_);
   map_.clear();

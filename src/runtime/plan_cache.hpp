@@ -71,6 +71,13 @@ class PlanCache {
   // never reused, so this is memory hygiene rather than correctness).
   void evict_operand(std::uint64_t id);
 
+  // Drops every plan priced against model fingerprint `model` and returns
+  // how many were retired. Plans keyed on a superseded AccelConfig/
+  // EnergyParams already miss cleanly (the fingerprint is part of the
+  // key); this reclaims their memory eagerly instead of leaking dead
+  // entries for the server's lifetime.
+  std::size_t retire(std::uint64_t model);
+
   void clear();
 
   std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }

@@ -96,9 +96,12 @@ class ThreadCapRegistry {
 
 Server::Server(ServerOptions opts)
     : opts_(std::move(opts)),
+      accel_(opts_.accel),
+      energy_(opts_.energy),
       fingerprint_(plan_fingerprint(opts_.accel, opts_.energy)),
       queue_(opts_.queue_capacity) {
   MT_REQUIRE(opts_.num_workers >= 1, "server needs at least one worker");
+  MT_REQUIRE(opts_.batch_window >= 1, "batch window must be at least 1");
   if (opts_.cap_kernel_threads && opts_.num_workers > 1) {
     ThreadCapRegistry::instance().acquire(opts_.num_workers);
     capped_threads_ = true;
@@ -220,12 +223,45 @@ ConversionCache::TensorPtr Server::tensor_rep(TensorHandle h, Format f,
   return rep;
 }
 
+// --- Model lifecycle ---
+
+std::size_t Server::update_model(const AccelConfig& accel,
+                                 const EnergyParams& energy) {
+  std::uint64_t old = 0;
+  {
+    std::unique_lock lk(model_mu_);
+    const auto next = plan_fingerprint(accel, energy);
+    if (next == fingerprint_) return 0;  // same model: nothing to retire
+    old = fingerprint_;
+    accel_ = accel;
+    energy_ = energy;
+    fingerprint_ = next;
+  }
+  // Plans for the old fingerprint can never be hit again (the fingerprint
+  // is part of every key); reclaim them instead of leaking dead entries.
+  return plans_.retire(old);
+}
+
+std::size_t Server::retire_plans(std::uint64_t model_fingerprint) {
+  return plans_.retire(model_fingerprint);
+}
+
+std::uint64_t Server::model_fingerprint() const {
+  std::shared_lock lk(model_mu_);
+  return fingerprint_;
+}
+
+Server::ModelSnapshot Server::model_snapshot() const {
+  std::shared_lock lk(model_mu_);
+  return {accel_, energy_, fingerprint_};
+}
+
 // --- Planning ---
 
-PlanKey Server::key_for(const Request& r) const {
+PlanKey Server::key_for(const Request& r, std::uint64_t model) const {
   PlanKey k;
   k.kernel = r.kernel;
-  k.model = fingerprint_;
+  k.model = model;
   if (is_tensor_kernel(r.kernel)) {
     k.a = r.x.id;
     k.width = r.dense_b.cols();
@@ -244,7 +280,10 @@ PlanKey Server::key_for(const Request& r) const {
   return k;
 }
 
-PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s) {
+PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s,
+                                        const ModelSnapshot& model) {
+  const AccelConfig& accel = model.accel;
+  const EnergyParams& energy = model.energy;
   auto plan = std::make_shared<Plan>();
   plan->kernel = r.kernel;
   switch (r.kernel) {
@@ -254,8 +293,8 @@ PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s) {
       break;
     case Kernel::kSpMV: {
       const auto a = matrix_rep(r.a, Format::kCOO, s);
-      plan->choice = sage_select_spmm_dense_b(as_coo(*a), 1, opts_.accel,
-                                              opts_.energy);
+      plan->choice = sage_select_spmm_dense_b(as_coo(*a), 1, accel,
+                                              energy);
       plan->run_a = repair_single(Kernel::kSpMV, plan->choice.acf_a);
       break;
     }
@@ -263,14 +302,14 @@ PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s) {
       const auto a = matrix_rep(r.a, Format::kCOO, s);
       if (r.b.valid()) {
         const auto b = matrix_rep(r.b, Format::kCOO, s);
-        plan->choice = sage_select_matmul(as_coo(*a), as_coo(*b), opts_.accel,
-                                          opts_.energy);
+        plan->choice = sage_select_matmul(as_coo(*a), as_coo(*b), accel,
+                                          energy);
         plan->run_a = plan->choice.acf_a;
         plan->run_b = plan->choice.acf_b;
         repair_pair(plan->run_a, plan->run_b);
       } else {
         plan->choice = sage_select_spmm_dense_b(
-            as_coo(*a), r.dense_b.cols(), opts_.accel, opts_.energy);
+            as_coo(*a), r.dense_b.cols(), accel, energy);
         plan->run_a = repair_single(Kernel::kSpMM, plan->choice.acf_a);
         // The factor arrives dense in the request body and is consumed
         // dense; only registered operands go through the conversion cache.
@@ -283,8 +322,8 @@ PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s) {
       const auto b = matrix_rep(r.b, Format::kCOO, s);
       // Priced for the stats/describe; the engine's native SpGEMM pair is
       // CSR x CSR, so that is what the server executes and caches.
-      plan->choice = sage_select_matmul(as_coo(*a), as_coo(*b), opts_.accel,
-                                        opts_.energy);
+      plan->choice = sage_select_matmul(as_coo(*a), as_coo(*b), accel,
+                                        energy);
       plan->run_a = plan->run_b = Format::kCSR;
       break;
     }
@@ -293,7 +332,7 @@ PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s) {
       const auto x = tensor_rep(r.x, Format::kCOO, s);
       plan->tensor_choice =
           sage_select_tensor(as_coo(*x), r.dense_b.cols(), r.kernel,
-                             opts_.accel, opts_.energy);
+                             accel, energy);
       plan->run_a = repair_single(r.kernel, plan->tensor_choice.acf_t);
       break;
     }
@@ -303,24 +342,33 @@ PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s) {
 
 PlanCache::PlanPtr Server::resolve_plan(const Request& r, ServeStats& s) {
   const auto t0 = now_ns();
+  // One snapshot per request: the key's fingerprint and the searched
+  // model always agree, even when update_model() lands mid-request.
+  const ModelSnapshot model = model_snapshot();
   PlanCache::PlanPtr plan;
   if (!opts_.use_plan_cache) {
     s.plan_cache_hit = false;
-    plan = compute_plan(r, s);
+    plan = compute_plan(r, s, model);
   } else {
-    const PlanKey key = key_for(r);
+    const PlanKey key = key_for(r, model.fingerprint);
     bool hit = false;
     plan = plans_.get_or_compute(
-        key, [&] { return compute_plan(r, s); }, &hit);
+        key, [&] { return compute_plan(r, s, model); }, &hit);
     s.plan_cache_hit = hit;
     // Same evict race as in matrix_rep/tensor_rep: un-publish a plan
-    // inserted for an operand that was concurrently evicted.
+    // inserted for an operand that was concurrently evicted, or under a
+    // fingerprint that update_model() concurrently retired (the entry is
+    // internally consistent either way — key and pricing share one
+    // snapshot — this is memory hygiene, not correctness).
     if (!hit) {
       if (key.a != 0 && !operand_registered(key.a)) {
         plans_.evict_operand(key.a);
       }
       if (key.b != 0 && !operand_registered(key.b)) {
         plans_.evict_operand(key.b);
+      }
+      if (key.model != model_fingerprint()) {
+        plans_.retire(key.model);
       }
     }
   }
@@ -349,11 +397,17 @@ std::future<Response> Server::submit(Request r) {
 
 Response Server::serve(Request& req, std::int64_t queue_wait_ns) {
   Response resp;
+  resp.stats.queue_wait_ns = queue_wait_ns;
+  const auto plan = resolve_plan(req, resp.stats);
+  execute_plan(req, plan, resp);
+  return resp;
+}
+
+// Conversion + kernel execution under an already-resolved plan; fills
+// resp.result and the convert/exec sections of resp.stats.
+void Server::execute_plan(Request& req, const PlanCache::PlanPtr& plan,
+                          Response& resp) {
   ServeStats& s = resp.stats;
-  s.queue_wait_ns = queue_wait_ns;
-
-  const auto plan = resolve_plan(req, s);
-
   const auto t_conv = now_ns();
   ConversionCache::MatrixPtr rep_a, rep_b;
   ConversionCache::TensorPtr rep_x;
@@ -391,19 +445,181 @@ Response Server::serve(Request& req, std::int64_t queue_wait_ns) {
       break;
   }
   s.exec_ns = now_ns() - t_exec;
-  return resp;
 }
 
+// --- Batched serving (runtime/batcher.hpp) ---
+
 void Server::worker_loop() {
+  std::vector<Item> window;
   while (auto item = queue_.pop()) {
-    const auto dequeued = now_ns();
-    try {
-      Response resp = serve(item->req, dequeued - item->enqueue_ns);
+    window.clear();
+    window.push_back(std::move(*item));
+    if (opts_.batching == BatchPolicy::kWindow && opts_.batch_window > 1) {
+      // Extend the window with whatever is already queued — never wait
+      // for more traffic; an idle queue means a window of one.
+      queue_.try_pop_n(window,
+                       static_cast<std::size_t>(opts_.batch_window - 1));
+    }
+    serve_window(window);
+  }
+}
+
+void Server::serve_window(std::vector<Item>& window) {
+  if (window.size() == 1) {
+    serve_one(window.front());
+    return;
+  }
+  std::vector<BatchItem> meta;
+  meta.reserve(window.size());
+  for (const auto& it : window) meta.push_back(batch_item_for(it.req));
+  for (const auto& group : form_batches(meta)) {
+    if (group.fused && group.members.size() > 1) {
+      serve_fused(window, group.members);
+    } else {
+      for (const auto i : group.members) serve_one(window[i]);
+    }
+  }
+}
+
+void Server::serve_one(Item& item) {
+  try {
+    // Queue wait runs until this request's group actually starts, so time
+    // spent parked behind earlier groups of the same drained window is
+    // charged to latency, not hidden.
+    Response resp = serve(item.req, now_ns() - item.enqueue_ns);
+    counters_.record(resp.stats);
+    item.promise.set_value(std::move(resp));
+  } catch (...) {
+    counters_.record_failure();
+    item.promise.set_exception(std::current_exception());
+  }
+}
+
+BatchItem Server::batch_item_for(const Request& r) const {
+  BatchItem b;
+  b.kernel = r.kernel;
+  switch (r.kernel) {
+    case Kernel::kSpMV:
+      b.a = r.a.id;
+      b.rows = static_cast<index_t>(r.vec.size());
+      b.width = 1;
+      b.fusible = true;
+      break;
+    case Kernel::kGemm:
+    case Kernel::kSpMM:
+      b.a = r.a.id;
+      b.b = r.b.id;
+      if (!r.b.valid()) {
+        // Dense factors concatenate column-wise; registered-pair SpMM
+        // has no dense payload to fuse and passes through.
+        b.rows = r.dense_b.rows();
+        b.width = r.dense_b.cols();
+        b.fusible = true;
+      }
+      break;
+    case Kernel::kSpGEMM:
+      b.a = r.a.id;
+      b.b = r.b.id;
+      break;
+    case Kernel::kSpTTM:
+    case Kernel::kMTTKRP:
+      b.x = r.x.id;
+      break;
+  }
+  return b;
+}
+
+void Server::serve_fused(std::vector<Item>& window,
+                         const std::vector<std::size_t>& members) {
+  Item& lead = window[members.front()];
+  const bool is_spmv = lead.req.kernel == Kernel::kSpMV;
+  const auto start = now_ns();  // group start: queue wait ends here
+  try {
+    ServeStats ls;  // leader stats: the group's plan/convert costs
+    ls.queue_wait_ns = start - lead.enqueue_ns;
+    const auto plan = resolve_plan(lead.req, ls);
+    if (is_spmv && !(coalescible_spmv_format(plan->run_a) &&
+                     exec::has_native(Kernel::kSpMM, plan->run_a))) {
+      // No provably bit-identical SpMM twin for this plan's ACF: serve
+      // the leader under the stats that already paid the resolution, then
+      // the rest one by one (their resolutions hit the now-cached plan).
+      Response resp;
+      resp.stats = ls;
+      execute_plan(lead.req, plan, resp);
       counters_.record(resp.stats);
-      item->promise.set_value(std::move(resp));
-    } catch (...) {
+      lead.promise.set_value(std::move(resp));
+      for (std::size_t j = 1; j < members.size(); ++j) {
+        serve_one(window[members[j]]);
+      }
+      return;
+    }
+    const auto t_conv = now_ns();
+    const auto rep_a = matrix_rep(lead.req.a, plan->run_a, ls);
+    ls.convert_ns = now_ns() - t_conv;
+
+    // Gather: one wide dense factor from the members' payloads.
+    const index_t width = is_spmv ? 1 : lead.req.dense_b.cols();
+    DenseMatrix fused_b;
+    if (is_spmv) {
+      std::vector<const std::vector<value_t>*> cols;
+      cols.reserve(members.size());
+      for (const auto i : members) cols.push_back(&window[i].req.vec);
+      fused_b = exec::stack_columns(cols);
+    } else {
+      std::vector<const DenseMatrix*> blocks;
+      blocks.reserve(members.size());
+      for (const auto i : members) blocks.push_back(&window[i].req.dense_b);
+      fused_b = exec::concat_columns(blocks);
+    }
+
+    const auto t_exec = now_ns();
+    exec::Dispatch dispatch;
+    const DenseMatrix fused_c = exec::spmm(*rep_a, fused_b, &dispatch);
+    const auto exec_ns = now_ns() - t_exec;
+
+    // Scatter: build every response before completing any promise, so a
+    // failure anywhere still fails the whole group uniformly.
+    const int n = static_cast<int>(members.size());
+    std::vector<Response> out(members.size());
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      const Item& it = window[members[j]];
+      Response& resp = out[j];
+      ServeStats& s = resp.stats;
+      if (j == 0) {
+        s = ls;  // the leader carries the real plan/convert accounting
+      } else {
+        // Followers were absorbed by the leader's resolution — a cache
+        // hit when the plan cache is on, a freeride (not a hit) when it
+        // is bypassed, so bypass-mode counters still read zero hits.
+        s.plan_cache_hit = opts_.use_plan_cache;
+      }
+      s.queue_wait_ns = start - it.enqueue_ns;
+      s.batched = true;
+      s.batch_size = n;
+      s.dispatch = dispatch;
+      s.exec_ns = exec_ns / n;  // amortized slice: sums stay meaningful
+      const auto j_idx = static_cast<index_t>(j);
+      if (is_spmv) {
+        resp.result = exec::column_of(fused_c, j_idx);
+      } else {
+        resp.result = exec::column_block(fused_c, j_idx * width, width);
+      }
+    }
+    // Count before completing any promise: a client that observes its
+    // future ready must also observe the batch in the counters.
+    counters_.record_batch(n);
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      counters_.record(out[j].stats);
+      window[members[j]].promise.set_value(std::move(out[j]));
+    }
+  } catch (...) {
+    // Group-level failure (unknown/evicted handle, shape mismatch): the
+    // members share one workload key, so each would have failed alone
+    // with the same error.
+    const auto e = std::current_exception();
+    for (const auto i : members) {
       counters_.record_failure();
-      item->promise.set_exception(std::current_exception());
+      window[i].promise.set_exception(e);
     }
   }
 }

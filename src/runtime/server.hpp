@@ -3,13 +3,16 @@
 // requests, SimBricks-style client/server shape).
 //
 //   clients                                        workers
-//   submit(Request) ──► bounded MPMC queue ──► worker pool ──► exec engine
-//        │                                        │
-//        └── future<Response>                     ├── plan cache (SAGE once
-//                                                 │   per distinct workload)
-//                                                 └── conversion cache
-//                                                     (operand ACF reps,
-//                                                      shared read-only)
+//   submit(Request) ──► bounded MPMC queue ──► batcher ──► worker pool
+//        │                                       │             │
+//        └── future<Response>                    │             ▼
+//                                                │         exec engine
+//                                                │             │
+//                  (drains up to batch_window    │   ├── plan cache (SAGE
+//                   requests, coalesces SpMV →   │   │   once per workload)
+//                   SpMM and fuses same-plan     │   └── conversion cache
+//                   SpMM — runtime/batcher.hpp)  │       (operand ACF reps,
+//                                                        shared read-only)
 //
 // Operands are registered up front and referred to by stable handles;
 // their contents are immutable for the handle's lifetime (that contract
@@ -38,6 +41,7 @@
 
 #include "accel/config.hpp"
 #include "energy/energy_model.hpp"
+#include "runtime/batcher.hpp"
 #include "runtime/conversion_cache.hpp"
 #include "runtime/mpmc_queue.hpp"
 #include "runtime/plan_cache.hpp"
@@ -90,6 +94,12 @@ struct ServerOptions {
   bool use_plan_cache = true;        // off: SAGE search on every request
   bool use_conversion_cache = true;  // off: operands re-convert per request
   bool cap_kernel_threads = true;    // keep workers x OpenMP width <= hw
+  // Request batching at the queue head (see runtime/batcher.hpp):
+  // kWindow lets each worker drain up to batch_window queued requests and
+  // coalesce same-workload SpMV/SpMM/GEMM into one fused kernel; kOff is
+  // the PR-3 one-request-one-kernel path.
+  BatchPolicy batching = BatchPolicy::kWindow;
+  int batch_window = 8;
   AccelConfig accel = AccelConfig::paper_default();
   EnergyParams energy;
 };
@@ -128,9 +138,31 @@ class Server {
   // executing it — warmup and tests use this to learn run_a/run_b.
   PlanCache::PlanPtr plan_for(const Request& r);
 
+  // --- Model lifecycle ---
+
+  // Swaps the accelerator/energy model future requests plan against and
+  // eagerly retires the superseded fingerprint's cached plans (they could
+  // never be hit again — the fingerprint is part of every plan key).
+  // Returns the number of plans retired. Callable while serving: in-flight
+  // requests finish under whichever model they resolved.
+  std::size_t update_model(const AccelConfig& accel,
+                           const EnergyParams& energy);
+
+  // Drops every cached plan priced against `model_fingerprint`; returns
+  // how many were dropped. update_model calls this for the old model; it
+  // is public so external bookkeeping can retire fingerprints it knows
+  // are stale.
+  std::size_t retire_plans(std::uint64_t model_fingerprint);
+
+  // Fingerprint of the model currently used for planning.
+  std::uint64_t model_fingerprint() const;
+
   // --- Observability / lifecycle ---
 
   CountersSnapshot counters() const { return counters_.snapshot(); }
+  // Requests admitted but not yet drained by a worker (tests use this to
+  // stage deterministic batches; operators to watch backpressure).
+  std::size_t queue_depth() const { return queue_.size(); }
   const PlanCache& plan_cache() const { return plans_; }
   const ConversionCache& conversion_cache() const { return reps_; }
   const ServerOptions& options() const { return opts_; }
@@ -147,10 +179,28 @@ class Server {
   };
 
   void worker_loop();
+  void serve_window(std::vector<Item>& window);
+  void serve_one(Item& item);
+  void serve_fused(std::vector<Item>& window,
+                   const std::vector<std::size_t>& members);
+  BatchItem batch_item_for(const Request& r) const;
   Response serve(Request& req, std::int64_t queue_wait_ns);
+  void execute_plan(Request& req, const PlanCache::PlanPtr& plan,
+                    Response& resp);
+  // One coherent read of the live planning model. Each request takes
+  // exactly one snapshot and uses it for both the plan key and the SAGE
+  // search, so a concurrent update_model() can never cache a plan priced
+  // under one fingerprint but keyed under another.
+  struct ModelSnapshot {
+    AccelConfig accel;
+    EnergyParams energy;
+    std::uint64_t fingerprint = 0;
+  };
+  ModelSnapshot model_snapshot() const;
   PlanCache::PlanPtr resolve_plan(const Request& r, ServeStats& s);
-  PlanCache::PlanPtr compute_plan(const Request& r, ServeStats& s);
-  PlanKey key_for(const Request& r) const;
+  PlanCache::PlanPtr compute_plan(const Request& r, ServeStats& s,
+                                  const ModelSnapshot& model);
+  PlanKey key_for(const Request& r, std::uint64_t model) const;
 
   ConversionCache::MatrixPtr matrix_src(std::uint64_t id) const;
   ConversionCache::TensorPtr tensor_src(std::uint64_t id) const;
@@ -161,7 +211,14 @@ class Server {
                                         ServeStats& s);
 
   ServerOptions opts_;
-  std::uint64_t fingerprint_ = 0;  // sage::plan_fingerprint(accel, energy)
+
+  // Live planning model. Starts as opts_.accel/opts_.energy and may be
+  // swapped by update_model(); guarded so planning threads never read a
+  // half-updated config. opts_ itself stays immutable after construction.
+  mutable std::shared_mutex model_mu_;
+  AccelConfig accel_;
+  EnergyParams energy_;
+  std::uint64_t fingerprint_ = 0;  // sage::plan_fingerprint(accel_, energy_)
 
   std::atomic<std::uint64_t> next_id_{1};
   mutable std::shared_mutex reg_mu_;

@@ -8,7 +8,9 @@ std::string ServeStats::describe() const {
   std::ostringstream os;
   os << dispatch.describe() << " | plan "
      << (plan_cache_hit ? "hit" : "miss") << ", conv " << conversion_hits
-     << '/' << conversion_misses << ", queue " << queue_wait_ns / 1000
+     << '/' << conversion_misses;
+  if (batched) os << ", batch " << batch_size;
+  os << ", queue " << queue_wait_ns / 1000
      << "us, plan " << plan_ns / 1000 << "us, convert " << convert_ns / 1000
      << "us, exec " << exec_ns / 1000 << "us";
   return os.str();

@@ -33,7 +33,10 @@ struct ServeStats {
   bool plan_cache_hit = false;
   int conversion_hits = 0;    // operand reps served from cache (or shared)
   int conversion_misses = 0;  // operand reps materialized for this request
+  bool batched = false;       // served by a coalesced/fused kernel launch
+  int batch_size = 1;         // requests sharing that launch (1 = alone)
   exec::Dispatch dispatch;    // how the exec engine ran the kernel
+                              // (a coalesced SpMV reports the SpMM it ran)
 
   std::int64_t total_ns() const {
     return queue_wait_ns + plan_ns + convert_ns + exec_ns;
@@ -51,6 +54,8 @@ struct CountersSnapshot {
   std::int64_t plan_misses = 0;
   std::int64_t conversion_hits = 0;
   std::int64_t conversion_misses = 0;
+  std::int64_t batches = 0;           // fused launches serving >1 request
+  std::int64_t batched_requests = 0;  // requests served by those launches
   std::int64_t queue_wait_ns = 0;
   std::int64_t plan_ns = 0;
   std::int64_t convert_ns = 0;
@@ -64,6 +69,17 @@ struct CountersSnapshot {
     const auto n = conversion_hits + conversion_misses;
     return n == 0 ? 0.0
                   : static_cast<double>(conversion_hits) / static_cast<double>(n);
+  }
+  // Fraction of completed requests absorbed into fused launches.
+  double batched_fraction() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(batched_requests) /
+                                static_cast<double>(completed);
+  }
+  double avg_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_requests) /
+                              static_cast<double>(batches);
   }
 };
 
@@ -86,6 +102,13 @@ class ServerCounters {
 
   void record_failure() { failed_.fetch_add(1, std::memory_order_relaxed); }
 
+  // Called once per fused launch that served `n` (> 1) requests; the
+  // per-request record() calls above still happen for every member.
+  void record_batch(int n) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   CountersSnapshot snapshot() const {
     CountersSnapshot c;
     c.completed = completed_.load(std::memory_order_relaxed);
@@ -94,6 +117,8 @@ class ServerCounters {
     c.plan_misses = plan_misses_.load(std::memory_order_relaxed);
     c.conversion_hits = conversion_hits_.load(std::memory_order_relaxed);
     c.conversion_misses = conversion_misses_.load(std::memory_order_relaxed);
+    c.batches = batches_.load(std::memory_order_relaxed);
+    c.batched_requests = batched_requests_.load(std::memory_order_relaxed);
     c.queue_wait_ns = queue_wait_ns_.load(std::memory_order_relaxed);
     c.plan_ns = plan_ns_.load(std::memory_order_relaxed);
     c.convert_ns = convert_ns_.load(std::memory_order_relaxed);
@@ -105,6 +130,7 @@ class ServerCounters {
   std::atomic<std::int64_t> completed_{0}, failed_{0};
   std::atomic<std::int64_t> plan_hits_{0}, plan_misses_{0};
   std::atomic<std::int64_t> conversion_hits_{0}, conversion_misses_{0};
+  std::atomic<std::int64_t> batches_{0}, batched_requests_{0};
   std::atomic<std::int64_t> queue_wait_ns_{0}, plan_ns_{0}, convert_ns_{0},
       exec_ns_{0};
 };

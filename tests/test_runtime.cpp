@@ -1,12 +1,17 @@
 // Serving-runtime unit tests: plan-cache and conversion-cache hit/miss
 // accounting, bit-identical equivalence with direct exec-engine calls,
-// cache-bypass modes, eviction, backpressure, and the kernel-thread cap.
+// cache-bypass modes, eviction, backpressure, the kernel-thread cap, the
+// request batcher (grouping, fusion bit-identity, batch accounting), and
+// plan retirement on model updates.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "common/threads.hpp"
+#include "runtime/batcher.hpp"
 #include "runtime/mpmc_queue.hpp"
 #include "runtime/server.hpp"
 #include "sage/plan_key.hpp"
@@ -357,6 +362,421 @@ TEST(ThreadsPerWorker, NeverOversubscribesAndNeverExceedsSolo) {
     EXPECT_GE(per, 1);
     EXPECT_LE(per, solo);
   }
+}
+
+// --- Batcher: grouping (pure) ---
+
+BatchItem spmv_item(std::uint64_t a, index_t rows = 32) {
+  BatchItem b;
+  b.kernel = Kernel::kSpMV;
+  b.a = a;
+  b.rows = rows;
+  b.width = 1;
+  b.fusible = true;
+  return b;
+}
+
+BatchItem spmm_item(std::uint64_t a, index_t rows, index_t width) {
+  BatchItem b;
+  b.kernel = Kernel::kSpMM;
+  b.a = a;
+  b.rows = rows;
+  b.width = width;
+  b.fusible = true;
+  return b;
+}
+
+BatchItem spgemm_item(std::uint64_t a, std::uint64_t bb) {
+  BatchItem b;
+  b.kernel = Kernel::kSpGEMM;
+  b.a = a;
+  b.b = bb;
+  return b;
+}
+
+using Members = std::vector<std::size_t>;
+
+TEST(Batcher, FusesSameWorkloadAcrossInterleavedHandles) {
+  const auto groups = form_batches(
+      {spmv_item(1), spmv_item(2), spmv_item(1), spmv_item(2), spmv_item(1)});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members, (Members{0, 2, 4}));
+  EXPECT_EQ(groups[1].members, (Members{1, 3}));
+  EXPECT_TRUE(groups[0].fused);
+  EXPECT_TRUE(groups[1].fused);
+}
+
+TEST(Batcher, InterveningRequestOnSameHandleBarsJoining) {
+  // spmv(1), spgemm(1,2), spmv(1), spmv(2), spmv(1): the SpGEMM touches
+  // both handles, so neither later SpMV may hoist over it into an earlier
+  // group — per-handle completion order must stay FIFO.
+  const auto groups = form_batches({spmv_item(1), spgemm_item(1, 2),
+                                    spmv_item(1), spmv_item(2),
+                                    spmv_item(1)});
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].members, (Members{0}));
+  EXPECT_EQ(groups[1].members, (Members{1}));
+  EXPECT_FALSE(groups[1].fused);
+  EXPECT_EQ(groups[2].members, (Members{2, 4}));  // rejoin after the barrier
+  EXPECT_EQ(groups[3].members, (Members{3}));
+}
+
+TEST(Batcher, KernelAndShapeChangesSplitGroups) {
+  // Same handle, but a different kernel, factor width, or payload length
+  // is a different workload (different plan key / ill-formed stack).
+  const auto groups = form_batches(
+      {spmm_item(1, 32, 8), spmm_item(1, 32, 8), spmm_item(1, 32, 4),
+       spmv_item(1, 32), spmv_item(1, 16)});
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].members, (Members{0, 1}));
+  EXPECT_EQ(groups[1].members, (Members{2}));
+  EXPECT_EQ(groups[2].members, (Members{3}));
+  EXPECT_EQ(groups[3].members, (Members{4}));
+}
+
+TEST(Batcher, UnbatchableKernelsNeverFuse) {
+  BatchItem mttkrp;
+  mttkrp.kernel = Kernel::kMTTKRP;
+  mttkrp.x = 5;
+  const auto groups =
+      form_batches({spgemm_item(1, 2), spgemm_item(1, 2), mttkrp, mttkrp});
+  ASSERT_EQ(groups.size(), 4u);
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.members.size(), 1u);
+    EXPECT_FALSE(g.fused);
+  }
+}
+
+TEST(Batcher, CoalescibleSpmvFormatsAreTheProvablyIdenticalOnes) {
+  EXPECT_TRUE(coalescible_spmv_format(Format::kCSR));
+  EXPECT_TRUE(coalescible_spmv_format(Format::kCOO));
+  // CSC reduces over different chunk widths in SpMV vs SpMM; Dense GEMM
+  // skips zeros that spmv_dense accumulates; ELL/BSR have no SpMM twin.
+  EXPECT_FALSE(coalescible_spmv_format(Format::kCSC));
+  EXPECT_FALSE(coalescible_spmv_format(Format::kDense));
+  EXPECT_FALSE(coalescible_spmv_format(Format::kELL));
+  EXPECT_FALSE(coalescible_spmv_format(Format::kBSR));
+  EXPECT_FALSE(coalescible_spmv_format(Format::kZVC));
+}
+
+// --- Batcher: server integration ---
+
+ServerOptions batched_opts(int window = 16) {
+  auto o = small_opts();
+  o.num_workers = 1;  // one drain stream => deterministic windows
+  o.queue_capacity = 32;
+  o.batching = BatchPolicy::kWindow;
+  o.batch_window = window;
+  return o;
+}
+
+// Occupies the single worker with a chunky SpGEMM so everything submitted
+// next piles up in the queue and drains as one window when it finishes.
+// Spins until the worker has actually taken the occupier off the queue.
+std::future<Response> occupy_worker(Server& srv, MatrixHandle a,
+                                    MatrixHandle b) {
+  Request r;
+  r.kernel = Kernel::kSpGEMM;
+  r.a = a;
+  r.b = b;
+  auto fut = srv.submit(std::move(r));
+  while (srv.queue_depth() > 0) std::this_thread::yield();
+  return fut;
+}
+
+TEST(Server, CoalescedSpmvBitIdenticalToSingleRequests) {
+  // Density 0.05 => SAGE plans SpMV onto CSR (a coalescible ACF).
+  const auto a_dense = random_dense(64, 48, 0.05, 31);
+  const AnyMatrix a_any = encode(a_dense, Format::kCSR);
+  const auto slow_a = random_dense(1000, 1000, 0.08, 32);
+  const auto slow_b = random_dense(1000, 1000, 0.08, 33);
+
+  std::vector<std::vector<value_t>> xs;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<value_t> x;
+    for (index_t k = 0; k < 48; ++k) {
+      x.push_back(0.125f * static_cast<float>((k + i) % 9) - 0.25f);
+    }
+    xs.push_back(std::move(x));
+  }
+
+  // Reference: batching off, requests served one by one.
+  std::vector<std::vector<value_t>> want;
+  {
+    auto opts = batched_opts();
+    opts.batching = BatchPolicy::kOff;
+    Server srv(opts);
+    const auto h = srv.register_matrix(a_any);
+    for (const auto& x : xs) {
+      want.push_back(std::get<std::vector<value_t>>(
+          srv.submit(spmv_request(h, x)).get().result));
+    }
+    EXPECT_EQ(srv.counters().batches, 0);
+  }
+
+  Server srv(batched_opts());
+  const auto h = srv.register_matrix(a_any);
+  const auto hs_a = srv.register_matrix(encode(slow_a, Format::kCSR));
+  const auto hs_b = srv.register_matrix(encode(slow_b, Format::kCSR));
+  ASSERT_TRUE(coalescible_spmv_format(srv.plan_for(spmv_request(h, xs[0]))->run_a));
+
+  auto occupier = occupy_worker(srv, hs_a, hs_b);
+  std::vector<std::future<Response>> futs;
+  for (const auto& x : xs) futs.push_back(srv.submit(spmv_request(h, x)));
+  (void)occupier.get();
+
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const auto resp = futs[i].get();
+    EXPECT_EQ(std::get<std::vector<value_t>>(resp.result), want[i]);
+    EXPECT_TRUE(resp.stats.batched);
+    EXPECT_EQ(resp.stats.batch_size, 5);
+    // The coalesced launch truthfully reports the SpMM it ran.
+    EXPECT_EQ(resp.stats.dispatch.kernel, Kernel::kSpMM);
+    EXPECT_EQ(resp.stats.dispatch.path, exec::Path::kNative);
+  }
+  const auto c = srv.counters();
+  EXPECT_EQ(c.batches, 1);
+  EXPECT_EQ(c.batched_requests, 5);
+}
+
+TEST(Server, BatchedResultsBitIdenticalToBatchingOffForAllKernels) {
+  const auto a_dense = random_dense(48, 48, 0.05, 41);   // CSR spmv/spmm plan
+  const auto coo_dense = random_dense(48, 48, 0.02, 42); // COO spmv plan
+  const auto d_dense = random_dense(32, 32, 1.0, 43);    // dense GEMM operand
+  const auto b_dense = random_dense(48, 48, 0.06, 44);   // SpGEMM partner
+  const auto x_coo = synth_coo_tensor(10, 9, 8, 60, 45);
+  const auto slow_a = random_dense(1000, 1000, 0.08, 46);
+  const auto slow_b = random_dense(1000, 1000, 0.08, 47);
+
+  const auto factor = random_dense(48, 8, 1.0, 48);
+  const auto gemm_factor = random_dense(32, 6, 1.0, 49);
+  const auto mt_b = random_dense(9, 6, 1.0, 50);
+  const auto mt_c = random_dense(8, 6, 1.0, 51);
+  const auto ttm_u = random_dense(8, 6, 1.0, 52);
+  std::vector<value_t> x(48);
+  for (index_t i = 0; i < 48; ++i) {
+    x[static_cast<std::size_t>(i)] = 0.25f * static_cast<float>(i % 5) - 0.5f;
+  }
+
+  struct Shapes {
+    MatrixHandle csr, coo, dense, spgemm_b;
+    TensorHandle tensor;
+  };
+  auto register_all = [&](Server& srv) {
+    Shapes s;
+    s.csr = srv.register_matrix(encode(a_dense, Format::kCSR));
+    s.coo = srv.register_matrix(encode(coo_dense, Format::kCOO));
+    s.dense = srv.register_matrix(AnyMatrix(d_dense));
+    s.spgemm_b = srv.register_matrix(encode(b_dense, Format::kCSR));
+    s.tensor = srv.register_tensor(AnyTensor(x_coo));
+    return s;
+  };
+  auto burst = [&](const Shapes& s) {
+    std::vector<Request> reqs;
+    for (int i = 0; i < 3; ++i) reqs.push_back(spmv_request(s.csr, x));
+    for (int i = 0; i < 2; ++i) reqs.push_back(spmv_request(s.coo, x));
+    for (int i = 0; i < 3; ++i) {
+      Request r;
+      r.kernel = Kernel::kSpMM;
+      r.a = s.csr;
+      r.dense_b = factor;
+      reqs.push_back(std::move(r));
+    }
+    for (int i = 0; i < 2; ++i) {
+      Request r;
+      r.kernel = Kernel::kGemm;
+      r.a = s.dense;
+      r.dense_b = gemm_factor;
+      reqs.push_back(std::move(r));
+    }
+    {
+      Request r;
+      r.kernel = Kernel::kSpGEMM;
+      r.a = s.csr;
+      r.b = s.spgemm_b;
+      reqs.push_back(std::move(r));
+    }
+    {
+      Request r;
+      r.kernel = Kernel::kSpTTM;
+      r.x = s.tensor;
+      r.dense_b = ttm_u;
+      reqs.push_back(std::move(r));
+    }
+    {
+      Request r;
+      r.kernel = Kernel::kMTTKRP;
+      r.x = s.tensor;
+      r.dense_b = mt_b;
+      r.dense_c = mt_c;
+      reqs.push_back(std::move(r));
+    }
+    return reqs;
+  };
+
+  // Reference run: batching off, strictly sequential.
+  std::vector<Result> want;
+  {
+    auto opts = batched_opts();
+    opts.batching = BatchPolicy::kOff;
+    Server srv(opts);
+    const auto s = register_all(srv);
+    for (auto& r : burst(s)) {
+      want.push_back(srv.submit(std::move(r)).get().result);
+    }
+  }
+
+  // Batched run: stage the whole burst behind an occupied worker so it
+  // drains as one window and the fusible prefixes coalesce.
+  Server srv(batched_opts());
+  const auto s = register_all(srv);
+  const auto hs_a = srv.register_matrix(encode(slow_a, Format::kCSR));
+  const auto hs_b = srv.register_matrix(encode(slow_b, Format::kCSR));
+  auto occupier = occupy_worker(srv, hs_a, hs_b);
+  std::vector<std::future<Response>> futs;
+  for (auto& r : burst(s)) futs.push_back(srv.submit(std::move(r)));
+  (void)occupier.get();
+
+  ASSERT_EQ(futs.size(), want.size());
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const auto resp = futs[i].get();
+    ASSERT_EQ(resp.result.index(), want[i].index()) << "request " << i;
+    if (const auto* v = std::get_if<std::vector<value_t>>(&want[i])) {
+      EXPECT_EQ(std::get<std::vector<value_t>>(resp.result), *v) << i;
+    } else if (const auto* m = std::get_if<DenseMatrix>(&want[i])) {
+      EXPECT_EQ(std::get<DenseMatrix>(resp.result), *m) << i;
+    } else if (const auto* c = std::get_if<CsrMatrix>(&want[i])) {
+      const auto& got = std::get<CsrMatrix>(resp.result);
+      EXPECT_EQ(got.row_ptr(), c->row_ptr()) << i;
+      EXPECT_EQ(got.col_ids(), c->col_ids()) << i;
+      EXPECT_EQ(got.values(), c->values()) << i;
+    } else {
+      EXPECT_EQ(std::get<DenseTensor3>(resp.result),
+                std::get<DenseTensor3>(want[i])) << i;
+    }
+  }
+  // Each fusible run (SpMV per operand when its plan is coalescible, SpMM,
+  // GEMM) coalesced into one launch; the tail passed through unbatched.
+  const bool csr_fuses =
+      coalescible_spmv_format(srv.plan_for(spmv_request(s.csr, x))->run_a);
+  const bool coo_fuses =
+      coalescible_spmv_format(srv.plan_for(spmv_request(s.coo, x))->run_a);
+  const auto c = srv.counters();
+  EXPECT_EQ(c.batches, 2 + (csr_fuses ? 1 : 0) + (coo_fuses ? 1 : 0));
+  EXPECT_EQ(c.batched_requests,
+            5 + (csr_fuses ? 3 : 0) + (coo_fuses ? 2 : 0));
+  EXPECT_EQ(c.completed, static_cast<std::int64_t>(want.size()) + 1);
+  EXPECT_TRUE(csr_fuses);  // density 0.05 plans onto CSR — if SAGE ever
+  EXPECT_TRUE(coo_fuses);  // re-prices these, revisit the operands above
+}
+
+TEST(Server, NonCoalescibleSpmvPlanPassesThrough) {
+  // Density 0.2 => SAGE plans SpMV onto Dense, which never coalesces.
+  const auto a_dense = random_dense(64, 48, 0.2, 61);
+  const AnyMatrix a_any = encode(a_dense, Format::kCSR);
+  const auto slow_a = random_dense(1000, 1000, 0.08, 62);
+  const auto slow_b = random_dense(1000, 1000, 0.08, 63);
+  std::vector<value_t> x(48, 0.75f);
+
+  Server srv(batched_opts());
+  const auto h = srv.register_matrix(a_any);
+  ASSERT_FALSE(
+      coalescible_spmv_format(srv.plan_for(spmv_request(h, x))->run_a));
+  const auto hs_a = srv.register_matrix(encode(slow_a, Format::kCSR));
+  const auto hs_b = srv.register_matrix(encode(slow_b, Format::kCSR));
+  auto occupier = occupy_worker(srv, hs_a, hs_b);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(srv.submit(spmv_request(h, x)));
+  (void)occupier.get();
+
+  const auto want = exec::spmv(
+      convert(a_any, srv.plan_for(spmv_request(h, x))->run_a), x);
+  for (auto& f : futs) {
+    const auto resp = f.get();
+    EXPECT_EQ(std::get<std::vector<value_t>>(resp.result), want);
+    EXPECT_FALSE(resp.stats.batched);
+    EXPECT_EQ(resp.stats.dispatch.kernel, Kernel::kSpMV);
+  }
+  EXPECT_EQ(srv.counters().batches, 0);
+}
+
+TEST(Server, BatchFailsUniformlyWhenHandleEvictedInFlight) {
+  Server srv(batched_opts());
+  const auto h = srv.register_matrix(
+      encode(random_dense(48, 48, 0.05, 71), Format::kCSR));
+  const auto hs_a = srv.register_matrix(
+      encode(random_dense(1000, 1000, 0.08, 72), Format::kCSR));
+  const auto hs_b = srv.register_matrix(
+      encode(random_dense(1000, 1000, 0.08, 73), Format::kCSR));
+  std::vector<value_t> x(48, 1.0f);
+
+  auto occupier = occupy_worker(srv, hs_a, hs_b);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 3; ++i) futs.push_back(srv.submit(spmv_request(h, x)));
+  srv.evict(h);  // queued requests now name a dead handle
+  (void)occupier.get();
+  for (auto& f : futs) EXPECT_THROW(f.get(), std::invalid_argument);
+  EXPECT_EQ(srv.counters().failed, 3);
+}
+
+// --- Model lifecycle ---
+
+TEST(Server, UpdateModelRetiresStalePlansAndReplans) {
+  Server srv(small_opts());
+  const auto h = srv.register_matrix(
+      encode(random_dense(48, 40, 0.05, 81), Format::kCSR));
+  const std::vector<value_t> x(40, 1.0f);
+
+  (void)srv.submit(spmv_request(h, x)).get();
+  EXPECT_EQ(srv.plan_cache().size(), 1u);
+  const auto old_fp = srv.model_fingerprint();
+
+  // Same model: nothing changes, nothing is retired.
+  EXPECT_EQ(srv.update_model(srv.options().accel, srv.options().energy), 0u);
+  EXPECT_EQ(srv.model_fingerprint(), old_fp);
+  EXPECT_EQ(srv.plan_cache().size(), 1u);
+
+  // New accelerator: the old fingerprint's plans are retired eagerly and
+  // the next request re-plans (a miss) under the new fingerprint.
+  auto accel = srv.options().accel;
+  accel.num_pes /= 2;
+  EXPECT_EQ(srv.update_model(accel, srv.options().energy), 1u);
+  EXPECT_NE(srv.model_fingerprint(), old_fp);
+  EXPECT_EQ(srv.plan_cache().size(), 0u);
+  const auto resp = srv.submit(spmv_request(h, x)).get();
+  EXPECT_FALSE(resp.stats.plan_cache_hit);
+  EXPECT_EQ(srv.plan_cache().size(), 1u);
+
+  // Retiring a fingerprint with no entries is a no-op.
+  EXPECT_EQ(srv.retire_plans(old_fp), 0u);
+  EXPECT_EQ(srv.retire_plans(12345), 0u);
+}
+
+TEST(PlanCache, RetireDropsOnlyMatchingFingerprint) {
+  PlanCache cache;
+  auto plan = std::make_shared<Plan>();
+  PlanKey k1{Kernel::kSpMV, 1, 0, /*model=*/111, 1};
+  PlanKey k2{Kernel::kSpMV, 1, 0, /*model=*/222, 1};
+  bool hit = false;
+  (void)cache.get_or_compute(k1, [&] { return plan; }, &hit);
+  (void)cache.get_or_compute(k2, [&] { return plan; }, &hit);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.retire(111), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.retire(111), 0u);
+  (void)cache.get_or_compute(k2, [&] { return plan; }, &hit);
+  EXPECT_TRUE(hit);  // the surviving fingerprint still serves
+}
+
+TEST(MpmcQueue, TryPopNTakesOnlyWhatIsThere) {
+  MpmcQueue<int> q(8);
+  for (int i = 1; i <= 5; ++i) EXPECT_TRUE(q.push(std::move(i)));
+  std::vector<int> out;
+  EXPECT_EQ(q.try_pop_n(out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.try_pop_n(out, 10), 2u);  // drains the rest, never blocks
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(q.try_pop_n(out, 4), 0u);  // empty queue: returns immediately
 }
 
 TEST(MpmcQueue, FifoDrainAndCloseSemantics) {

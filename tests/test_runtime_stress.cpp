@@ -226,12 +226,14 @@ void client_thread(Server& srv, const SharedWorkload& w, int client_id,
   srv.evict(priv);
 }
 
-TEST(RuntimeStress, ConcurrentMixedTrafficBitIdentical) {
+void run_stress(BatchPolicy batching, int batch_window) {
   ServerOptions opts;
   opts.num_workers = 4;
   opts.queue_capacity = 16;
   opts.accel.num_pes = 32;
   opts.accel.pe_buffer_bytes = 64 * 4;
+  opts.batching = batching;
+  opts.batch_window = batch_window;
   Server srv(opts);
 
   const auto w = build_workload(srv);
@@ -253,9 +255,28 @@ TEST(RuntimeStress, ConcurrentMixedTrafficBitIdentical) {
   // than distinct workloads.
   EXPECT_GT(counters.plan_hits, counters.plan_misses);
   EXPECT_GT(counters.conversion_hits, counters.conversion_misses);
+  if (batching == BatchPolicy::kOff) {
+    EXPECT_EQ(counters.batches, 0);
+  } else {
+    // Whether windows actually coalesce depends on interleaving, but the
+    // invariant "batched_requests always come from multi-member launches"
+    // must hold under any schedule.
+    EXPECT_GE(counters.batched_requests, 2 * counters.batches);
+  }
 
   srv.stop();  // explicit stop before destruction exercises idempotence
   srv.stop();
+}
+
+TEST(RuntimeStress, ConcurrentMixedTrafficBitIdentical) {
+  run_stress(BatchPolicy::kOff, 1);
+}
+
+// Same traffic with the batcher on: fused SpMV/SpMM launches must stay
+// bit-identical to the precomputed single-request results under arbitrary
+// interleavings, with register/evict churn racing the batching windows.
+TEST(RuntimeStress, ConcurrentMixedTrafficBitIdenticalBatched) {
+  run_stress(BatchPolicy::kWindow, 8);
 }
 
 }  // namespace

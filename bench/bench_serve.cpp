@@ -21,11 +21,20 @@
 // modes above run with batching off so their numbers stay comparable to
 // the recorded baseline.
 //
+// A fourth comparison measures what sharding buys at equal compute: the
+// same pipelined SpMV traffic over eight operands driven through a
+// four-shard ShardedServer (1 worker per shard) vs a single Server with
+// four workers. Total worker count, caches, and batching are identical;
+// only the number of queue/registry lock domains differs, so the ratio
+// isolates the router (ISSUE-5 bar: sharding must not cost throughput,
+// ratio >= 1.0; multi-core runners see the contention relief as > 1).
+//
 // Output: human-readable table on stdout plus a JSON record (--out,
 // default BENCH_serve.json) with per-mode throughput/latency/cache rates,
-// the cached-over-bypass speedup the ISSUE-3 acceptance bar reads, and
-// the batched-over-unbatched speedup the ISSUE-4 bar (>=1.5x) and the CI
-// perf-gate read.
+// the cached-over-bypass speedup the ISSUE-3 acceptance bar reads, the
+// batched-over-unbatched speedup the ISSUE-4 bar (>=1.5x) reads, and the
+// sharded-over-unsharded speedup the ISSUE-5 bar and the CI perf-gate
+// read.
 //
 // Usage: bench_serve [--smoke] [--out FILE] [--clients N] [--requests N]
 //                    [--workers N]
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "runtime/router.hpp"
 #include "runtime/server.hpp"
 #include "workloads/synth.hpp"
 
@@ -60,6 +70,11 @@ struct Config {
   int batch_window = 16;
   int spmv_outstanding = 8;   // in-flight requests per client
   int spmv_requests = 1500;   // per client
+  // Sharding phase: the same pipelined SpMV traffic spread over several
+  // operands, 4 shards x 1 worker vs 1 server x 4 workers.
+  int shard_count = 4;
+  int shard_operands = 8;
+  int shard_requests = 1200;  // per client
 };
 
 struct Operands {
@@ -373,6 +388,116 @@ BatchModeResult run_batch_mode(const Config& cfg, BatchPolicy policy) {
   return r;
 }
 
+// --- Sharding phase ---
+
+// Pipelined SpMV over several registered operands, round-robin: every
+// client keeps `outstanding` requests in flight across the operand set,
+// so admission pressure spreads over every shard's queue (or piles onto
+// the single server's one queue — that contrast is the measurement).
+template <typename S>
+double pipelined_sharded_loop(S& srv, const std::vector<MatrixHandle>& hs,
+                              const std::vector<value_t>& x, int clients,
+                              int outstanding, int requests,
+                              std::vector<double>& latencies_us) {
+  std::vector<std::vector<double>> per_client(
+      static_cast<std::size_t>(clients));
+  const auto t0 = now_ns();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& lat = per_client[static_cast<std::size_t>(c)];
+      lat.reserve(static_cast<std::size_t>(requests));
+      std::deque<std::pair<std::future<Response>, std::int64_t>> inflight;
+      int seq = c;  // stagger operand order across clients
+      auto submit_one = [&] {
+        Request r;
+        r.kernel = Kernel::kSpMV;
+        r.a = hs[static_cast<std::size_t>(seq++) % hs.size()];
+        r.vec = x;
+        inflight.emplace_back(srv.submit(std::move(r)), now_ns());
+      };
+      auto reap_one = [&] {
+        auto [fut, ts] = std::move(inflight.front());
+        inflight.pop_front();
+        (void)fut.get();
+        lat.push_back(static_cast<double>(now_ns() - ts) / 1e3);
+      };
+      for (int i = 0; i < requests; ++i) {
+        submit_one();
+        if (static_cast<int>(inflight.size()) >= outstanding) reap_one();
+      }
+      while (!inflight.empty()) reap_one();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = static_cast<double>(now_ns() - t0) / 1e9;
+  for (auto& lat : per_client) {
+    latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
+  }
+  return static_cast<double>(clients) * static_cast<double>(requests) /
+         wall_s;
+}
+
+// Runs the sharding-phase traffic against an already-constructed server
+// (Server or ShardedServer — same surface), warming every operand first.
+template <typename S>
+BatchModeResult measure_shard_mode(const Config& cfg, S& srv) {
+  const index_t n = cfg.smoke ? 48 : 96;
+  std::vector<MatrixHandle> hs;
+  for (int i = 0; i < cfg.shard_operands; ++i) {
+    const auto coo = synth_coo_matrix(
+        n, n, static_cast<std::int64_t>(0.05 * static_cast<double>(n * n)),
+        80 + static_cast<std::uint64_t>(i));
+    hs.push_back(srv.register_matrix(convert(AnyMatrix(coo), Format::kCSR)));
+  }
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.25f * static_cast<float>(i % 7) - 0.5f;
+  }
+  for (const auto& h : hs) {  // plans + ACF reps resolve outside the timing
+    Request warm;
+    warm.kernel = Kernel::kSpMV;
+    warm.a = h;
+    warm.vec = x;
+    (void)srv.submit(std::move(warm)).get();
+  }
+
+  BatchModeResult r;
+  for (int t = 0; t < cfg.trials; ++t) {
+    std::vector<double> lat;
+    const double thr = pipelined_sharded_loop(
+        srv, hs, x, cfg.clients, cfg.spmv_outstanding, cfg.shard_requests,
+        lat);
+    if (thr > r.throughput_rps) {
+      r.throughput_rps = thr;
+      r.p50_us = percentile(lat, 0.50);
+      r.p99_us = percentile(lat, 0.99);
+    }
+  }
+  r.counters = srv.counters();
+  srv.stop();
+  return r;
+}
+
+BatchModeResult run_shard_mode(const Config& cfg, int num_shards) {
+  // Equal total workers either way: num_shards x 1 vs 1 x num_shards.
+  // Caches on, batching off — the only variable is how many queue and
+  // registry lock domains the same traffic is spread over.
+  ServerOptions shard = make_options(cfg, /*caches_on=*/true);
+  if (num_shards > 1) {
+    shard.num_workers = 1;
+    ShardedServerOptions o;
+    o.num_shards = num_shards;
+    o.shard = shard;
+    ShardedServer srv(o);
+    return measure_shard_mode(cfg, srv);
+  }
+  shard.num_workers = cfg.shard_count;
+  Server srv(shard);
+  return measure_shard_mode(cfg, srv);
+}
+
 void print_batch_mode(const char* name, const BatchModeResult& r) {
   std::printf(
       "%-9s  %10.0f req/s   p50 %8.1f us  p99 %8.1f us\n"
@@ -407,7 +532,9 @@ void print_mode(const char* name, const ModeResult& r) {
 void write_json(const Config& cfg, const ModeResult& cached,
                 const ModeResult& bypass, double open_rate, double speedup,
                 const BatchModeResult& batched,
-                const BatchModeResult& unbatched, double batch_speedup) {
+                const BatchModeResult& unbatched, double batch_speedup,
+                const BatchModeResult& sharded,
+                const BatchModeResult& unsharded, double shard_speedup) {
   std::ofstream os(cfg.out);
   auto batch_mode = [&](const char* name, const BatchModeResult& r,
                         bool last) {
@@ -445,12 +572,17 @@ void write_json(const Config& cfg, const ModeResult& cached,
      << "  \"open_loop_rate_rps\": " << open_rate << ",\n"
      << "  \"batch_window\": " << cfg.batch_window << ",\n"
      << "  \"spmv_outstanding\": " << cfg.spmv_outstanding << ",\n"
+     << "  \"num_shards\": " << cfg.shard_count << ",\n"
      << "  \"speedup_cached_over_bypass\": " << speedup << ",\n"
-     << "  \"speedup_batched_over_unbatched\": " << batch_speedup << ",\n";
+     << "  \"speedup_batched_over_unbatched\": " << batch_speedup << ",\n"
+     << "  \"speedup_sharded_over_unsharded\": " << shard_speedup << ",\n";
   mode("cached", cached, false);
   mode("bypass", bypass, false);
   batch_mode("batched", batched, false);
-  batch_mode("unbatched", unbatched, true);
+  batch_mode("unbatched", unbatched, false);
+  // The shard phase runs with batching off, so its batches fields read 0.
+  batch_mode("sharded", sharded, false);
+  batch_mode("unsharded", unsharded, true);
   os << "}\n";
 }
 
@@ -485,6 +617,7 @@ int main(int argc, char** argv) {
     cfg.open_loop_requests = 30;
     cfg.trials = 1;
     cfg.spmv_requests = 400;
+    cfg.shard_requests = 300;
   }
 
   mt::bench::banner("Serving runtime: cached vs no-cache repeated traffic");
@@ -533,8 +666,30 @@ int main(int argc, char** argv) {
       batch_speedup >= 1.5 ? "(meets the >=1.5x acceptance bar)"
                            : "(below the 1.5x bar)");
 
+  // Sharding phase: same total worker count, caches on, batching off —
+  // the ratio isolates what splitting the queue/registry lock domains
+  // buys (or costs) at equal compute.
+  mt::bench::subhead("sharded routing (pipelined SpMV over 8 operands)");
+  std::printf("%d shards x 1 worker vs 1 server x %d workers, "
+              "%d clients x %d outstanding, %d requests/client\n",
+              cfg.shard_count, cfg.shard_count, cfg.clients,
+              cfg.spmv_outstanding, cfg.shard_requests);
+  const BatchModeResult sharded = run_shard_mode(cfg, cfg.shard_count);
+  print_batch_mode("sharded", sharded);
+  const BatchModeResult unsharded = run_shard_mode(cfg, 1);
+  print_batch_mode("unsharded", unsharded);
+
+  const double shard_speedup =
+      unsharded.throughput_rps > 0.0
+          ? sharded.throughput_rps / unsharded.throughput_rps
+          : 0.0;
+  std::printf(
+      "\nthroughput speedup (sharded / unsharded): %.2fx %s\n", shard_speedup,
+      shard_speedup >= 1.0 ? "(meets the >=1.0x acceptance bar)"
+                           : "(below the 1.0x bar)");
+
   write_json(cfg, cached, bypass, open_rate, speedup, batched, unbatched,
-             batch_speedup);
+             batch_speedup, sharded, unsharded, shard_speedup);
   std::printf("wrote %s\n", cfg.out.c_str());
   return 0;
 }

@@ -1,0 +1,128 @@
+// Capacity limits and replacement policy for the serving-runtime caches.
+//
+// Both runtime caches (plan cache, conversion cache) started out unbounded:
+// entries only left on explicit evict()/retire(). Under operand churn a
+// long-lived server — and every shard of a ShardedServer — must stay
+// bounded, so each cache now takes a CacheOptions budget and sheds entries
+// with a cost-aware LRU policy (GreedyDual): an entry's priority is
+//
+//   H(entry) = clock + recompute_cost
+//
+// refreshed on every hit. Eviction removes the lowest-H entry (ties broken
+// by least-recent touch, i.e. exact LRU among equal costs) and advances the
+// clock to the victim's H. Recently-touched entries and entries that are
+// expensive to recompute — a conversion's measured convert() time, a plan's
+// measured SAGE-search time — therefore survive pressure longest, while an
+// idle cheap entry ages out as the clock catches up to it.
+//
+// EvictionIndex is the pure bookkeeping half (not thread-safe; the owning
+// cache holds its own mutex) so the policy is unit-testable with injected
+// costs, independent of timing noise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+
+namespace mt::runtime {
+
+inline constexpr std::size_t kUnboundedCacheLimit =
+    std::numeric_limits<std::size_t>::max();
+
+// Capacity budget for one cache. The defaults never evict; a limit of 0
+// disables the cache entirely (every lookup recomputes, nothing is stored
+// — the bypass degenerate case, which also forfeits single-flight).
+struct CacheOptions {
+  std::size_t max_entries = kUnboundedCacheLimit;
+  std::size_t max_bytes = kUnboundedCacheLimit;
+
+  bool bypass() const { return max_entries == 0 || max_bytes == 0; }
+  bool bounded() const {
+    return max_entries != kUnboundedCacheLimit ||
+           max_bytes != kUnboundedCacheLimit;
+  }
+};
+
+// Cost-aware LRU (GreedyDual) victim index over the keys of one cache.
+// Tracks only finalized entries — in-flight single-flight computations are
+// never victims — and the aggregate byte footprint the limits are enforced
+// against.
+template <typename K, typename Hash = std::hash<K>>
+class EvictionIndex {
+ public:
+  // Inserts `k`, or re-prices an existing entry (new cost/bytes), at
+  // priority clock + cost.
+  void touch(const K& k, double cost, std::size_t bytes) {
+    auto [it, inserted] = slots_.try_emplace(k);
+    if (!inserted) bytes_ -= it->second.bytes;
+    it->second = Slot{clock_ + cost, ++seq_, cost, bytes};
+    bytes_ += bytes;
+  }
+
+  // Refreshes recency/priority of an existing key at its stored cost;
+  // no-op if absent (e.g. the entry was evicted under the caller's feet).
+  void refresh(const K& k) {
+    auto it = slots_.find(k);
+    if (it == slots_.end()) return;
+    it->second.h = clock_ + it->second.cost;
+    it->second.seq = ++seq_;
+  }
+
+  void erase(const K& k) {
+    auto it = slots_.find(k);
+    if (it == slots_.end()) return;
+    bytes_ -= it->second.bytes;
+    slots_.erase(it);
+  }
+
+  // Removes and returns the lowest-(H, recency) key, advancing the clock
+  // to its H so survivors age relative to it. Linear scan: these caches
+  // hold at most a few hundred entries and evict rarely.
+  std::optional<K> pop_victim() {
+    if (slots_.empty()) return std::nullopt;
+    auto victim = slots_.begin();
+    for (auto it = std::next(slots_.begin()); it != slots_.end(); ++it) {
+      if (it->second.h < victim->second.h ||
+          (it->second.h == victim->second.h &&
+           it->second.seq < victim->second.seq)) {
+        victim = it;
+      }
+    }
+    if (victim->second.h > clock_) clock_ = victim->second.h;
+    K key = victim->first;
+    bytes_ -= victim->second.bytes;
+    slots_.erase(victim);
+    return key;
+  }
+
+  bool over(const CacheOptions& limits) const {
+    return slots_.size() > limits.max_entries || bytes_ > limits.max_bytes;
+  }
+
+  std::size_t entries() const { return slots_.size(); }
+  std::size_t bytes() const { return bytes_; }
+
+  void clear() {
+    slots_.clear();
+    bytes_ = 0;
+    // The clock survives clear(): priorities are only compared among live
+    // entries, so resetting it is unnecessary and would deflate future H.
+  }
+
+ private:
+  struct Slot {
+    double h = 0.0;          // GreedyDual priority: clock-at-touch + cost
+    std::uint64_t seq = 0;   // touch order: LRU tie-break among equal H
+    double cost = 0.0;       // recompute cost (ns) re-applied on refresh
+    std::size_t bytes = 0;
+  };
+
+  std::unordered_map<K, Slot, Hash> slots_;
+  double clock_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace mt::runtime

@@ -1,11 +1,21 @@
 #include "runtime/conversion_cache.hpp"
 
+#include "runtime/stats.hpp"
+
 namespace mt::runtime {
 
-template <typename Ptr, typename Convert>
-Ptr ConversionCache::get(
-    std::unordered_map<Key, std::shared_future<Ptr>, KeyHash>& map, Key key,
-    const Convert& fn, bool* hit) {
+template <typename Ptr, typename Convert, typename Bytes>
+Ptr ConversionCache::get(std::unordered_map<Key, Entry<Ptr>, KeyHash>& map,
+                         Key key, const Convert& fn, const Bytes& bytes_of,
+                         bool* hit) {
+  if (limits_.bypass()) {
+    // Zero budget: compute without publishing (and without single-flight —
+    // concurrent callers each convert; that is the semantics bypass asks
+    // for).
+    if (hit != nullptr) *hit = false;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return fn();
+  }
   std::shared_future<Ptr> fut;
   std::promise<Ptr> mine;
   bool compute = false;
@@ -13,10 +23,13 @@ Ptr ConversionCache::get(
     std::lock_guard lk(mu_);
     auto it = map.find(key);
     if (it != map.end()) {
-      fut = it->second;
+      fut = it->second.fut;
+      // Refresh recency so a hot representation outlives capacity
+      // pressure. Entries still being computed are not indexed yet.
+      if (it->second.ready) index_.refresh(key);
     } else {
       fut = mine.get_future().share();
-      map.emplace(key, fut);
+      map.emplace(key, Entry<Ptr>{fut, /*ready=*/false});
       compute = true;
     }
   }
@@ -24,16 +37,40 @@ Ptr ConversionCache::get(
   (compute ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
   if (compute) {
     try {
-      mine.set_value(fn());
+      const auto t0 = now_ns();
+      Ptr rep = fn();
+      const auto cost_ns = static_cast<double>(now_ns() - t0);
+      {
+        std::lock_guard lk(mu_);
+        // The entry may have been evict(id)ed while we converted; only
+        // finalize (and index) entries that are still published.
+        auto it = map.find(key);
+        if (it != map.end()) {
+          it->second.ready = true;
+          index_.touch(key, cost_ns, bytes_of(*rep));
+          enforce_limits();
+        }
+      }
+      mine.set_value(std::move(rep));
     } catch (...) {
       {
         std::lock_guard lk(mu_);
         map.erase(key);
+        index_.erase(key);
       }
       mine.set_exception(std::current_exception());
     }
   }
   return fut.get();
+}
+
+void ConversionCache::enforce_limits() {
+  while (index_.over(limits_)) {
+    const auto victim = index_.pop_victim();
+    if (!victim) break;  // everything left is in-flight; nothing evictable
+    matrices_.erase(*victim);
+    tensors_.erase(*victim);
+  }
 }
 
 ConversionCache::MatrixPtr ConversionCache::matrix(std::uint64_t id, Format f,
@@ -45,9 +82,14 @@ ConversionCache::MatrixPtr ConversionCache::matrix(std::uint64_t id, Format f,
     hits_.fetch_add(1, std::memory_order_relaxed);
     return src;
   }
-  return get(matrices_, Key{id, f},
-             [&] { return std::make_shared<const AnyMatrix>(convert(*src, f)); },
-             hit);
+  return get(
+      matrices_, Key{id, f},
+      [&] { return std::make_shared<const AnyMatrix>(convert(*src, f)); },
+      [](const AnyMatrix& m) {
+        return static_cast<std::size_t>(
+            storage_of(m, DataType::kFp32).total_bytes());
+      },
+      hit);
 }
 
 ConversionCache::TensorPtr ConversionCache::tensor(std::uint64_t id, Format f,
@@ -58,18 +100,33 @@ ConversionCache::TensorPtr ConversionCache::tensor(std::uint64_t id, Format f,
     hits_.fetch_add(1, std::memory_order_relaxed);
     return src;
   }
-  return get(tensors_, Key{id, f},
-             [&] { return std::make_shared<const AnyTensor>(convert(*src, f)); },
-             hit);
+  return get(
+      tensors_, Key{id, f},
+      [&] { return std::make_shared<const AnyTensor>(convert(*src, f)); },
+      [](const AnyTensor& t) {
+        return static_cast<std::size_t>(
+            storage_of(t, DataType::kFp32).total_bytes());
+      },
+      hit);
 }
 
 void ConversionCache::evict(std::uint64_t id) {
   std::lock_guard lk(mu_);
   for (auto it = matrices_.begin(); it != matrices_.end();) {
-    it = it->first.id == id ? matrices_.erase(it) : std::next(it);
+    if (it->first.id == id) {
+      index_.erase(it->first);
+      it = matrices_.erase(it);
+    } else {
+      ++it;
+    }
   }
   for (auto it = tensors_.begin(); it != tensors_.end();) {
-    it = it->first.id == id ? tensors_.erase(it) : std::next(it);
+    if (it->first.id == id) {
+      index_.erase(it->first);
+      it = tensors_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -77,11 +134,17 @@ void ConversionCache::clear() {
   std::lock_guard lk(mu_);
   matrices_.clear();
   tensors_.clear();
+  index_.clear();
 }
 
 std::size_t ConversionCache::size() const {
   std::lock_guard lk(mu_);
   return matrices_.size() + tensors_.size();
+}
+
+std::size_t ConversionCache::bytes() const {
+  std::lock_guard lk(mu_);
+  return index_.bytes();
 }
 
 }  // namespace mt::runtime

@@ -12,6 +12,16 @@
 // A request for the operand's own registered format shares the registered
 // representation itself and counts as a hit: identity is the cheapest
 // conversion. Like the plan cache, population is single-flight.
+//
+// Capacity (cache_policy.hpp): a CacheOptions budget bounds the number of
+// materialized representations and their aggregate storage_of() bytes.
+// Over budget, the cost-aware LRU policy evicts the representation whose
+// measured convert() time makes it cheapest to recompute among the least
+// recently used; identity shares are never stored, so they cost no budget.
+// Eviction only unpublishes the cache entry — in-flight requests holding
+// the shared_ptr keep their representation alive until they finish. A
+// zero budget disables caching entirely (every call converts, nothing is
+// stored, single-flight is forfeited).
 #pragma once
 
 #include <atomic>
@@ -22,6 +32,7 @@
 #include <unordered_map>
 
 #include "convert/convert.hpp"
+#include "runtime/cache_policy.hpp"
 
 namespace mt::runtime {
 
@@ -29,6 +40,8 @@ class ConversionCache {
  public:
   using MatrixPtr = std::shared_ptr<const AnyMatrix>;
   using TensorPtr = std::shared_ptr<const AnyTensor>;
+
+  explicit ConversionCache(CacheOptions limits = {}) : limits_(limits) {}
 
   // Representation of matrix operand `id` (whose registered form is
   // `src`) in format `f`. `hit` reports whether the conversion was
@@ -52,6 +65,10 @@ class ConversionCache {
     return misses_.load(std::memory_order_relaxed);
   }
   std::size_t size() const;
+  // Aggregate storage_of() bytes of the materialized representations
+  // (identity shares excluded — they borrow the registry's memory).
+  std::size_t bytes() const;
+  const CacheOptions& limits() const { return limits_; }
 
  private:
   struct Key {
@@ -65,14 +82,31 @@ class ConversionCache {
                                         static_cast<std::uint64_t>(k.f));
     }
   };
+  // Map payload: the single-flight future plus whether the computing
+  // thread has finalized it (only finalized entries are in the victim
+  // index, so an in-flight computation is never evicted under its
+  // waiters).
+  template <typename Ptr>
+  struct Entry {
+    std::shared_future<Ptr> fut;
+    bool ready = false;
+  };
 
-  template <typename Ptr, typename Convert>
-  Ptr get(std::unordered_map<Key, std::shared_future<Ptr>, KeyHash>& map,
-          Key key, const Convert& fn, bool* hit);
+  template <typename Ptr, typename Convert, typename Bytes>
+  Ptr get(std::unordered_map<Key, Entry<Ptr>, KeyHash>& map, Key key,
+          const Convert& fn, const Bytes& bytes_of, bool* hit);
 
+  // Evicts lowest-priority entries until the budget holds. Caller holds
+  // mu_. Victims can live in either map; ids are shared across both (the
+  // server hands out matrix and tensor ids from one counter), so erasing
+  // the key from both maps is unambiguous.
+  void enforce_limits();
+
+  const CacheOptions limits_;
   mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_future<MatrixPtr>, KeyHash> matrices_;
-  std::unordered_map<Key, std::shared_future<TensorPtr>, KeyHash> tensors_;
+  std::unordered_map<Key, Entry<MatrixPtr>, KeyHash> matrices_;
+  std::unordered_map<Key, Entry<TensorPtr>, KeyHash> tensors_;
+  EvictionIndex<Key, KeyHash> index_;
   std::atomic<std::int64_t> hits_{0}, misses_{0};
 };
 

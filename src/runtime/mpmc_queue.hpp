@@ -81,6 +81,10 @@ class MpmcQueue {
     not_empty_.notify_all();
   }
 
+  // Atomic snapshot of the current depth (taken under the queue mutex,
+  // never a torn read), stale the instant it returns. Cross-shard
+  // aggregation sums one such snapshot per shard — see the consistency
+  // contract on Server::queue_depth.
   std::size_t size() const {
     std::lock_guard lk(mu_);
     return q_.size();

@@ -1,5 +1,7 @@
 #include "runtime/plan_cache.hpp"
 
+#include "runtime/stats.hpp"
+
 namespace mt::runtime {
 
 namespace {
@@ -29,6 +31,13 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
 
 PlanCache::PlanPtr PlanCache::get_or_compute(const PlanKey& key,
                                              const Compute& fn, bool* hit) {
+  if (limits_.bypass()) {
+    // Zero budget: search without publishing (no single-flight either —
+    // exactly the semantics a disabled cache asks for).
+    if (hit != nullptr) *hit = false;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return fn();
+  }
   std::shared_future<PlanPtr> fut;
   std::promise<PlanPtr> mine;
   bool compute = false;
@@ -36,10 +45,12 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const PlanKey& key,
     std::lock_guard lk(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
-      fut = it->second;
+      fut = it->second.fut;
+      // Refresh recency so hot workloads outlive capacity pressure.
+      if (it->second.ready) index_.refresh(key);
     } else {
       fut = mine.get_future().share();
-      map_.emplace(key, fut);
+      map_.emplace(key, Entry{fut, /*ready=*/false});
       compute = true;
     }
   }
@@ -47,7 +58,21 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const PlanKey& key,
   (compute ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
   if (compute) {
     try {
-      mine.set_value(fn());
+      const auto t0 = now_ns();
+      PlanPtr plan = fn();
+      const auto cost_ns = static_cast<double>(now_ns() - t0);
+      {
+        std::lock_guard lk(mu_);
+        // The entry may have been evicted/retired while we searched; only
+        // finalize (and index) entries that are still published.
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+          it->second.ready = true;
+          index_.touch(key, cost_ns, sizeof(Plan));
+          enforce_limits();
+        }
+      }
+      mine.set_value(std::move(plan));
     } catch (...) {
       // Un-publish so later requests retry instead of caching the error,
       // then propagate to this caller and any waiters.
@@ -56,6 +81,7 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const PlanKey& key,
       {
         std::lock_guard lk(mu_);
         map_.erase(key);
+        index_.erase(key);
       }
       mine.set_exception(std::current_exception());
     }
@@ -63,10 +89,19 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const PlanKey& key,
   return fut.get();  // rethrows the computing thread's exception, if any
 }
 
+void PlanCache::enforce_limits() {
+  while (index_.over(limits_)) {
+    const auto victim = index_.pop_victim();
+    if (!victim) break;  // everything left is in-flight; nothing evictable
+    map_.erase(*victim);
+  }
+}
+
 void PlanCache::evict_operand(std::uint64_t id) {
   std::lock_guard lk(mu_);
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.a == id || it->first.b == id) {
+      index_.erase(it->first);
       it = map_.erase(it);
     } else {
       ++it;
@@ -79,6 +114,7 @@ std::size_t PlanCache::retire(std::uint64_t model) {
   std::size_t retired = 0;
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.model == model) {
+      index_.erase(it->first);
       it = map_.erase(it);
       ++retired;
     } else {
@@ -91,6 +127,7 @@ std::size_t PlanCache::retire(std::uint64_t model) {
 void PlanCache::clear() {
   std::lock_guard lk(mu_);
   map_.clear();
+  index_.clear();
 }
 
 std::size_t PlanCache::size() const {

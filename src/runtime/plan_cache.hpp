@@ -12,6 +12,14 @@
 // computing thread; the others block on a shared_future rather than
 // duplicating the SAGE search. A throwing computation un-publishes the
 // entry so later requests can retry.
+//
+// Capacity (cache_policy.hpp): a CacheOptions budget bounds the number of
+// memoized plans (bytes are a flat sizeof(Plan) each — plans are tiny;
+// entry count is the real lever). Over budget, the cost-aware LRU policy
+// evicts the plan whose measured SAGE-search time makes it cheapest to
+// re-derive among the least recently used. A zero budget disables
+// memoization entirely (every request searches, like use_plan_cache =
+// false but scoped to the cache).
 #pragma once
 
 #include <atomic>
@@ -24,6 +32,7 @@
 
 #include "common/types.hpp"
 #include "formats/format.hpp"
+#include "runtime/cache_policy.hpp"
 #include "sage/sage.hpp"
 
 namespace mt::runtime {
@@ -62,6 +71,8 @@ class PlanCache {
   using PlanPtr = std::shared_ptr<const Plan>;
   using Compute = std::function<PlanPtr()>;
 
+  explicit PlanCache(CacheOptions limits = {}) : limits_(limits) {}
+
   // Returns the plan for `key`, invoking `fn` at most once across all
   // concurrent callers of the same key. `hit` reports whether the entry
   // already existed (i.e. this caller paid no SAGE search).
@@ -85,10 +96,21 @@ class PlanCache {
     return misses_.load(std::memory_order_relaxed);
   }
   std::size_t size() const;
+  const CacheOptions& limits() const { return limits_; }
 
  private:
+  struct Entry {
+    std::shared_future<PlanPtr> fut;
+    bool ready = false;
+  };
+
+  // Evicts lowest-priority plans until the budget holds. Caller holds mu_.
+  void enforce_limits();
+
+  const CacheOptions limits_;
   mutable std::mutex mu_;
-  std::unordered_map<PlanKey, std::shared_future<PlanPtr>, PlanKeyHash> map_;
+  std::unordered_map<PlanKey, Entry, PlanKeyHash> map_;
+  EvictionIndex<PlanKey, PlanKeyHash> index_;
   std::atomic<std::int64_t> hits_{0}, misses_{0};
 };
 

@@ -1,0 +1,190 @@
+#include "runtime/router.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mt::runtime {
+
+ShardedServer::ShardedServer(ShardedServerOptions opts)
+    : opts_(std::move(opts)),
+      ring_(opts_.num_shards, opts_.ring_vnodes) {
+  // Every shard joins the process-wide kernel-thread budget so N shards x
+  // W workers divide the hardware exactly like one N*W-worker server.
+  opts_.shard.shard_member = opts_.num_shards > 1;
+  shards_.reserve(static_cast<std::size_t>(opts_.num_shards));
+  for (int s = 0; s < opts_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Server>(opts_.shard));
+  }
+}
+
+ShardedServer::~ShardedServer() { stop(); }
+
+void ShardedServer::stop() {
+  for (auto& s : shards_) s->stop();
+}
+
+// --- Registry ---
+
+MatrixHandle ShardedServer::register_matrix(AnyMatrix m) {
+  const auto key = next_key_.fetch_add(1, std::memory_order_relaxed);
+  const int s = ring_.shard_for(key);
+  const auto local = shards_[static_cast<std::size_t>(s)]->register_matrix(
+      std::move(m));
+  return {encode_shard_handle(local.id, s)};
+}
+
+TensorHandle ShardedServer::register_tensor(AnyTensor t) {
+  const auto key = next_key_.fetch_add(1, std::memory_order_relaxed);
+  const int s = ring_.shard_for(key);
+  const auto local = shards_[static_cast<std::size_t>(s)]->register_tensor(
+      std::move(t));
+  return {encode_shard_handle(local.id, s)};
+}
+
+int ShardedServer::owning_shard(std::uint64_t id) const {
+  const int s = shard_of_handle(id);
+  MT_REQUIRE(s < num_shards(), "handle was not issued by this router");
+  return s;
+}
+
+void ShardedServer::evict(MatrixHandle h) {
+  const int home = owning_shard(h.id);
+  // One lock over home-eviction + replica purge: replica_on() serializes
+  // against this, so no replica can be created from the dying source and
+  // recorded after the purge (it would leak unreachably).
+  std::lock_guard lk(replica_mu_);
+  shards_[static_cast<std::size_t>(home)]->evict(
+      MatrixHandle{local_handle(h.id)});
+  if (auto it = replicas_.find(h.id); it != replicas_.end()) {
+    for (const auto& [s, local] : it->second) {
+      shards_[static_cast<std::size_t>(s)]->evict(MatrixHandle{local});
+    }
+    replicas_.erase(it);
+  }
+}
+
+void ShardedServer::evict(TensorHandle h) {
+  const int home = owning_shard(h.id);
+  // Tensors are never replicated (no cross-shard tensor pair kernels),
+  // so only the home shard holds state.
+  shards_[static_cast<std::size_t>(home)]->evict(
+      TensorHandle{local_handle(h.id)});
+}
+
+std::uint64_t ShardedServer::replica_on(int target, std::uint64_t global_id) {
+  std::lock_guard lk(replica_mu_);
+  if (auto it = replicas_.find(global_id); it != replicas_.end()) {
+    if (auto jt = it->second.find(target); jt != it->second.end()) {
+      return jt->second;
+    }
+  }
+  const int home = owning_shard(global_id);
+  // Throws std::invalid_argument if the operand was evicted — under the
+  // same lock evict() takes, so creation and purge cannot interleave.
+  // Nothing is recorded until both steps succeed: an entry created before
+  // a throwing source lookup would outlive the id forever (ids are never
+  // reused, so no later evict could clean it up).
+  auto src = shards_[static_cast<std::size_t>(home)]->matrix_source(
+      MatrixHandle{local_handle(global_id)});
+  const auto local =
+      shards_[static_cast<std::size_t>(target)]->adopt_matrix(std::move(src));
+  replicas_[global_id].emplace(target, local.id);
+  return local.id;
+}
+
+// --- Routing ---
+
+int ShardedServer::to_local(Request& r) {
+  int s = 0;
+  if (is_tensor_kernel(r.kernel)) {
+    if (r.x.valid()) {
+      s = owning_shard(r.x.id);
+      r.x.id = local_handle(r.x.id);
+    }
+  } else {
+    if (r.a.valid()) {
+      s = owning_shard(r.a.id);
+      r.a.id = local_handle(r.a.id);
+      if (r.b.valid()) {
+        const int sb = owning_shard(r.b.id);
+        // Cross-shard pair policy: execute on the first operand's shard,
+        // with B replicated there (zero-copy source share; the executing
+        // shard's conversion cache may miss on first touch). Only reached
+        // behind a valid A: a malformed request must fail on its invalid
+        // primary, not leave a replica registered as a side effect.
+        r.b.id = sb == s ? local_handle(r.b.id) : replica_on(s, r.b.id);
+      }
+    }
+  }
+  // Invalid (id == 0) primary handles route to shard 0, whose Server
+  // raises the same "names no operand" error a lone Server would.
+  return s;
+}
+
+std::future<Response> ShardedServer::submit(Request r) {
+  try {
+    const int s = to_local(r);
+    return shards_[static_cast<std::size_t>(s)]->submit(std::move(r));
+  } catch (...) {
+    // Routing failures (foreign handle, evicted cross-shard operand)
+    // surface on the future, matching Server's own error surface.
+    routing_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<Response> p;
+    p.set_exception(std::current_exception());
+    return p.get_future();
+  }
+}
+
+PlanCache::PlanPtr ShardedServer::plan_for(const Request& r) {
+  Request local = r;
+  const int s = to_local(local);
+  return shards_[static_cast<std::size_t>(s)]->plan_for(local);
+}
+
+// --- Model lifecycle ---
+
+std::size_t ShardedServer::update_model(const AccelConfig& accel,
+                                        const EnergyParams& energy) {
+  std::size_t retired = 0;
+  for (auto& s : shards_) retired += s->update_model(accel, energy);
+  return retired;
+}
+
+std::uint64_t ShardedServer::model_fingerprint() const {
+  return shards_.front()->model_fingerprint();
+}
+
+// --- Observability ---
+
+CountersSnapshot ShardedServer::counters() const {
+  CountersSnapshot total;
+  for (const auto& s : shards_) total += s->counters();
+  total.failed += routing_failures_.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t ShardedServer::queue_depth() const {
+  // Snapshot loop: each shard's depth is read atomically under its queue
+  // mutex; the sum is weakly consistent (see Server::queue_depth).
+  std::size_t depth = 0;
+  for (const auto& s : shards_) depth += s->queue_depth();
+  return depth;
+}
+
+CountersSnapshot ShardedServer::shard_counters(int shard) const {
+  MT_REQUIRE(shard >= 0 && shard < num_shards(), "shard index out of range");
+  return shards_[static_cast<std::size_t>(shard)]->counters();
+}
+
+std::size_t ShardedServer::queue_depth(int shard) const {
+  MT_REQUIRE(shard >= 0 && shard < num_shards(), "shard index out of range");
+  return shards_[static_cast<std::size_t>(shard)]->queue_depth();
+}
+
+const Server& ShardedServer::shard(int i) const {
+  MT_REQUIRE(i >= 0 && i < num_shards(), "shard index out of range");
+  return *shards_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace mt::runtime

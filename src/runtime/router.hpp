@@ -1,0 +1,156 @@
+// Sharded serving router — N independent Server shards behind one API.
+//
+// A single Server serializes every admission on one MPMC queue mutex and
+// every registration on one registry lock; past a handful of client
+// threads those two lock domains are the scalability ceiling. The
+// ShardedServer partitions registered operands across N full Server
+// instances (each with its own queue, worker pool, plan cache, conversion
+// cache, and capacity budget) and routes each request to the shard that
+// owns its primary operand:
+//
+//   clients ──► ShardedServer ──► shard 0: queue ► workers ► caches
+//                   │ O(1) decode ► shard 1: queue ► workers ► caches
+//                   │             ► ...
+//                   └── future<Response>   (stats pass through unchanged)
+//
+// Placement and routing — registration draws a key from a monotonic
+// counter and places the operand on a consistent-hash ring
+// (runtime/shard.hpp); the returned handle encodes the owning shard in
+// its low bits, so every later submit()/evict()/plan_for() decodes the
+// shard in O(1) with no routing table and no ring lookup. The ring only
+// matters again when the shard count changes: consistent hashing keeps
+// the keyspace fraction that moves to ~1/N, minimizing re-registration
+// churn in a rolling resize (see HashRing).
+//
+// Cross-shard pair kernels (SpGEMM / registered-pair SpMM / GEMM with a
+// registered B) — the defined policy: the request executes on the FIRST
+// operand's shard. The second operand is lazily replicated there by
+// sharing its immutable source representation (shared_ptr adoption — the
+// replica costs zero bytes of payload copy); the executing shard's
+// conversion cache then materializes whatever ACF the plan wants, i.e. a
+// conversion-cache miss on first touch is allowed by contract. Replicas
+// are memoized per (operand, shard) and purged when the owning handle is
+// evicted.
+//
+// Semantics: with num_shards == 1 the router is behaviorally identical to
+// a lone Server — same plans, same bit-identical results, same error
+// surface (failures arrive on the future, never from submit() itself).
+// update_model fans out to every shard; counters()/queue_depth()
+// aggregate per-shard snapshots into a weakly-consistent cross-shard view
+// (see Server::queue_depth for the contract). Thread budgeting: every
+// shard joins the process-wide ThreadCapRegistry (ServerOptions::
+// shard_member), so N shards x W workers cap the OpenMP kernel width to
+// hardware/(N*W) exactly like one N*W-worker server would.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/server.hpp"
+#include "runtime/shard.hpp"
+
+namespace mt::runtime {
+
+struct ShardedServerOptions {
+  int num_shards = 2;
+  int ring_vnodes = 128;   // placement smoothness (see HashRing)
+  ServerOptions shard;     // applied to every shard (workers, queue,
+                           // caches + capacity budgets, batching, model)
+};
+
+class ShardedServer {
+ public:
+  explicit ShardedServer(ShardedServerOptions opts = {});
+  ~ShardedServer();  // stop()s if still running
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  // --- Operand registry ---
+
+  MatrixHandle register_matrix(AnyMatrix m);
+  TensorHandle register_tensor(AnyTensor t);
+
+  // Evicts the operand from its home shard and every shard holding a
+  // replica of it; later requests naming the handle fail via the future.
+  void evict(MatrixHandle h);
+  void evict(TensorHandle h);
+
+  // --- Serving ---
+
+  // Routes to the primary operand's shard (blocking only on that shard's
+  // bounded queue). Routing errors — a handle this router never issued,
+  // an evicted cross-shard operand — surface on the returned future,
+  // exactly like Server's own failures.
+  std::future<Response> submit(Request r);
+
+  // Plan resolution on the owning shard (memoized there); replicates a
+  // cross-shard second operand just like submit().
+  PlanCache::PlanPtr plan_for(const Request& r);
+
+  // --- Model lifecycle ---
+
+  // Fans out to every shard; returns the total number of plans retired
+  // across the fleet.
+  std::size_t update_model(const AccelConfig& accel,
+                           const EnergyParams& energy);
+
+  // Fingerprint of the planning model (identical on every shard).
+  std::uint64_t model_fingerprint() const;
+
+  // --- Observability / lifecycle ---
+
+  // Cross-shard sums of per-shard snapshots, plus requests that failed in
+  // routing before reaching any shard. Weakly consistent (see
+  // Server::queue_depth's contract): each addend is an atomic per-shard
+  // snapshot; the total corresponds to no single global instant.
+  CountersSnapshot counters() const;
+  std::size_t queue_depth() const;
+
+  CountersSnapshot shard_counters(int shard) const;
+  std::size_t queue_depth(int shard) const;
+  const Server& shard(int i) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int shard_of(MatrixHandle h) const { return shard_of_handle(h.id); }
+  int shard_of(TensorHandle h) const { return shard_of_handle(h.id); }
+  const ShardedServerOptions& options() const { return opts_; }
+
+  // Closes intake and drains every shard. Idempotent.
+  void stop();
+
+ private:
+  // Decodes/validates a global handle id, returning its shard index;
+  // throws for ids this router never issued.
+  int owning_shard(std::uint64_t id) const;
+  // Rewrites the request's handles to shard-local ids (replicating a
+  // cross-shard B onto the primary shard if needed) and returns the shard
+  // that must execute it.
+  int to_local(Request& r);
+  // Shard-local handle for operand `global_id` on shard `target`,
+  // registering a zero-copy replica on first use.
+  std::uint64_t replica_on(int target, std::uint64_t global_id);
+
+  ShardedServerOptions opts_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Server>> shards_;
+  std::atomic<std::uint64_t> next_key_{1};  // ring placement keys
+
+  // Replica registry: global operand id -> (shard -> local replica id).
+  // The mutex also serializes replica creation against evict(), so a
+  // replica can never be registered after its source's eviction purged
+  // the map (the creation path re-reads the source under this lock and
+  // throws if it is gone).
+  mutable std::mutex replica_mu_;
+  std::unordered_map<std::uint64_t, std::unordered_map<int, std::uint64_t>>
+      replicas_;
+
+  std::atomic<std::int64_t> routing_failures_{0};
+};
+
+}  // namespace mt::runtime

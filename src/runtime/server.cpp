@@ -45,11 +45,11 @@ const CooTensor3& as_coo(const AnyTensor& t) {
 }
 
 // Process-wide kernel-thread budget shared by every live multi-worker
-// server: the cap is hardware / (total workers across servers), so the
-// "workers x kernel width never oversubscribes" invariant holds even with
-// overlapping Server lifetimes (the sharded-servers direction in the
-// ROADMAP). The pre-cap override is saved once and restored when the last
-// capping server stops.
+// server and every ShardedServer shard (single-worker shards join via
+// ServerOptions::shard_member): the cap is hardware / (total workers
+// across servers), so the "workers x kernel width never oversubscribes"
+// invariant holds even with overlapping Server lifetimes. The pre-cap
+// override is saved once and restored when the last capping server stops.
 class ThreadCapRegistry {
  public:
   void acquire(int workers) {
@@ -99,10 +99,13 @@ Server::Server(ServerOptions opts)
       accel_(opts_.accel),
       energy_(opts_.energy),
       fingerprint_(plan_fingerprint(opts_.accel, opts_.energy)),
+      plans_(opts_.plan_cache_limits),
+      reps_(opts_.conversion_cache_limits),
       queue_(opts_.queue_capacity) {
   MT_REQUIRE(opts_.num_workers >= 1, "server needs at least one worker");
   MT_REQUIRE(opts_.batch_window >= 1, "batch window must be at least 1");
-  if (opts_.cap_kernel_threads && opts_.num_workers > 1) {
+  if (opts_.cap_kernel_threads &&
+      (opts_.num_workers > 1 || opts_.shard_member)) {
     ThreadCapRegistry::instance().acquire(opts_.num_workers);
     capped_threads_ = true;
   }
@@ -126,11 +129,20 @@ void Server::stop() {
 // --- Registry ---
 
 MatrixHandle Server::register_matrix(AnyMatrix m) {
+  return adopt_matrix(std::make_shared<const AnyMatrix>(std::move(m)));
+}
+
+MatrixHandle Server::adopt_matrix(ConversionCache::MatrixPtr m) {
+  MT_REQUIRE(m != nullptr, "cannot adopt a null matrix representation");
   const auto id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  auto rep = std::make_shared<const AnyMatrix>(std::move(m));
   std::unique_lock lk(reg_mu_);
-  matrices_.emplace(id, std::move(rep));
+  matrices_.emplace(id, std::move(m));
   return {id};
+}
+
+ConversionCache::MatrixPtr Server::matrix_source(MatrixHandle h) const {
+  MT_REQUIRE(h.valid(), "handle names no matrix operand");
+  return matrix_src(h.id);
 }
 
 TensorHandle Server::register_tensor(AnyTensor t) {

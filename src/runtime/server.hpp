@@ -93,7 +93,18 @@ struct ServerOptions {
   // (bench_serve) and for debugging; serving traffic wants both on.
   bool use_plan_cache = true;        // off: SAGE search on every request
   bool use_conversion_cache = true;  // off: operands re-convert per request
+  // Capacity budgets (cache_policy.hpp): default unbounded, the PR-3
+  // behavior. Bounded caches shed cost-aware-LRU victims past the budget;
+  // a zero budget stores nothing. Under a ShardedServer these bound each
+  // shard, which is what keeps operand churn safe at fleet scale.
+  CacheOptions plan_cache_limits;
+  CacheOptions conversion_cache_limits;
   bool cap_kernel_threads = true;    // keep workers x OpenMP width <= hw
+  // Set by ShardedServer on its shards: join the process-wide kernel
+  // thread budget even with a single worker, so N single-worker shards
+  // count as N concurrent kernel callers (a lone 1-worker Server has
+  // nothing to share with and skips the registry).
+  bool shard_member = false;
   // Request batching at the queue head (see runtime/batcher.hpp):
   // kWindow lets each worker drain up to batch_window queued requests and
   // coalesce same-workload SpMV/SpMM/GEMM into one fused kernel; kOff is
@@ -119,6 +130,16 @@ class Server {
   // operand's contents are immutable once registered.
   MatrixHandle register_matrix(AnyMatrix m);
   TensorHandle register_tensor(AnyTensor t);
+
+  // Registers an operand that already lives behind a shared immutable
+  // representation, without copying it. The router's cross-shard
+  // replication path uses this: the same underlying bytes serve as the
+  // source on the home shard and the replica on the executing shard.
+  MatrixHandle adopt_matrix(ConversionCache::MatrixPtr m);
+
+  // The registered source representation behind `h` (shared, zero-copy);
+  // throws std::invalid_argument if the handle is unknown or evicted.
+  ConversionCache::MatrixPtr matrix_source(MatrixHandle h) const;
 
   // Unregisters the operand and purges its cache entries. In-flight
   // requests already holding its representations finish normally;
@@ -162,6 +183,17 @@ class Server {
   CountersSnapshot counters() const { return counters_.snapshot(); }
   // Requests admitted but not yet drained by a worker (tests use this to
   // stage deterministic batches; operators to watch backpressure).
+  //
+  // Consistency contract: the value is an atomic snapshot of THIS queue
+  // (taken under the queue mutex — never a torn read), but it is stale
+  // the instant it returns. Aggregators summing depths across shards
+  // (ShardedServer::queue_depth) therefore see a weakly-consistent sum:
+  // each addend was exact at its own read point, while the total may
+  // correspond to no single global instant. That is the strongest
+  // guarantee available without a stop-the-world lock over every shard,
+  // and it is monotonic-safe for the two real uses — staging tests that
+  // wait for 0 on an idle server, and operators watching backpressure
+  // trends.
   std::size_t queue_depth() const { return queue_.size(); }
   const PlanCache& plan_cache() const { return plans_; }
   const ConversionCache& conversion_cache() const { return reps_; }

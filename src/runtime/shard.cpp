@@ -1,0 +1,43 @@
+#include "runtime/shard.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mt::runtime {
+
+HashRing::HashRing(int num_shards, int vnodes) : num_shards_(num_shards) {
+  MT_REQUIRE(num_shards >= 1 && num_shards <= kMaxShards,
+             "shard count must be in [1, kMaxShards]");
+  MT_REQUIRE(vnodes >= 1, "ring needs at least one point per shard");
+  points_.reserve(static_cast<std::size_t>(num_shards) *
+                  static_cast<std::size_t>(vnodes));
+  for (int s = 0; s < num_shards; ++s) {
+    for (int r = 0; r < vnodes; ++r) {
+      // Point identity depends on (shard, replica) only — never on the
+      // total shard count — which is what makes growth minimally
+      // disruptive (see header). The top tag bit domain-separates point
+      // ids from registration keys: without it, key k and shard 0's
+      // replica k hash identically ((0 << 32) | k == k), parking every
+      // low key on shard 0.
+      const auto id = (1ull << 63) |
+                      (static_cast<std::uint64_t>(s) << 32) |
+                      static_cast<std::uint64_t>(r);
+      points_.emplace_back(splitmix64(id), s);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+int HashRing::shard_for(std::uint64_t key) const {
+  const auto h = splitmix64(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const std::pair<std::uint64_t, int>& p, std::uint64_t v) {
+        return p.first < v;
+      });
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return it->second;
+}
+
+}  // namespace mt::runtime

@@ -1,0 +1,74 @@
+// Shard placement for the sharded serving router (runtime/router.hpp).
+//
+// Two pieces, both pure and unit-testable:
+//
+// Handle encoding — a ShardedServer handle id packs the owning shard into
+// its low kShardBits bits and the shard-local Server id into the high
+// bits. Routing a request is therefore O(1): decode the shard index
+// straight from the handle, no ring lookup and no routing table. Local
+// ids start at 1, so every encoded id is nonzero and MatrixHandle/
+// TensorHandle::valid() keeps working.
+//
+// HashRing — classic consistent hashing with virtual nodes, used once per
+// registration to place a new operand. Each shard contributes `vnodes`
+// points hashed from (shard, replica) only, so a shard's points are
+// identical regardless of how many other shards exist: growing the shard
+// count remaps only the keys the new shard's points capture (expected
+// vnode-count-weighted 1/N of the keyspace), and never moves a key
+// between two pre-existing shards. Registration keys are hashed through
+// splitmix64 first, so even sequential counters spread uniformly.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mt::runtime {
+
+inline constexpr int kShardBits = 8;
+inline constexpr int kMaxShards = 1 << kShardBits;  // 256
+
+constexpr std::uint64_t encode_shard_handle(std::uint64_t local_id,
+                                            int shard) {
+  return (local_id << kShardBits) | static_cast<std::uint64_t>(shard);
+}
+
+constexpr int shard_of_handle(std::uint64_t id) {
+  return static_cast<int>(id & (kMaxShards - 1));
+}
+
+constexpr std::uint64_t local_handle(std::uint64_t id) {
+  return id >> kShardBits;
+}
+
+// splitmix64 finalizer — the same avalanche the plan-key hash uses; full
+// 64-bit mixing so sequential registration keys land uniformly.
+constexpr std::uint64_t splitmix64(std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ull;
+  v ^= v >> 30;
+  v *= 0xbf58476d1ce4e5b9ull;
+  v ^= v >> 27;
+  v *= 0x94d049bb133111ebull;
+  v ^= v >> 31;
+  return v;
+}
+
+class HashRing {
+ public:
+  // `vnodes` points per shard: more points, smoother spread (relative
+  // per-shard load deviation shrinks like 1/sqrt(vnodes)).
+  explicit HashRing(int num_shards, int vnodes = 128);
+
+  // Owning shard for `key`: the first ring point clockwise from
+  // splitmix64(key), wrapping at the top. O(log(shards * vnodes)).
+  int shard_for(std::uint64_t key) const;
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  int num_shards_;
+  // (point hash, shard), sorted by hash.
+  std::vector<std::pair<std::uint64_t, int>> points_;
+};
+
+}  // namespace mt::runtime

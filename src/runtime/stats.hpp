@@ -81,6 +81,25 @@ struct CountersSnapshot {
                         : static_cast<double>(batched_requests) /
                               static_cast<double>(batches);
   }
+
+  // Field-wise accumulation — the router sums per-shard snapshots into a
+  // cross-shard view (each addend is internally consistent; the sum is
+  // weakly consistent across shards, like the aggregate queue depth).
+  CountersSnapshot& operator+=(const CountersSnapshot& o) {
+    completed += o.completed;
+    failed += o.failed;
+    plan_hits += o.plan_hits;
+    plan_misses += o.plan_misses;
+    conversion_hits += o.conversion_hits;
+    conversion_misses += o.conversion_misses;
+    batches += o.batches;
+    batched_requests += o.batched_requests;
+    queue_wait_ns += o.queue_wait_ns;
+    plan_ns += o.plan_ns;
+    convert_ns += o.convert_ns;
+    exec_ns += o.exec_ns;
+    return *this;
+  }
 };
 
 // Lock-free accumulation of ServeStats records across worker threads.

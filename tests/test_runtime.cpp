@@ -768,6 +768,199 @@ TEST(PlanCache, RetireDropsOnlyMatchingFingerprint) {
   EXPECT_TRUE(hit);  // the surviving fingerprint still serves
 }
 
+// --- Cache eviction (cache_policy.hpp) ---
+
+TEST(EvictionIndex, LruOrderRespectedAmongEqualCosts) {
+  EvictionIndex<int> idx;
+  idx.touch(1, 5.0, 10);
+  idx.touch(2, 5.0, 10);
+  idx.touch(3, 5.0, 10);
+  // Equal costs degrade to exact LRU: least-recently-touched goes first.
+  EXPECT_EQ(idx.pop_victim(), std::optional<int>(1));
+  idx.refresh(2);  // 2 is now the most recent; 3 becomes LRU
+  EXPECT_EQ(idx.pop_victim(), std::optional<int>(3));
+  EXPECT_EQ(idx.pop_victim(), std::optional<int>(2));
+  EXPECT_EQ(idx.pop_victim(), std::nullopt);
+}
+
+TEST(EvictionIndex, CostAwareKeepsTheExpensiveEntryUnderPressure) {
+  EvictionIndex<int> idx;
+  idx.touch(1, 100.0, 10);  // expensive to recompute, touched first
+  idx.touch(2, 1.0, 10);
+  idx.touch(3, 1.0, 10);
+  idx.touch(4, 1.0, 10);
+  // Pure LRU would evict 1 first; the cost-aware policy sheds the cheap
+  // entries and keeps the expensive one under pressure.
+  EXPECT_EQ(idx.pop_victim(), std::optional<int>(2));
+  EXPECT_EQ(idx.pop_victim(), std::optional<int>(3));
+  EXPECT_EQ(idx.pop_victim(), std::optional<int>(4));
+  EXPECT_EQ(idx.pop_victim(), std::optional<int>(1));
+}
+
+TEST(EvictionIndex, ExpensiveEntryAgesOutAsTheClockAdvances) {
+  EvictionIndex<int> idx;
+  idx.touch(1, 10.0, 1);
+  // Each eviction advances the clock to the victim's priority, so a
+  // stream of cheap entries eventually outprices an idle expensive one
+  // (no permanent squatters).
+  int evicted_1_after = -1;
+  int next_key = 2;
+  for (int round = 0; round < 20 && evicted_1_after < 0; ++round) {
+    idx.touch(next_key++, 1.0, 1);
+    const auto victim = idx.pop_victim();
+    ASSERT_TRUE(victim.has_value());
+    if (*victim == 1) evicted_1_after = round;
+  }
+  EXPECT_GE(evicted_1_after, 5);   // survived well past its cost rank...
+  EXPECT_LE(evicted_1_after, 15);  // ...but not forever
+}
+
+TEST(EvictionIndex, TracksBytesAndBudget) {
+  EvictionIndex<int> idx;
+  idx.touch(1, 1.0, 100);
+  idx.touch(2, 1.0, 200);
+  EXPECT_EQ(idx.entries(), 2u);
+  EXPECT_EQ(idx.bytes(), 300u);
+  idx.touch(2, 1.0, 50);  // re-touch re-prices the byte charge
+  EXPECT_EQ(idx.bytes(), 150u);
+  CacheOptions entries_cap;
+  entries_cap.max_entries = 1;
+  EXPECT_TRUE(idx.over(entries_cap));
+  CacheOptions bytes_cap;
+  bytes_cap.max_bytes = 149;
+  EXPECT_TRUE(idx.over(bytes_cap));
+  bytes_cap.max_bytes = 150;
+  EXPECT_FALSE(idx.over(bytes_cap));
+  idx.erase(1);
+  EXPECT_EQ(idx.bytes(), 50u);
+  EXPECT_FALSE(idx.over(entries_cap));
+}
+
+TEST(ConversionCache, CapacityBoundsEntriesAndRecomputesEvicted) {
+  CacheOptions limits;
+  limits.max_entries = 2;
+  ConversionCache cache(limits);
+  const auto src = std::make_shared<const AnyMatrix>(
+      encode(random_dense(32, 28, 0.1, 131), Format::kZVC));
+  // Four distinct target formats through a 2-entry budget.
+  const Format targets[] = {Format::kCSR, Format::kCOO, Format::kCSC,
+                            Format::kDense};
+  bool hit = false;
+  for (const auto f : targets) {
+    const auto rep = cache.matrix(7, f, src, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(format_of(*rep), f);
+    EXPECT_LE(cache.size(), 2u);
+  }
+  // Whatever was evicted converts again, correctly.
+  const auto csr = cache.matrix(7, Format::kCSR, src, &hit);
+  EXPECT_EQ(decode(*csr), decode(*src));
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_GT(cache.bytes(), 0u);
+}
+
+TEST(ConversionCache, InFlightSharedRepsSurviveEviction) {
+  CacheOptions limits;
+  limits.max_entries = 1;
+  ConversionCache cache(limits);
+  const auto src = std::make_shared<const AnyMatrix>(
+      encode(random_dense(32, 28, 0.1, 132), Format::kZVC));
+  bool hit = false;
+  // Hold the first representation like an in-flight request would...
+  const auto held = cache.matrix(9, Format::kCSR, src, &hit);
+  // ...then churn enough conversions through the 1-entry budget that its
+  // cache entry is certainly gone.
+  for (const auto f : {Format::kCOO, Format::kCSC, Format::kDense}) {
+    (void)cache.matrix(9, f, src, &hit);
+  }
+  EXPECT_LE(cache.size(), 1u);
+  // The held shared_ptr is unaffected: eviction unpublishes, never frees.
+  EXPECT_EQ(format_of(*held), Format::kCSR);
+  EXPECT_EQ(decode(*held), decode(*src));
+}
+
+TEST(ConversionCache, ZeroCapacityBypassesStorage) {
+  CacheOptions limits;
+  limits.max_entries = 0;
+  ConversionCache cache(limits);
+  const auto src = std::make_shared<const AnyMatrix>(
+      encode(random_dense(24, 24, 0.1, 133), Format::kZVC));
+  bool hit = true;
+  const auto r1 = cache.matrix(3, Format::kCSR, src, &hit);
+  EXPECT_FALSE(hit);
+  const auto r2 = cache.matrix(3, Format::kCSR, src, &hit);
+  EXPECT_FALSE(hit);  // nothing was stored: misses forever
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(decode(*r1), decode(*r2));
+  // Identity sharing needs no storage and still hits.
+  const auto id_rep = cache.matrix(3, Format::kZVC, src, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(id_rep.get(), src.get());
+}
+
+TEST(PlanCache, CapacityBoundsPlans) {
+  CacheOptions limits;
+  limits.max_entries = 1;
+  PlanCache cache(limits);
+  auto plan = std::make_shared<Plan>();
+  // k2's search is made deterministically the expensive one, so the
+  // cost-aware victim choice between the two is never down to timing
+  // noise on a trivial lambda.
+  const auto slow_compute = [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return plan;
+  };
+  const PlanKey k1{Kernel::kSpMV, 1, 0, 11, 1};
+  const PlanKey k2{Kernel::kSpMV, 2, 0, 11, 1};
+  bool hit = false;
+  (void)cache.get_or_compute(k1, [&] { return plan; }, &hit);
+  EXPECT_FALSE(hit);
+  (void)cache.get_or_compute(k2, slow_compute, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 1u);  // the cheap k1 was evicted to admit k2
+  (void)cache.get_or_compute(k2, slow_compute, &hit);
+  EXPECT_TRUE(hit);  // the admitted entry still serves
+  (void)cache.get_or_compute(k1, [&] { return plan; }, &hit);
+  EXPECT_FALSE(hit);  // the evicted key recomputes
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// End-to-end: a server with bounded caches keeps serving correct results
+// while staying within its budget (thrash costs recompute, never
+// correctness).
+TEST(Server, BoundedCachesStayWithinBudgetAndServeCorrectly) {
+  auto opts = small_opts();
+  opts.plan_cache_limits.max_entries = 2;
+  opts.conversion_cache_limits.max_entries = 3;
+  Server srv(opts);
+
+  std::vector<AnyMatrix> mats;
+  std::vector<MatrixHandle> hs;
+  for (int i = 0; i < 4; ++i) {
+    mats.push_back(encode(
+        random_dense(40, 32, 0.08, 140 + static_cast<unsigned>(i)),
+        Format::kZVC));
+    hs.push_back(srv.register_matrix(mats.back()));
+  }
+  std::vector<value_t> x(32);
+  for (index_t i = 0; i < 32; ++i) {
+    x[static_cast<std::size_t>(i)] = 0.5f * static_cast<float>(i % 3) - 0.5f;
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      const auto plan = srv.plan_for(spmv_request(hs[i], x));
+      const auto want = exec::spmv(convert(mats[i], plan->run_a), x);
+      const auto got = srv.submit(spmv_request(hs[i], x)).get();
+      EXPECT_EQ(std::get<std::vector<value_t>>(got.result), want);
+      EXPECT_LE(srv.plan_cache().size(), 2u);
+      EXPECT_LE(srv.conversion_cache().size(), 3u);
+    }
+  }
+  EXPECT_EQ(srv.counters().failed, 0);
+}
+
 TEST(MpmcQueue, TryPopNTakesOnlyWhatIsThere) {
   MpmcQueue<int> q(8);
   for (int i = 1; i <= 5; ++i) EXPECT_TRUE(q.push(std::move(i)));

@@ -7,6 +7,12 @@
 // cache, conversion cache) must add zero arithmetic variation under
 // arbitrary interleavings. Seeds are fixed, so the workload is
 // deterministic run-to-run even though the interleaving is not.
+//
+// The harness is templated over the server type: the same traffic runs
+// against a lone Server and against a four-shard ShardedServer (operands
+// scattered across shards, SpGEMM pairs crossing shards through the
+// replication path, bounded per-shard caches evicting under churn) —
+// sharding must be invisible in the results.
 #include <gtest/gtest.h>
 
 #include <future>
@@ -14,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/router.hpp"
 #include "runtime/server.hpp"
 #include "testing.hpp"
 #include "workloads/synth.hpp"
@@ -78,7 +85,8 @@ Request make_mttkrp(const SharedWorkload& w) {
   return r;
 }
 
-SharedWorkload build_workload(Server& srv) {
+template <typename S>
+SharedWorkload build_workload(S& srv) {
   SharedWorkload w;
   // Square and same-shaped so every payload fits every operand and the
   // SpGEMM pair is dimension-compatible; different contents and MCFs so
@@ -125,8 +133,10 @@ void expect_same_csr(const CsrMatrix& got, const CsrMatrix& want) {
 
 // One client: fires a deterministic pseudo-random mix of shared-operand
 // requests, keeps a window of outstanding futures, and periodically churns
-// a private operand through register -> serve -> evict.
-void client_thread(Server& srv, const SharedWorkload& w, int client_id,
+// private operands — a lone SpMV matrix and an SpGEMM pair (which crosses
+// shards on a sharded server) — through register -> serve -> evict.
+template <typename S>
+void client_thread(S& srv, const SharedWorkload& w, int client_id,
                    std::atomic<int>& failures) {
   std::mt19937 rng(static_cast<unsigned>(7700 + client_id));
   std::uniform_int_distribution<int> pick(0, 99);
@@ -139,10 +149,23 @@ void client_thread(Server& srv, const SharedWorkload& w, int client_id,
   MatrixHandle priv = srv.register_matrix(priv_any);
   std::vector<value_t> priv_want;  // learned on first use per handle
 
+  // Private SpGEMM pair, same churn discipline. The server always runs
+  // SpGEMM as CSR x CSR, so the expectation is handle-independent.
+  const AnyMatrix pair_a = encode(
+      random_dense(24, 20, 0.1, 300 + static_cast<unsigned>(client_id)),
+      Format::kCSR);
+  const AnyMatrix pair_b = encode(
+      random_dense(20, 22, 0.1, 400 + static_cast<unsigned>(client_id)),
+      Format::kCOO);
+  MatrixHandle pa = srv.register_matrix(pair_a);
+  MatrixHandle pb = srv.register_matrix(pair_b);
+  const CsrMatrix pair_want = exec::spgemm(convert(pair_a, Format::kCSR),
+                                           convert(pair_b, Format::kCSR));
+
   struct Pending {
     std::future<Response> fut;
     int kind = 0;          // 0..2 shared kernels by operand, 3 spgemm,
-    std::size_t operand = 0;  // 4 mttkrp, 5 private spmv
+    std::size_t operand = 0;  // 4 mttkrp, 5 private spmv, 6 private pair
   };
   std::vector<Pending> window;
 
@@ -170,6 +193,9 @@ void client_thread(Server& srv, const SharedWorkload& w, int client_id,
           case 5:
             EXPECT_EQ(std::get<std::vector<value_t>>(resp.result), priv_want);
             break;
+          case 6:
+            expect_same_csr(std::get<CsrMatrix>(resp.result), pair_want);
+            break;
           default: break;
         }
       } catch (const std::exception&) {
@@ -189,16 +215,16 @@ void client_thread(Server& srv, const SharedWorkload& w, int client_id,
       p.kind = 1;
       p.operand = static_cast<std::size_t>(roll % 3);
       p.fut = srv.submit(make_spmm(w, p.operand));
-    } else if (roll < 70) {
+    } else if (roll < 68) {
       p.kind = 3;
       p.fut = srv.submit(make_spgemm(w));
-    } else if (roll < 85) {
+    } else if (roll < 80) {
       p.kind = 4;
       p.fut = srv.submit(make_mttkrp(w));
-    } else {
+    } else if (roll < 92) {
       // Private-operand traffic with churn: every few uses, drain, evict
       // the handle, and re-register the same contents under a new id.
-      if (roll >= 95) {
+      if (roll >= 89) {
         drain(0);
         srv.evict(priv);
         priv = srv.register_matrix(priv_any);
@@ -218,24 +244,35 @@ void client_thread(Server& srv, const SharedWorkload& w, int client_id,
       r.a = priv;
       r.vec = w.x;
       p.fut = srv.submit(std::move(r));
+    } else {
+      // Private-pair traffic with churn: on a sharded server the pair
+      // regularly lands on two shards, so this drives the cross-shard
+      // replication path through create/serve/evict cycles.
+      if (roll >= 97) {
+        drain(0);
+        srv.evict(pa);
+        srv.evict(pb);
+        pa = srv.register_matrix(pair_a);
+        pb = srv.register_matrix(pair_b);
+      }
+      p.kind = 6;
+      Request r;
+      r.kernel = Kernel::kSpGEMM;
+      r.a = pa;
+      r.b = pb;
+      p.fut = srv.submit(std::move(r));
     }
     window.push_back(std::move(p));
     if (window.size() >= 8) drain(4);
   }
   drain(0);
   srv.evict(priv);
+  srv.evict(pa);
+  srv.evict(pb);
 }
 
-void run_stress(BatchPolicy batching, int batch_window) {
-  ServerOptions opts;
-  opts.num_workers = 4;
-  opts.queue_capacity = 16;
-  opts.accel.num_pes = 32;
-  opts.accel.pe_buffer_bytes = 64 * 4;
-  opts.batching = batching;
-  opts.batch_window = batch_window;
-  Server srv(opts);
-
+template <typename S>
+void run_traffic(S& srv) {
   const auto w = build_workload(srv);
   std::atomic<int> failures{0};
 
@@ -255,7 +292,7 @@ void run_stress(BatchPolicy batching, int batch_window) {
   // than distinct workloads.
   EXPECT_GT(counters.plan_hits, counters.plan_misses);
   EXPECT_GT(counters.conversion_hits, counters.conversion_misses);
-  if (batching == BatchPolicy::kOff) {
+  if (srv.options().batching == BatchPolicy::kOff) {
     EXPECT_EQ(counters.batches, 0);
   } else {
     // Whether windows actually coalesce depends on interleaving, but the
@@ -268,6 +305,46 @@ void run_stress(BatchPolicy batching, int batch_window) {
   srv.stop();
 }
 
+ServerOptions stress_opts(BatchPolicy batching, int batch_window) {
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 16;
+  opts.accel.num_pes = 32;
+  opts.accel.pe_buffer_bytes = 64 * 4;
+  opts.batching = batching;
+  opts.batch_window = batch_window;
+  return opts;
+}
+
+void run_stress(BatchPolicy batching, int batch_window) {
+  Server srv(stress_opts(batching, batch_window));
+  run_traffic(srv);
+}
+
+// ShardedServer::options() returns ShardedServerOptions; adapt the
+// batching probe run_traffic uses.
+struct ShardedUnderTest : ShardedServer {
+  using ShardedServer::ShardedServer;
+  const ServerOptions& options() const {
+    return ShardedServer::options().shard;
+  }
+};
+
+void run_sharded_stress(BatchPolicy batching, int batch_window) {
+  ShardedServerOptions opts;
+  opts.num_shards = 4;
+  opts.shard = stress_opts(batching, batch_window);
+  opts.shard.num_workers = 1;  // 4 shards x 1 worker = the same pool size
+  // Bounded per-shard caches: generous enough that the hot shared
+  // workloads stay resident (the hit-rate assertions above still hold),
+  // small enough that churned private operands actually exercise the
+  // eviction path under concurrency.
+  opts.shard.plan_cache_limits.max_entries = 32;
+  opts.shard.conversion_cache_limits.max_entries = 16;
+  ShardedUnderTest srv(opts);
+  run_traffic(srv);
+}
+
 TEST(RuntimeStress, ConcurrentMixedTrafficBitIdentical) {
   run_stress(BatchPolicy::kOff, 1);
 }
@@ -277,6 +354,17 @@ TEST(RuntimeStress, ConcurrentMixedTrafficBitIdentical) {
 // interleavings, with register/evict churn racing the batching windows.
 TEST(RuntimeStress, ConcurrentMixedTrafficBitIdenticalBatched) {
   run_stress(BatchPolicy::kWindow, 8);
+}
+
+// The same mixed traffic scattered over four shards: routing, cross-shard
+// SpGEMM replication, bounded-cache eviction, and per-shard batching must
+// all be invisible in the results.
+TEST(RuntimeStress, ShardedConcurrentMixedTrafficBitIdentical) {
+  run_sharded_stress(BatchPolicy::kOff, 1);
+}
+
+TEST(RuntimeStress, ShardedConcurrentMixedTrafficBitIdenticalBatched) {
+  run_sharded_stress(BatchPolicy::kWindow, 8);
 }
 
 }  // namespace

@@ -1,0 +1,207 @@
+// Clang Thread Safety Analysis layer — compile-time lock discipline.
+//
+// Two halves:
+//
+//   Attribute macros — MT_CAPABILITY / MT_GUARDED_BY / MT_REQUIRES /
+//   MT_ACQUIRE / MT_RELEASE / MT_EXCLUDES and friends expand to clang's
+//   thread-safety attributes under clang and to nothing elsewhere, so the
+//   same source carries the lock contracts into every build while only
+//   clang (-Wthread-safety -Wthread-safety-beta, -Werror on the mt
+//   library) enforces them.
+//
+//   Annotated lock wrappers — mt::Mutex, mt::SharedMutex, mt::CondVar and
+//   the scoped mt::LockGuard / mt::UniqueLock / mt::SharedLock. The
+//   standard library types they wrap carry no annotations under
+//   libstdc++, so std::mutex-guarded fields are invisible to the
+//   analysis; every lock in src/runtime goes through these wrappers
+//   instead. The wrappers are zero-cost: each method is a single
+//   forwarded call and the attributes have no runtime representation.
+//
+// Condition variables: CondVar deliberately has no predicate-taking
+// wait() overload. A predicate lambda is analyzed as a separate function
+// that holds no locks, so its guarded-field reads would need blanket
+// escape hatches; writing the wait loop inline keeps those reads in the
+// locked caller where the analysis can prove them:
+//
+//   mt::UniqueLock lk(mu_);
+//   while (!ready_) cv_.wait(lk);   // ready_ is MT_GUARDED_BY(mu_)
+//
+// Escape hatches: MT_NO_THREAD_SAFETY_ANALYSIS turns the analysis off for
+// one function. Every use must carry a comment justifying why the access
+// is safe (or intentionally weakly consistent) — grep for the macro to
+// audit them all.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Macro arguments are capability *expressions* (`mu_`, `!mu_`, member
+// references), not value expressions — parenthesizing them changes what
+// the attribute names, so the usual macro-hygiene parens must be omitted.
+// NOLINTBEGIN(bugprone-macro-parentheses)
+#if defined(__clang__)
+#define MT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MT_THREAD_ANNOTATION(x)  // gcc et al.: contracts documented only
+#endif
+
+// On a class: instances are lockable capabilities (mutexes).
+#define MT_CAPABILITY(x) MT_THREAD_ANNOTATION(capability(x))
+// On a class: RAII objects that hold a capability for their lifetime.
+#define MT_SCOPED_CAPABILITY MT_THREAD_ANNOTATION(scoped_lockable)
+// On a data member: reads need the capability held (shared suffices),
+// writes need it held exclusively.
+#define MT_GUARDED_BY(x) MT_THREAD_ANNOTATION(guarded_by(x))
+// On a pointer member: the pointed-to data is guarded (the pointer itself
+// is not).
+#define MT_PT_GUARDED_BY(x) MT_THREAD_ANNOTATION(pt_guarded_by(x))
+// On a function: callers must already hold the capability.
+#define MT_REQUIRES(...) \
+  MT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MT_REQUIRES_SHARED(...) \
+  MT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+// On a function: acquires the capability (exclusively / shared).
+#define MT_ACQUIRE(...) MT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MT_ACQUIRE_SHARED(...) \
+  MT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+// On a function: releases the capability. The _GENERIC form releases
+// whatever mode was acquired — scoped-lock destructors use it so one
+// destructor serves exclusive and shared holders.
+#define MT_RELEASE(...) MT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MT_RELEASE_SHARED(...) \
+  MT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define MT_RELEASE_GENERIC(...) \
+  MT_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+// On a function: acquires only when returning the given value.
+#define MT_TRY_ACQUIRE(...) \
+  MT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define MT_TRY_ACQUIRE_SHARED(...) \
+  MT_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+// On a function: callers must NOT hold the capability (the function
+// acquires it itself — calling with it held would self-deadlock).
+#define MT_EXCLUDES(...) MT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// On a function: returns a reference to the named capability.
+#define MT_RETURN_CAPABILITY(x) MT_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch: disable the analysis for one function. Justify every use.
+#define MT_NO_THREAD_SAFETY_ANALYSIS \
+  MT_THREAD_ANNOTATION(no_thread_safety_analysis)
+// NOLINTEND(bugprone-macro-parentheses)
+
+namespace mt {
+
+class CondVar;
+class UniqueLock;
+
+// std::mutex with the capability attribute the analysis tracks.
+class MT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MT_ACQUIRE() { mu_.lock(); }
+  void unlock() MT_RELEASE() { mu_.unlock(); }
+  bool try_lock() MT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+// std::shared_mutex with exclusive and shared capability modes.
+class MT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MT_ACQUIRE() { mu_.lock(); }
+  void unlock() MT_RELEASE() { mu_.unlock(); }
+  bool try_lock() MT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() MT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() MT_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() MT_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// Scoped exclusive lock over Mutex or SharedMutex (std::lock_guard /
+// std::unique_lock-without-early-unlock replacement). Held for the full
+// scope; use UniqueLock when the lock must be dropped early or passed to
+// a CondVar.
+template <typename M>
+class MT_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(M& m) MT_ACQUIRE(m) : mu_(m) { mu_.lock(); }
+  ~LockGuard() MT_RELEASE_GENERIC() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  M& mu_;
+};
+
+// Scoped shared (reader) lock over SharedMutex.
+class MT_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& m) MT_ACQUIRE_SHARED(m) : mu_(m) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() MT_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Scoped exclusive lock over Mutex that supports early unlock()/relock()
+// and CondVar waits (the std::unique_lock role). The analysis tracks the
+// manual unlock, so the destructor's release is a no-op on already-
+// unlocked paths.
+class MT_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) MT_ACQUIRE(m) : lk_(m.mu_) {}
+  ~UniqueLock() MT_RELEASE_GENERIC() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() MT_ACQUIRE() { lk_.lock(); }
+  void unlock() MT_RELEASE() { lk_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+// std::condition_variable over mt::Mutex. No predicate overload by design
+// — see the file comment — so guarded wait conditions stay visible to the
+// analysis in the calling scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `lk` and blocks; the lock is reacquired before
+  // returning (the analysis conservatively models the lock as held
+  // throughout, which matches every caller-visible state).
+  void wait(UniqueLock& lk) { cv_.wait(lk.lk_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mt

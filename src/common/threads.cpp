@@ -15,6 +15,9 @@ namespace {
 std::atomic<int> g_override{0};  // 0 = no explicit override
 
 int env_or_default() {
+  // Read-only env access; nothing in this process calls setenv/putenv, so
+  // the libc race concurrency-mt-unsafe guards against cannot occur.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("MT_NUM_THREADS")) {
     const int n = std::atoi(env);
     if (n >= 1) return n;

@@ -14,6 +14,10 @@
 // one thread) — and restores the previous override on shutdown. The cap is
 // process-wide: kernels invoked directly while a capped pool is running
 // share the capped width.
+//
+// Thread-safety: all state here is a single relaxed atomic (threads.cpp);
+// there are no mutexes, so there is nothing for the clang thread safety
+// annotations (common/thread_annotations.hpp) to guard in this module.
 #pragma once
 
 namespace mt {

@@ -20,6 +20,10 @@ CsrMatrix spgemm_csr(const CsrMatrix& a, const CsrMatrix& b) {
     // of touched columns (sparse accumulator pattern).
     std::vector<value_t> acc(static_cast<std::size_t>(n), 0.0f);
     std::vector<index_t> touched;
+    // omp-determinism: Gustavson assigns each thread whole output rows
+    // (cols[r]/vals[r] are written only by iteration r), and the per-row
+    // accumulation order follows A's row-r nonzeros on any thread, so
+    // dynamic scheduling cannot change the result bits.
 #pragma omp for schedule(dynamic, 16)
     for (index_t r = 0; r < m; ++r) {
       touched.clear();

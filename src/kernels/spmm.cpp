@@ -111,6 +111,10 @@ DenseMatrix spmm_dense_csc(const DenseMatrix& a, const CscMatrix& b) {
   value_t* po = o.values().data();
   const value_t* pa = a.values().data();
   [[maybe_unused]] const int nt = num_threads();
+  // omp-determinism: each iteration owns output column j exclusively
+  // (writes po[r*n+j] for fixed j), and the per-column accumulation order
+  // follows B's column-j nonzeros regardless of which thread runs it, so
+  // dynamic scheduling cannot change the result bits.
 #pragma omp parallel for num_threads(nt) schedule(dynamic, 16)
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = b.col_ptr()[j]; i < b.col_ptr()[j + 1]; ++i) {
@@ -130,6 +134,9 @@ DenseMatrix spmm_csr_csc(const CsrMatrix& a, const CscMatrix& b) {
   const index_t n = b.cols();
   value_t* po = o.values().data();
   [[maybe_unused]] const int nt = num_threads();
+  // omp-determinism: each iteration owns output row r exclusively, and
+  // every (r, j) cell accumulates via the same sorted intersection walk
+  // on any thread, so dynamic scheduling cannot change the result bits.
 #pragma omp parallel for num_threads(nt) schedule(dynamic, 16)
   for (index_t r = 0; r < a.rows(); ++r) {
     const index_t a_lo = a.row_ptr()[r], a_hi = a.row_ptr()[r + 1];

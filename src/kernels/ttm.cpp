@@ -36,6 +36,9 @@ DenseTensor3 spttm_csf(const CsfTensor3& x, const DenseMatrix& u) {
     }
   }
   [[maybe_unused]] const int nt = num_threads();
+  // omp-determinism: fiber yi writes only its own output row (the (ix,iy)
+  // slice), and the z-walk within a fiber is a fixed serial order, so
+  // dynamic scheduling over fibers cannot change the result bits.
 #pragma omp parallel for num_threads(nt) schedule(dynamic, 32)
   for (index_t yi = 0; yi < n2; ++yi) {
     const index_t ix = x.x_ids()[static_cast<std::size_t>(fiber_x[static_cast<std::size_t>(yi)])];

@@ -28,6 +28,11 @@
 // SpMV-as-SpMM is only taken for ACFs whose SpMM kernel walks each row's
 // nonzeros in the same order as its SpMV kernel (CSR, COO — see
 // coalescible_spmv_format), every other plan passes through unfused.
+//
+// Thread-safety: everything here is a pure function over values the
+// calling worker owns (no shared state, no locks), so this module needs
+// no thread safety annotations — each worker batches its own drained
+// window independently.
 #pragma once
 
 #include <cstdint>

@@ -15,9 +15,13 @@
 // measured SAGE-search time — therefore survive pressure longest, while an
 // idle cheap entry ages out as the clock catches up to it.
 //
-// EvictionIndex is the pure bookkeeping half (not thread-safe; the owning
-// cache holds its own mutex) so the policy is unit-testable with injected
-// costs, independent of timing noise.
+// EvictionIndex is the pure bookkeeping half (not thread-safe) so the
+// policy is unit-testable with injected costs, independent of timing
+// noise. Synchronization contract: every EvictionIndex member lives as a
+// field MT_GUARDED_BY the owning cache's mutex (plan_cache.hpp,
+// conversion_cache.hpp), so clang's thread safety analysis proves each
+// access happens under that lock even though this class carries no
+// annotations of its own.
 #pragma once
 
 #include <cstddef>

@@ -1,12 +1,25 @@
 #include "runtime/conversion_cache.hpp"
 
+#include <type_traits>
+
 #include "runtime/stats.hpp"
 
 namespace mt::runtime {
 
+template <typename Ptr>
+std::unordered_map<ConversionCache::Key, ConversionCache::Entry<Ptr>,
+                   ConversionCache::KeyHash>&
+ConversionCache::map_for() {
+  if constexpr (std::is_same_v<Ptr, MatrixPtr>) {
+    return matrices_;
+  } else {
+    static_assert(std::is_same_v<Ptr, TensorPtr>);
+    return tensors_;
+  }
+}
+
 template <typename Ptr, typename Convert, typename Bytes>
-Ptr ConversionCache::get(std::unordered_map<Key, Entry<Ptr>, KeyHash>& map,
-                         Key key, const Convert& fn, const Bytes& bytes_of,
+Ptr ConversionCache::get(Key key, const Convert& fn, const Bytes& bytes_of,
                          bool* hit) {
   if (limits_.bypass()) {
     // Zero budget: compute without publishing (and without single-flight —
@@ -20,7 +33,8 @@ Ptr ConversionCache::get(std::unordered_map<Key, Entry<Ptr>, KeyHash>& map,
   std::promise<Ptr> mine;
   bool compute = false;
   {
-    std::lock_guard lk(mu_);
+    LockGuard lk(mu_);
+    auto& map = map_for<Ptr>();
     auto it = map.find(key);
     if (it != map.end()) {
       fut = it->second.fut;
@@ -41,9 +55,10 @@ Ptr ConversionCache::get(std::unordered_map<Key, Entry<Ptr>, KeyHash>& map,
       Ptr rep = fn();
       const auto cost_ns = static_cast<double>(now_ns() - t0);
       {
-        std::lock_guard lk(mu_);
+        LockGuard lk(mu_);
         // The entry may have been evict(id)ed while we converted; only
         // finalize (and index) entries that are still published.
+        auto& map = map_for<Ptr>();
         auto it = map.find(key);
         if (it != map.end()) {
           it->second.ready = true;
@@ -54,8 +69,8 @@ Ptr ConversionCache::get(std::unordered_map<Key, Entry<Ptr>, KeyHash>& map,
       mine.set_value(std::move(rep));
     } catch (...) {
       {
-        std::lock_guard lk(mu_);
-        map.erase(key);
+        LockGuard lk(mu_);
+        map_for<Ptr>().erase(key);
         index_.erase(key);
       }
       mine.set_exception(std::current_exception());
@@ -82,8 +97,8 @@ ConversionCache::MatrixPtr ConversionCache::matrix(std::uint64_t id, Format f,
     hits_.fetch_add(1, std::memory_order_relaxed);
     return src;
   }
-  return get(
-      matrices_, Key{id, f},
+  return get<MatrixPtr>(
+      Key{id, f},
       [&] { return std::make_shared<const AnyMatrix>(convert(*src, f)); },
       [](const AnyMatrix& m) {
         return static_cast<std::size_t>(
@@ -100,8 +115,8 @@ ConversionCache::TensorPtr ConversionCache::tensor(std::uint64_t id, Format f,
     hits_.fetch_add(1, std::memory_order_relaxed);
     return src;
   }
-  return get(
-      tensors_, Key{id, f},
+  return get<TensorPtr>(
+      Key{id, f},
       [&] { return std::make_shared<const AnyTensor>(convert(*src, f)); },
       [](const AnyTensor& t) {
         return static_cast<std::size_t>(
@@ -111,7 +126,7 @@ ConversionCache::TensorPtr ConversionCache::tensor(std::uint64_t id, Format f,
 }
 
 void ConversionCache::evict(std::uint64_t id) {
-  std::lock_guard lk(mu_);
+  LockGuard lk(mu_);
   for (auto it = matrices_.begin(); it != matrices_.end();) {
     if (it->first.id == id) {
       index_.erase(it->first);
@@ -131,19 +146,19 @@ void ConversionCache::evict(std::uint64_t id) {
 }
 
 void ConversionCache::clear() {
-  std::lock_guard lk(mu_);
+  LockGuard lk(mu_);
   matrices_.clear();
   tensors_.clear();
   index_.clear();
 }
 
 std::size_t ConversionCache::size() const {
-  std::lock_guard lk(mu_);
+  LockGuard lk(mu_);
   return matrices_.size() + tensors_.size();
 }
 
 std::size_t ConversionCache::bytes() const {
-  std::lock_guard lk(mu_);
+  LockGuard lk(mu_);
   return index_.bytes();
 }
 

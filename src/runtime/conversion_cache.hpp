@@ -28,9 +28,9 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "convert/convert.hpp"
 #include "runtime/cache_policy.hpp"
 
@@ -56,18 +56,18 @@ class ConversionCache {
   // Drops every cached representation of operand `id`. In-flight requests
   // holding the shared_ptr keep their representation alive; the cache just
   // stops handing it out.
-  void evict(std::uint64_t id);
+  void evict(std::uint64_t id) MT_EXCLUDES(mu_);
 
-  void clear();
+  void clear() MT_EXCLUDES(mu_);
 
   std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::int64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
-  std::size_t size() const;
+  std::size_t size() const MT_EXCLUDES(mu_);
   // Aggregate storage_of() bytes of the materialized representations
   // (identity shares excluded — they borrow the registry's memory).
-  std::size_t bytes() const;
+  std::size_t bytes() const MT_EXCLUDES(mu_);
   const CacheOptions& limits() const { return limits_; }
 
  private:
@@ -92,21 +92,30 @@ class ConversionCache {
     bool ready = false;
   };
 
-  template <typename Ptr, typename Convert, typename Bytes>
-  Ptr get(std::unordered_map<Key, Entry<Ptr>, KeyHash>& map, Key key,
-          const Convert& fn, const Bytes& bytes_of, bool* hit);
+  // The map holding entries of pointer type Ptr. Template-selected so the
+  // guarded-field reference is only ever formed under mu_ (passing the map
+  // into get() from an unlocked caller would trip
+  // -Wthread-safety-reference).
+  template <typename Ptr>
+  std::unordered_map<Key, Entry<Ptr>, KeyHash>& map_for() MT_REQUIRES(mu_);
 
-  // Evicts lowest-priority entries until the budget holds. Caller holds
-  // mu_. Victims can live in either map; ids are shared across both (the
-  // server hands out matrix and tensor ids from one counter), so erasing
-  // the key from both maps is unambiguous.
-  void enforce_limits();
+  template <typename Ptr, typename Convert, typename Bytes>
+  Ptr get(Key key, const Convert& fn, const Bytes& bytes_of, bool* hit)
+      MT_EXCLUDES(mu_);
+
+  // Evicts lowest-priority entries until the budget holds. Victims can
+  // live in either map; ids are shared across both (the server hands out
+  // matrix and tensor ids from one counter), so erasing the key from both
+  // maps is unambiguous.
+  void enforce_limits() MT_REQUIRES(mu_);
 
   const CacheOptions limits_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry<MatrixPtr>, KeyHash> matrices_;
-  std::unordered_map<Key, Entry<TensorPtr>, KeyHash> tensors_;
-  EvictionIndex<Key, KeyHash> index_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, Entry<MatrixPtr>, KeyHash> matrices_
+      MT_GUARDED_BY(mu_);
+  std::unordered_map<Key, Entry<TensorPtr>, KeyHash> tensors_
+      MT_GUARDED_BY(mu_);
+  EvictionIndex<Key, KeyHash> index_ MT_GUARDED_BY(mu_);
   std::atomic<std::int64_t> hits_{0}, misses_{0};
 };
 

@@ -7,15 +7,18 @@
 // semantics are the feature — a full queue exerts backpressure on open-loop
 // clients (the submit side blocks), which bench_serve measures as queue
 // wait. The simple locking discipline is also trivially ThreadSanitizer-
-// clean, which the runtime stress test enforces in CI.
+// clean, which the runtime stress test enforces in CI — and it is now
+// compile-time checkable: every guarded field carries MT_GUARDED_BY and
+// the wait conditions are written as explicit loops so clang's thread
+// safety analysis can prove each access (common/thread_annotations.hpp).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace mt::runtime {
 
@@ -30,9 +33,9 @@ class MpmcQueue {
 
   // Blocks while the queue is full. Returns false — leaving `v` untouched —
   // if the queue was closed before space opened up.
-  bool push(T&& v) {
-    std::unique_lock lk(mu_);
-    not_full_.wait(lk, [&] { return closed_ || q_.size() < cap_; });
+  bool push(T&& v) MT_EXCLUDES(mu_) {
+    UniqueLock lk(mu_);
+    while (!closed_ && q_.size() >= cap_) not_full_.wait(lk);
     if (closed_) return false;
     q_.push_back(std::move(v));
     lk.unlock();
@@ -42,9 +45,9 @@ class MpmcQueue {
 
   // Blocks while the queue is empty. After close(), drains the remaining
   // items in FIFO order, then returns nullopt to every consumer.
-  std::optional<T> pop() {
-    std::unique_lock lk(mu_);
-    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+  std::optional<T> pop() MT_EXCLUDES(mu_) {
+    UniqueLock lk(mu_);
+    while (!closed_ && q_.empty()) not_empty_.wait(lk);
     if (q_.empty()) return std::nullopt;
     std::optional<T> v(std::move(q_.front()));
     q_.pop_front();
@@ -57,10 +60,11 @@ class MpmcQueue {
   // items to `out` in FIFO order and returns how many were taken. Never
   // waits — the batching worker uses this to extend a window with whatever
   // is already queued without stalling for more traffic.
-  std::size_t try_pop_n(std::vector<T>& out, std::size_t max_items) {
+  std::size_t try_pop_n(std::vector<T>& out, std::size_t max_items)
+      MT_EXCLUDES(mu_) {
     std::size_t taken = 0;
     {
-      std::lock_guard lk(mu_);
+      LockGuard lk(mu_);
       while (taken < max_items && !q_.empty()) {
         out.push_back(std::move(q_.front()));
         q_.pop_front();
@@ -72,9 +76,9 @@ class MpmcQueue {
   }
 
   // Idempotent: rejects future pushes and wakes every blocked thread.
-  void close() {
+  void close() MT_EXCLUDES(mu_) {
     {
-      std::lock_guard lk(mu_);
+      LockGuard lk(mu_);
       closed_ = true;
     }
     not_full_.notify_all();
@@ -85,8 +89,8 @@ class MpmcQueue {
   // never a torn read), stale the instant it returns. Cross-shard
   // aggregation sums one such snapshot per shard — see the consistency
   // contract on Server::queue_depth.
-  std::size_t size() const {
-    std::lock_guard lk(mu_);
+  std::size_t size() const MT_EXCLUDES(mu_) {
+    LockGuard lk(mu_);
     return q_.size();
   }
 
@@ -94,10 +98,10 @@ class MpmcQueue {
 
  private:
   const std::size_t cap_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_, not_empty_;
-  std::deque<T> q_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_, not_empty_;
+  std::deque<T> q_ MT_GUARDED_BY(mu_);
+  bool closed_ MT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mt::runtime

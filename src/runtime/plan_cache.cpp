@@ -42,7 +42,7 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const PlanKey& key,
   std::promise<PlanPtr> mine;
   bool compute = false;
   {
-    std::lock_guard lk(mu_);
+    LockGuard lk(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       fut = it->second.fut;
@@ -62,7 +62,7 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const PlanKey& key,
       PlanPtr plan = fn();
       const auto cost_ns = static_cast<double>(now_ns() - t0);
       {
-        std::lock_guard lk(mu_);
+        LockGuard lk(mu_);
         // The entry may have been evicted/retired while we searched; only
         // finalize (and index) entries that are still published.
         auto it = map_.find(key);
@@ -79,7 +79,7 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const PlanKey& key,
       // (If clear()/evict raced us this may drop a successor's fresh
       // entry; that only costs one recompute, never a wrong result.)
       {
-        std::lock_guard lk(mu_);
+        LockGuard lk(mu_);
         map_.erase(key);
         index_.erase(key);
       }
@@ -98,7 +98,7 @@ void PlanCache::enforce_limits() {
 }
 
 void PlanCache::evict_operand(std::uint64_t id) {
-  std::lock_guard lk(mu_);
+  LockGuard lk(mu_);
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.a == id || it->first.b == id) {
       index_.erase(it->first);
@@ -110,7 +110,7 @@ void PlanCache::evict_operand(std::uint64_t id) {
 }
 
 std::size_t PlanCache::retire(std::uint64_t model) {
-  std::lock_guard lk(mu_);
+  LockGuard lk(mu_);
   std::size_t retired = 0;
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.model == model) {
@@ -125,13 +125,13 @@ std::size_t PlanCache::retire(std::uint64_t model) {
 }
 
 void PlanCache::clear() {
-  std::lock_guard lk(mu_);
+  LockGuard lk(mu_);
   map_.clear();
   index_.clear();
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard lk(mu_);
+  LockGuard lk(mu_);
   return map_.size();
 }
 

@@ -27,9 +27,9 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "formats/format.hpp"
 #include "runtime/cache_policy.hpp"
@@ -75,27 +75,30 @@ class PlanCache {
 
   // Returns the plan for `key`, invoking `fn` at most once across all
   // concurrent callers of the same key. `hit` reports whether the entry
-  // already existed (i.e. this caller paid no SAGE search).
-  PlanPtr get_or_compute(const PlanKey& key, const Compute& fn, bool* hit);
+  // already existed (i.e. this caller paid no SAGE search). `fn` runs
+  // outside the cache lock (it is a full SAGE search), so it may re-enter
+  // the cache-owning Server freely.
+  PlanPtr get_or_compute(const PlanKey& key, const Compute& fn, bool* hit)
+      MT_EXCLUDES(mu_);
 
   // Drops every plan mentioning operand `id` (called on eviction; ids are
   // never reused, so this is memory hygiene rather than correctness).
-  void evict_operand(std::uint64_t id);
+  void evict_operand(std::uint64_t id) MT_EXCLUDES(mu_);
 
   // Drops every plan priced against model fingerprint `model` and returns
   // how many were retired. Plans keyed on a superseded AccelConfig/
   // EnergyParams already miss cleanly (the fingerprint is part of the
   // key); this reclaims their memory eagerly instead of leaking dead
   // entries for the server's lifetime.
-  std::size_t retire(std::uint64_t model);
+  std::size_t retire(std::uint64_t model) MT_EXCLUDES(mu_);
 
-  void clear();
+  void clear() MT_EXCLUDES(mu_);
 
   std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::int64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
-  std::size_t size() const;
+  std::size_t size() const MT_EXCLUDES(mu_);
   const CacheOptions& limits() const { return limits_; }
 
  private:
@@ -104,13 +107,13 @@ class PlanCache {
     bool ready = false;
   };
 
-  // Evicts lowest-priority plans until the budget holds. Caller holds mu_.
-  void enforce_limits();
+  // Evicts lowest-priority plans until the budget holds.
+  void enforce_limits() MT_REQUIRES(mu_);
 
   const CacheOptions limits_;
-  mutable std::mutex mu_;
-  std::unordered_map<PlanKey, Entry, PlanKeyHash> map_;
-  EvictionIndex<PlanKey, PlanKeyHash> index_;
+  mutable Mutex mu_;
+  std::unordered_map<PlanKey, Entry, PlanKeyHash> map_ MT_GUARDED_BY(mu_);
+  EvictionIndex<PlanKey, PlanKeyHash> index_ MT_GUARDED_BY(mu_);
   std::atomic<std::int64_t> hits_{0}, misses_{0};
 };
 

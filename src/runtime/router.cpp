@@ -18,6 +18,8 @@ ShardedServer::ShardedServer(ShardedServerOptions opts)
   }
 }
 
+// NOLINTNEXTLINE(bugprone-exception-escape): fans out to Server::stop(),
+// which closes queues and joins workers — no throwing path in practice.
 ShardedServer::~ShardedServer() { stop(); }
 
 void ShardedServer::stop() {
@@ -53,7 +55,7 @@ void ShardedServer::evict(MatrixHandle h) {
   // One lock over home-eviction + replica purge: replica_on() serializes
   // against this, so no replica can be created from the dying source and
   // recorded after the purge (it would leak unreachably).
-  std::lock_guard lk(replica_mu_);
+  LockGuard lk(replica_mu_);
   shards_[static_cast<std::size_t>(home)]->evict(
       MatrixHandle{local_handle(h.id)});
   if (auto it = replicas_.find(h.id); it != replicas_.end()) {
@@ -73,7 +75,7 @@ void ShardedServer::evict(TensorHandle h) {
 }
 
 std::uint64_t ShardedServer::replica_on(int target, std::uint64_t global_id) {
-  std::lock_guard lk(replica_mu_);
+  LockGuard lk(replica_mu_);
   if (auto it = replicas_.find(global_id); it != replicas_.end()) {
     if (auto jt = it->second.find(target); jt != it->second.end()) {
       return jt->second;

@@ -47,10 +47,10 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "runtime/server.hpp"
 #include "runtime/shard.hpp"
 
@@ -78,7 +78,7 @@ class ShardedServer {
 
   // Evicts the operand from its home shard and every shard holding a
   // replica of it; later requests naming the handle fail via the future.
-  void evict(MatrixHandle h);
+  void evict(MatrixHandle h) MT_EXCLUDES(replica_mu_);
   void evict(TensorHandle h);
 
   // --- Serving ---
@@ -134,7 +134,8 @@ class ShardedServer {
   int to_local(Request& r);
   // Shard-local handle for operand `global_id` on shard `target`,
   // registering a zero-copy replica on first use.
-  std::uint64_t replica_on(int target, std::uint64_t global_id);
+  std::uint64_t replica_on(int target, std::uint64_t global_id)
+      MT_EXCLUDES(replica_mu_);
 
   ShardedServerOptions opts_;
   HashRing ring_;
@@ -146,9 +147,9 @@ class ShardedServer {
   // replica can never be registered after its source's eviction purged
   // the map (the creation path re-reads the source under this lock and
   // throws if it is gone).
-  mutable std::mutex replica_mu_;
+  mutable Mutex replica_mu_;
   std::unordered_map<std::uint64_t, std::unordered_map<int, std::uint64_t>>
-      replicas_;
+      replicas_ MT_GUARDED_BY(replica_mu_);
 
   std::atomic<std::int64_t> routing_failures_{0};
 };

@@ -52,8 +52,8 @@ const CooTensor3& as_coo(const AnyTensor& t) {
 // override is saved once and restored when the last capping server stops.
 class ThreadCapRegistry {
  public:
-  void acquire(int workers) {
-    std::lock_guard lk(mu_);
+  void acquire(int workers) MT_EXCLUDES(mu_) {
+    LockGuard lk(mu_);
     if (servers_ == 0) {
       saved_override_ = num_threads_override();
       baseline_ = num_threads();
@@ -63,8 +63,8 @@ class ThreadCapRegistry {
     apply();
   }
 
-  void release(int workers) {
-    std::lock_guard lk(mu_);
+  void release(int workers) MT_EXCLUDES(mu_) {
+    LockGuard lk(mu_);
     --servers_;
     total_workers_ -= workers;
     if (servers_ == 0) {
@@ -80,16 +80,16 @@ class ThreadCapRegistry {
   }
 
  private:
-  void apply() {
+  void apply() MT_REQUIRES(mu_) {
     const int cap = std::max(1, hardware_threads() / total_workers_);
     set_num_threads(std::min(cap, baseline_));
   }
 
-  std::mutex mu_;
-  int servers_ = 0;
-  int total_workers_ = 0;
-  int saved_override_ = 0;
-  int baseline_ = 1;  // solo kernel width before any cap
+  Mutex mu_;
+  int servers_ MT_GUARDED_BY(mu_) = 0;
+  int total_workers_ MT_GUARDED_BY(mu_) = 0;
+  int saved_override_ MT_GUARDED_BY(mu_) = 0;
+  int baseline_ MT_GUARDED_BY(mu_) = 1;  // solo kernel width before any cap
 };
 
 }  // namespace
@@ -115,6 +115,9 @@ Server::Server(ServerOptions opts)
   }
 }
 
+// NOLINTNEXTLINE(bugprone-exception-escape): stop() only closes the queue
+// and joins workers; neither path throws in practice, and a destructor
+// that deadlocked instead of joining would be strictly worse.
 Server::~Server() { stop(); }
 
 void Server::stop() {
@@ -135,7 +138,7 @@ MatrixHandle Server::register_matrix(AnyMatrix m) {
 MatrixHandle Server::adopt_matrix(ConversionCache::MatrixPtr m) {
   MT_REQUIRE(m != nullptr, "cannot adopt a null matrix representation");
   const auto id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock lk(reg_mu_);
+  LockGuard lk(reg_mu_);
   matrices_.emplace(id, std::move(m));
   return {id};
 }
@@ -148,14 +151,14 @@ ConversionCache::MatrixPtr Server::matrix_source(MatrixHandle h) const {
 TensorHandle Server::register_tensor(AnyTensor t) {
   const auto id = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto rep = std::make_shared<const AnyTensor>(std::move(t));
-  std::unique_lock lk(reg_mu_);
+  LockGuard lk(reg_mu_);
   tensors_.emplace(id, std::move(rep));
   return {id};
 }
 
 void Server::evict(MatrixHandle h) {
   {
-    std::unique_lock lk(reg_mu_);
+    LockGuard lk(reg_mu_);
     matrices_.erase(h.id);
   }
   reps_.evict(h.id);
@@ -164,7 +167,7 @@ void Server::evict(MatrixHandle h) {
 
 void Server::evict(TensorHandle h) {
   {
-    std::unique_lock lk(reg_mu_);
+    LockGuard lk(reg_mu_);
     tensors_.erase(h.id);
   }
   reps_.evict(h.id);
@@ -172,21 +175,21 @@ void Server::evict(TensorHandle h) {
 }
 
 ConversionCache::MatrixPtr Server::matrix_src(std::uint64_t id) const {
-  std::shared_lock lk(reg_mu_);
+  SharedLock lk(reg_mu_);
   auto it = matrices_.find(id);
   MT_REQUIRE(it != matrices_.end(), "unknown or evicted matrix handle");
   return it->second;
 }
 
 ConversionCache::TensorPtr Server::tensor_src(std::uint64_t id) const {
-  std::shared_lock lk(reg_mu_);
+  SharedLock lk(reg_mu_);
   auto it = tensors_.find(id);
   MT_REQUIRE(it != tensors_.end(), "unknown or evicted tensor handle");
   return it->second;
 }
 
 bool Server::operand_registered(std::uint64_t id) const {
-  std::shared_lock lk(reg_mu_);
+  SharedLock lk(reg_mu_);
   return matrices_.contains(id) || tensors_.contains(id);
 }
 
@@ -241,7 +244,7 @@ std::size_t Server::update_model(const AccelConfig& accel,
                                  const EnergyParams& energy) {
   std::uint64_t old = 0;
   {
-    std::unique_lock lk(model_mu_);
+    LockGuard lk(model_mu_);
     const auto next = plan_fingerprint(accel, energy);
     if (next == fingerprint_) return 0;  // same model: nothing to retire
     old = fingerprint_;
@@ -259,12 +262,12 @@ std::size_t Server::retire_plans(std::uint64_t model_fingerprint) {
 }
 
 std::uint64_t Server::model_fingerprint() const {
-  std::shared_lock lk(model_mu_);
+  SharedLock lk(model_mu_);
   return fingerprint_;
 }
 
 Server::ModelSnapshot Server::model_snapshot() const {
-  std::shared_lock lk(model_mu_);
+  SharedLock lk(model_mu_);
   return {accel_, energy_, fingerprint_};
 }
 
@@ -401,6 +404,10 @@ std::future<Response> Server::submit(Request r) {
   item.enqueue_ns = now_ns();
   auto fut = item.promise.get_future();
   if (!queue_.push(std::move(item))) {
+    // push() returning false leaves the moved-from argument untouched
+    // (the queue was closed before any mutation), so the promise is
+    // still ours to fail.
+    // NOLINTNEXTLINE(bugprone-use-after-move)
     item.promise.set_exception(std::make_exception_ptr(
         std::runtime_error("server is stopped; request rejected")));
   }

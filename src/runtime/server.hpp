@@ -33,13 +33,13 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <variant>
 #include <vector>
 
 #include "accel/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "energy/energy_model.hpp"
 #include "runtime/batcher.hpp"
 #include "runtime/conversion_cache.hpp"
@@ -247,15 +247,18 @@ class Server {
   // Live planning model. Starts as opts_.accel/opts_.energy and may be
   // swapped by update_model(); guarded so planning threads never read a
   // half-updated config. opts_ itself stays immutable after construction.
-  mutable std::shared_mutex model_mu_;
-  AccelConfig accel_;
-  EnergyParams energy_;
-  std::uint64_t fingerprint_ = 0;  // sage::plan_fingerprint(accel_, energy_)
+  mutable SharedMutex model_mu_;
+  AccelConfig accel_ MT_GUARDED_BY(model_mu_);
+  EnergyParams energy_ MT_GUARDED_BY(model_mu_);
+  // sage::plan_fingerprint(accel_, energy_)
+  std::uint64_t fingerprint_ MT_GUARDED_BY(model_mu_) = 0;
 
   std::atomic<std::uint64_t> next_id_{1};
-  mutable std::shared_mutex reg_mu_;
-  std::unordered_map<std::uint64_t, ConversionCache::MatrixPtr> matrices_;
-  std::unordered_map<std::uint64_t, ConversionCache::TensorPtr> tensors_;
+  mutable SharedMutex reg_mu_;
+  std::unordered_map<std::uint64_t, ConversionCache::MatrixPtr> matrices_
+      MT_GUARDED_BY(reg_mu_);
+  std::unordered_map<std::uint64_t, ConversionCache::TensorPtr> tensors_
+      MT_GUARDED_BY(reg_mu_);
 
   PlanCache plans_;
   ConversionCache reps_;

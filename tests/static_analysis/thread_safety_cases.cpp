@@ -1,0 +1,98 @@
+// Compile-time fixture for the thread-safety-analysis checks
+// (tests/test_static_analysis.cmake). Three modes:
+//
+//   (default)                correctly annotated code — must COMPILE under
+//                            -Wthread-safety -Wthread-safety-beta -Werror,
+//                            proving the wrappers' annotations are
+//                            well-formed (a broken macro would reject
+//                            valid code and mask the negative cases).
+//   -DMT_SA_UNGUARDED_FIELD  touches an MT_GUARDED_BY field without its
+//                            mutex — must FAIL to compile under clang.
+//   -DMT_SA_MISSING_REQUIRES calls an MT_REQUIRES method without holding
+//                            the lock — must FAIL to compile under clang.
+//
+// The positive control deliberately exercises the same patterns the
+// runtime relies on: scoped guards over both mutex kinds, the
+// unlock-before-notify idiom (relockable scoped capability), explicit
+// condition-variable wait loops, and REQUIRES-annotated private helpers.
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  // LockGuard over a plain Mutex + REQUIRES helper called under the lock.
+  void add(int d) MT_EXCLUDES(mu_) {
+    mt::LockGuard lk(mu_);
+    n_ += d;
+    bump();
+  }
+
+  // UniqueLock + CondVar wait loop + early unlock before notify — the
+  // MpmcQueue shape; the scoped release in the destructor must be
+  // provably a no-op on the unlocked path.
+  void add_when_even(int d) MT_EXCLUDES(mu_) {
+    mt::UniqueLock lk(mu_);
+    while (n_ % 2 != 0) cv_.wait(lk);
+    n_ += d;
+    lk.unlock();
+    cv_.notify_one();
+  }
+
+  int read() const MT_EXCLUDES(mu_) {
+    mt::LockGuard lk(mu_);
+    return n_;
+  }
+
+#if defined(MT_SA_UNGUARDED_FIELD)
+  // Negative case: guarded field touched with no lock held.
+  int racy_read() const { return n_; }
+#endif
+
+#if defined(MT_SA_MISSING_REQUIRES)
+  // Negative case: REQUIRES callee invoked without the capability.
+  void racy_bump() { bump(); }
+#endif
+
+ private:
+  void bump() MT_REQUIRES(mu_) { ++n_; }
+
+  mutable mt::Mutex mu_;
+  mt::CondVar cv_;
+  int n_ MT_GUARDED_BY(mu_) = 0;
+};
+
+class SharedGuarded {
+ public:
+  void set(int v) MT_EXCLUDES(smu_) {
+    mt::LockGuard lk(smu_);
+    v_ = v;
+  }
+
+  int get() const MT_EXCLUDES(smu_) {
+    mt::SharedLock lk(smu_);
+    return v_;
+  }
+
+ private:
+  mutable mt::SharedMutex smu_;
+  int v_ MT_GUARDED_BY(smu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.add(2);
+  g.add_when_even(2);
+#if defined(MT_SA_UNGUARDED_FIELD)
+  (void)g.racy_read();
+#endif
+#if defined(MT_SA_MISSING_REQUIRES)
+  g.racy_bump();
+#endif
+  SharedGuarded s;
+  s.set(1);
+  return g.read() + s.get() > 0 ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+# Compile-fail checks for the clang Thread Safety Analysis layer
+# (common/thread_annotations.hpp). Included from tests/CMakeLists.txt at
+# configure time and re-runnable as a ctest through the mini-project in
+# tests/static_analysis/ (so `ctest -L static_analysis` exercises it on a
+# fresh build tree in CI).
+#
+# The guarantee under test is two-sided:
+#   * correctly annotated code compiles under
+#     -Wthread-safety -Wthread-safety-beta -Werror (the macros are
+#     well-formed), and
+#   * the two canonical violations — an unguarded access to an
+#     MT_GUARDED_BY field, and a call to an MT_REQUIRES method without
+#     the lock — FAIL to compile.
+# Without the failure direction the whole annotation layer could be a
+# silent no-op (e.g. a typo'd __has_attribute gate) and CI would never
+# notice.
+
+set(MT_SA_FLAGS -Wthread-safety -Wthread-safety-beta -Werror)
+
+# mt_thread_safety_compile_checks(<fixture_dir> <include_dir>)
+#   fixture_dir: directory holding thread_safety_cases.cpp
+#   include_dir: the src/ root (for common/thread_annotations.hpp)
+function(mt_thread_safety_compile_checks fixture_dir include_dir)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    # The annotations expand to nothing outside clang; there is nothing
+    # to check (and nothing to miscompile). CI's static-analysis job
+    # builds with clang, where the checks are live.
+    message(STATUS
+      "thread-safety compile checks: skipped (needs clang, have "
+      "${CMAKE_CXX_COMPILER_ID})")
+    return()
+  endif()
+
+  set(fixture ${fixture_dir}/thread_safety_cases.cpp)
+
+  # Positive control: the annotated patterns the runtime uses must be
+  # accepted. If this fails the macros themselves are broken, which would
+  # make the negative checks below pass for the wrong reason.
+  try_compile(sa_positive
+    ${CMAKE_CURRENT_BINARY_DIR}/sa_positive
+    SOURCES ${fixture}
+    COMPILE_DEFINITIONS "${MT_SA_FLAGS}"
+    CMAKE_FLAGS
+      -DCMAKE_CXX_STANDARD=20
+      -DCMAKE_CXX_STANDARD_REQUIRED=ON
+      "-DINCLUDE_DIRECTORIES=${include_dir}"
+    OUTPUT_VARIABLE sa_positive_out)
+  if(NOT sa_positive)
+    message(FATAL_ERROR
+      "thread-safety positive control failed to compile — the annotation "
+      "macros reject valid code:\n${sa_positive_out}")
+  endif()
+
+  # Negative cases: each violation must be rejected.
+  foreach(case MT_SA_UNGUARDED_FIELD MT_SA_MISSING_REQUIRES)
+    try_compile(sa_${case}
+      ${CMAKE_CURRENT_BINARY_DIR}/sa_${case}
+      SOURCES ${fixture}
+      COMPILE_DEFINITIONS "${MT_SA_FLAGS};-D${case}"
+      CMAKE_FLAGS
+        -DCMAKE_CXX_STANDARD=20
+        -DCMAKE_CXX_STANDARD_REQUIRED=ON
+        "-DINCLUDE_DIRECTORIES=${include_dir}"
+      OUTPUT_VARIABLE sa_${case}_out)
+    if(sa_${case})
+      message(FATAL_ERROR
+        "thread-safety violation ${case} COMPILED — the analysis is not "
+        "enforcing the annotations (macro gate broken?)")
+    endif()
+    message(STATUS "thread-safety compile check ${case}: rejected (good)")
+  endforeach()
+
+  message(STATUS "thread-safety compile checks: all passed")
+endfunction()

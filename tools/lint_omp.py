@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""OpenMP determinism lint for the kernel and exec layers.
+
+The runtime's batching contract (runtime/batcher.hpp) and the paper's
+bit-identity experiments require every kernel to produce byte-for-byte
+identical results across runs and across worker counts. Three OpenMP
+habits silently break that:
+
+  R1  `nowait` removes the implicit barrier at the end of a worksharing
+      construct — downstream code can observe partially-written output.
+      Always forbidden.
+
+  R2  `reduction(...)` lets the runtime combine partial results in any
+      association order; floating-point addition is not associative, so
+      run-to-run results drift. Forbidden unless the pragma's file is
+      allowlisted (a kernel may legitimately reduce over integers).
+
+  R3  a `for` worksharing construct without `schedule(static...)` lets
+      the runtime rebalance iterations dynamically. That is only
+      deterministic when every iteration writes a disjoint slice of the
+      output. Such loops must carry a justification comment containing
+      `omp-determinism:` within the JUSTIFY_WINDOW lines above the
+      pragma (explaining why rows/fibers are disjoint), or be
+      allowlisted.
+
+Allowlist format — tools/omp_lint_allowlist.txt, one entry per line:
+
+    <path-relative-to-repo-root> <rule>
+
+where <rule> is `reduction` or `schedule`. `#` starts a comment. An
+entry waives that rule for every pragma in the file; unused entries are
+an error so the allowlist cannot rot.
+
+Exit status: 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import re
+import sys
+
+# Directories holding OpenMP parallel loops that feed bit-identity-gated
+# results. Other directories (bench/, tests/) may use OpenMP freely.
+SCAN_DIRS = ("src/kernels", "src/exec")
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h"}
+
+# How many lines above a pragma a justification comment may sit.
+JUSTIFY_WINDOW = 8
+
+JUSTIFY_MARKER = "omp-determinism:"
+
+ALLOWED_RULES = ("reduction", "schedule")
+
+_PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+omp\b")
+_SCHEDULE_STATIC_RE = re.compile(r"\bschedule\s*\(\s*static\b")
+_SCHEDULE_ANY_RE = re.compile(r"\bschedule\s*\(")
+_REDUCTION_RE = re.compile(r"\breduction\s*\(")
+_NOWAIT_RE = re.compile(r"\bnowait\b")
+# A worksharing loop: `omp for`, `omp parallel for`, `omp for simd`, ...
+_FOR_CONSTRUCT_RE = re.compile(r"#\s*pragma\s+omp\s+(?:parallel\s+)?for\b")
+
+
+@dataclasses.dataclass
+class Pragma:
+    """One logical `#pragma omp` directive (continuations joined)."""
+
+    line: int  # 1-based line of the pragma's first physical line
+    text: str  # the joined directive text
+    context: list[str]  # the JUSTIFY_WINDOW physical lines above it
+
+
+@dataclasses.dataclass
+class Violation:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def parse_pragmas(text: str) -> list[Pragma]:
+    """Every `#pragma omp` in `text`, with backslash continuations joined."""
+    lines = text.splitlines()
+    pragmas = []
+    i = 0
+    while i < len(lines):
+        if _PRAGMA_RE.match(lines[i]):
+            start = i
+            joined = lines[i].rstrip()
+            while joined.endswith("\\") and i + 1 < len(lines):
+                i += 1
+                joined = joined[:-1].rstrip() + " " + lines[i].strip()
+            context = lines[max(0, start - JUSTIFY_WINDOW):start]
+            pragmas.append(Pragma(line=start + 1, text=joined, context=context))
+        i += 1
+    return pragmas
+
+
+def _has_justification(pragma: Pragma) -> bool:
+    return any(JUSTIFY_MARKER in line for line in pragma.context)
+
+
+def lint_text(path: str, text: str,
+              allowlist: set[tuple[str, str]]) -> list[Violation]:
+    """Violations in one file. `allowlist` holds (path, rule) waivers."""
+    out = []
+    for p in parse_pragmas(text):
+        if _NOWAIT_RE.search(p.text):
+            out.append(Violation(
+                path, p.line, "nowait",
+                "`nowait` drops the worksharing barrier; downstream code "
+                "may read partially-written output (no waiver exists for "
+                "this rule)"))
+        if _REDUCTION_RE.search(p.text) and (path, "reduction") not in allowlist:
+            out.append(Violation(
+                path, p.line, "reduction",
+                "`reduction` combines partials in runtime-chosen order, "
+                "breaking floating-point bit-identity; allowlist the file "
+                "if the reduction is over integers"))
+        if _FOR_CONSTRUCT_RE.search(p.text):
+            if _SCHEDULE_STATIC_RE.search(p.text):
+                pass  # static schedule: iteration->thread map is fixed
+            elif (path, "schedule") in allowlist or _has_justification(p):
+                pass  # justified dynamic schedule (disjoint output rows)
+            else:
+                kind = ("non-static" if _SCHEDULE_ANY_RE.search(p.text)
+                        else "unspecified")
+                out.append(Violation(
+                    path, p.line, "schedule",
+                    f"worksharing loop with {kind} schedule: use "
+                    "schedule(static[,N]), or add a comment containing "
+                    f"`{JUSTIFY_MARKER}` within {JUSTIFY_WINDOW} lines "
+                    "above the pragma explaining why iterations write "
+                    "disjoint output"))
+    return out
+
+
+def load_allowlist(path: pathlib.Path) -> set[tuple[str, str]]:
+    entries = set()
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2 or parts[1] not in ALLOWED_RULES:
+            raise SystemExit(
+                f"{path}:{lineno}: malformed allowlist entry {raw!r} "
+                f"(want `<path> <rule>` with rule in {ALLOWED_RULES})")
+        entries.add((parts[0], parts[1]))
+    return entries
+
+
+def scan_tree(root: pathlib.Path,
+              allowlist: set[tuple[str, str]]) -> tuple[list[Violation], int]:
+    """Lint every source file under SCAN_DIRS. Returns (violations, #pragmas).
+
+    Unused allowlist entries are violations too: a waiver that matches
+    nothing is either a typo or a leftover, and both hide real findings.
+    """
+    violations = []
+    used = set()
+    n_pragmas = 0
+    for sub in SCAN_DIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for f in sorted(base.rglob("*")):
+            if f.suffix not in SOURCE_SUFFIXES:
+                continue
+            rel = f.relative_to(root).as_posix()
+            text = f.read_text()
+            n_pragmas += len(parse_pragmas(text))
+            file_violations = lint_text(rel, text, allowlist)
+            violations.extend(file_violations)
+            for entry in allowlist:
+                if entry[0] == rel:
+                    used.add(entry)
+    for entry in sorted(allowlist - used):
+        violations.append(Violation(
+            entry[0], 0, "allowlist",
+            f"unused allowlist entry for rule `{entry[1]}` (file not "
+            "scanned or no longer exists) — remove it"))
+    return violations, n_pragmas
+
+
+def main(argv: list[str] | None = None) -> int:
+    here = pathlib.Path(__file__).resolve()
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=pathlib.Path, default=here.parent.parent,
+                    help="repository root (default: the tools/ parent)")
+    ap.add_argument("--allowlist", type=pathlib.Path, default=None,
+                    help="allowlist file (default: <root>/tools/"
+                         "omp_lint_allowlist.txt)")
+    args = ap.parse_args(argv)
+    root = args.root.resolve()
+    allowlist_path = args.allowlist or root / "tools" / "omp_lint_allowlist.txt"
+    allowlist = load_allowlist(allowlist_path)
+    violations, n_pragmas = scan_tree(root, allowlist)
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"lint_omp: {len(violations)} violation(s) across "
+              f"{n_pragmas} pragma(s)", file=sys.stderr)
+        return 1
+    print(f"lint_omp: OK ({n_pragmas} pragma(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Unit tests for tools/lint_omp.py (stdlib unittest; pytest-compatible).
+
+Run locally with either of:
+    python3 -m unittest discover -s tools -p 'test_*.py'
+    python3 -m pytest tools/test_lint_omp.py
+CI runs them as the LintOmp.Unit ctest (tests/CMakeLists.txt).
+"""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import lint_omp  # noqa: E402
+
+
+def rules_of(violations):
+    return sorted(v.rule for v in violations)
+
+
+class ParsePragmasTest(unittest.TestCase):
+    def test_finds_pragmas_with_line_numbers(self):
+        text = "int x;\n#pragma omp parallel for\nfor(;;){}\n"
+        pragmas = lint_omp.parse_pragmas(text)
+        self.assertEqual(len(pragmas), 1)
+        self.assertEqual(pragmas[0].line, 2)
+
+    def test_joins_backslash_continuations(self):
+        text = ("#pragma omp parallel for \\\n"
+                "    schedule(static) \\\n"
+                "    num_threads(4)\n"
+                "for(;;){}\n")
+        pragmas = lint_omp.parse_pragmas(text)
+        self.assertEqual(len(pragmas), 1)
+        self.assertIn("schedule(static)", pragmas[0].text)
+        self.assertIn("num_threads(4)", pragmas[0].text)
+
+    def test_ignores_non_omp_pragmas(self):
+        text = "#pragma once\n#pragma GCC ivdep\n"
+        self.assertEqual(lint_omp.parse_pragmas(text), [])
+
+    def test_captures_preceding_context_window(self):
+        filler = "int a;\n" * 20
+        text = filler + "// omp-determinism: rows disjoint\n#pragma omp for\n"
+        pragmas = lint_omp.parse_pragmas(text)
+        self.assertEqual(len(pragmas[0].context), lint_omp.JUSTIFY_WINDOW)
+        self.assertIn("omp-determinism", pragmas[0].context[-1])
+
+
+class LintTextTest(unittest.TestCase):
+    def lint(self, text, allowlist=frozenset()):
+        return lint_omp.lint_text("src/kernels/x.cpp", text, set(allowlist))
+
+    def test_static_schedule_is_clean(self):
+        out = self.lint("#pragma omp parallel for schedule(static)\n")
+        self.assertEqual(out, [])
+
+    def test_static_with_chunk_is_clean(self):
+        out = self.lint("#pragma omp parallel for schedule(static, 4)\n")
+        self.assertEqual(out, [])
+
+    def test_nowait_always_flagged(self):
+        out = self.lint("#pragma omp for schedule(static) nowait\n")
+        self.assertEqual(rules_of(out), ["nowait"])
+
+    def test_nowait_has_no_waiver(self):
+        out = lint_omp.lint_text(
+            "src/kernels/x.cpp",
+            "#pragma omp for schedule(static) nowait\n",
+            {("src/kernels/x.cpp", "schedule"),
+             ("src/kernels/x.cpp", "reduction")})
+        self.assertEqual(rules_of(out), ["nowait"])
+
+    def test_reduction_flagged(self):
+        out = self.lint(
+            "#pragma omp parallel for schedule(static) reduction(+:s)\n")
+        self.assertEqual(rules_of(out), ["reduction"])
+
+    def test_reduction_allowlisted(self):
+        out = self.lint(
+            "#pragma omp parallel for schedule(static) reduction(+:s)\n",
+            {("src/kernels/x.cpp", "reduction")})
+        self.assertEqual(out, [])
+
+    def test_dynamic_schedule_without_justification_flagged(self):
+        out = self.lint("#pragma omp parallel for schedule(dynamic, 16)\n")
+        self.assertEqual(rules_of(out), ["schedule"])
+
+    def test_missing_schedule_flagged(self):
+        out = self.lint("#pragma omp parallel for\n")
+        self.assertEqual(rules_of(out), ["schedule"])
+
+    def test_bare_for_construct_checked(self):
+        out = self.lint("#pragma omp for\n")
+        self.assertEqual(rules_of(out), ["schedule"])
+
+    def test_parallel_region_without_for_not_schedule_checked(self):
+        out = self.lint("#pragma omp parallel num_threads(4)\n")
+        self.assertEqual(out, [])
+
+    def test_justification_comment_accepted(self):
+        out = self.lint(
+            "// omp-determinism: each row is written by one iteration\n"
+            "#pragma omp parallel for schedule(dynamic, 16)\n")
+        self.assertEqual(out, [])
+
+    def test_justification_outside_window_rejected(self):
+        filler = "int a;\n" * (lint_omp.JUSTIFY_WINDOW + 1)
+        out = self.lint(
+            "// omp-determinism: too far away\n" + filler +
+            "#pragma omp parallel for schedule(dynamic)\n")
+        self.assertEqual(rules_of(out), ["schedule"])
+
+    def test_schedule_allowlist_accepted(self):
+        out = self.lint("#pragma omp parallel for schedule(guided)\n",
+                        {("src/kernels/x.cpp", "schedule")})
+        self.assertEqual(out, [])
+
+    def test_continuation_line_clauses_detected(self):
+        out = self.lint(
+            "#pragma omp parallel for schedule(static) \\\n    nowait\n")
+        self.assertEqual(rules_of(out), ["nowait"])
+
+
+class AllowlistFileTest(unittest.TestCase):
+    def test_parses_entries_comments_and_blanks(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = pathlib.Path(d) / "allow.txt"
+            p.write_text("# header\n\n"
+                         "src/kernels/a.cpp reduction\n"
+                         "src/kernels/b.cpp schedule  # trailing comment\n")
+            entries = lint_omp.load_allowlist(p)
+        self.assertEqual(entries, {("src/kernels/a.cpp", "reduction"),
+                                   ("src/kernels/b.cpp", "schedule")})
+
+    def test_missing_file_is_empty(self):
+        entries = lint_omp.load_allowlist(pathlib.Path("/nonexistent/x.txt"))
+        self.assertEqual(entries, set())
+
+    def test_malformed_entry_rejected(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = pathlib.Path(d) / "allow.txt"
+            p.write_text("src/kernels/a.cpp not-a-rule\n")
+            with self.assertRaises(SystemExit):
+                lint_omp.load_allowlist(p)
+
+
+class ScanTreeTest(unittest.TestCase):
+    def make_tree(self, d, kernel_text):
+        root = pathlib.Path(d)
+        (root / "src" / "kernels").mkdir(parents=True)
+        (root / "src" / "kernels" / "k.cpp").write_text(kernel_text)
+        return root
+
+    def test_clean_tree(self):
+        with tempfile.TemporaryDirectory() as d:
+            root = self.make_tree(
+                d, "#pragma omp parallel for schedule(static)\n")
+            violations, n = lint_omp.scan_tree(root, set())
+        self.assertEqual(violations, [])
+        self.assertEqual(n, 1)
+
+    def test_violating_tree(self):
+        with tempfile.TemporaryDirectory() as d:
+            root = self.make_tree(d, "#pragma omp for nowait\n")
+            violations, _ = lint_omp.scan_tree(root, set())
+        self.assertEqual(rules_of(violations), ["nowait", "schedule"])
+
+    def test_unused_allowlist_entry_flagged(self):
+        with tempfile.TemporaryDirectory() as d:
+            root = self.make_tree(
+                d, "#pragma omp parallel for schedule(static)\n")
+            violations, _ = lint_omp.scan_tree(
+                root, {("src/kernels/gone.cpp", "reduction")})
+        self.assertEqual(rules_of(violations), ["allowlist"])
+
+    def test_real_tree_is_clean(self):
+        # The committed kernel/exec sources must stay lint-clean with the
+        # committed allowlist — the same invariant CI enforces.
+        root = pathlib.Path(__file__).resolve().parent.parent
+        allowlist = lint_omp.load_allowlist(
+            root / "tools" / "omp_lint_allowlist.txt")
+        violations, n = lint_omp.scan_tree(root, allowlist)
+        self.assertEqual([str(v) for v in violations], [])
+        self.assertGreater(n, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,5 +1,20 @@
-// Serial-vs-OpenMP speedup per kernel, emitted as JSON. This is the
-// perf baseline bench/run_all.sh records into BENCH_kernels.json.
+// Per-kernel speedup bench, emitted as JSON. This is the perf baseline
+// bench/run_all.sh records into BENCH_kernels.json.
+//
+// Three phases per kernel, all over the SAME RNG-seeded operands:
+//   serial   — scalar tier, 1 thread   (the historical baseline axis)
+//   parallel — scalar tier, N threads  (speedup = serial/parallel)
+//   simd     — SIMD tier,   1 thread   (simd_over_scalar = serial/simd)
+// The serial and parallel phases pin the scalar tier so their numbers
+// stay comparable to baselines recorded before the SIMD layer existed;
+// the SIMD phase runs single-threaded so simd_over_scalar isolates the
+// vectorization win from thread scaling. On hosts without AVX2+FMA the
+// simd fields are emitted as 0 and "simd_supported" is false — the
+// check_bench.py gate skips them.
+//
+// Each phase fingerprints the kernel's operand buffers (FNV-1a) before
+// timing; a mismatch across phases means an operand was re-synthesized
+// or mutated and the comparison is void, so the bench aborts.
 //
 // Kernels run through the execution engine's format-generic dispatch (the
 // path every layer above uses); operand sizes are large enough that the
@@ -11,12 +26,16 @@
 //   --threads N parallel thread count (default: mt::num_threads())
 //   --out FILE  write JSON there instead of stdout
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
+#include "common/simd.hpp"
 #include "common/threads.hpp"
 #include "exec/exec.hpp"
 #include "workloads/synth.hpp"
@@ -47,6 +66,8 @@ struct Row {
   std::string kernel;
   double serial_ms;
   double parallel_ms;
+  double simd_ms;  // 0 when the host lacks AVX2+FMA
+  std::uint64_t operand_fp;
 };
 
 }  // namespace
@@ -71,6 +92,7 @@ int main(int argc, char** argv) {
   }
   if (threads < 1) threads = 1;
   const int reps = smoke ? 1 : 3;
+  const bool simd = cpu_has_avx2();
   // Uniform-random rows: static scheduling, sized so each kernel runs
   // >= O(10M) scalar ops and the parallel region dominates its overhead.
   const index_t n_spmv = smoke ? 256 : 8192;
@@ -100,9 +122,66 @@ int main(int argc, char** argv) {
   const auto fb = synth_dense_matrix(tdim, rank, 1.0, 12);
   const auto fc = synth_dense_matrix(tdim, rank, 1.0, 13);
 
+  // Per-kernel operand fingerprints: chained FNV-1a over every value and
+  // index buffer the kernel reads.
+  const auto fp_csr = [](const AnyMatrix& m, std::uint64_t h) {
+    const auto& c = std::get<CsrMatrix>(m);
+    h = bench::fnv1a_vec(c.row_ptr(), h);
+    h = bench::fnv1a_vec(c.col_ids(), h);
+    return bench::fnv1a_vec(c.values(), h);
+  };
+  const auto fp_dense = [](const DenseMatrix& m, std::uint64_t h) {
+    return bench::fnv1a_vec(m.values(), h);
+  };
+  const auto fp_csf = [&](std::uint64_t h) {
+    return bench::fnv1a_vec(std::get<CsfTensor3>(csf).values(), h);
+  };
+  const std::uint64_t kSeed = 14695981039346656037ull;
+  const std::function<std::uint64_t()> fps[] = {
+      [&] { return bench::fnv1a_vec(xvec, fp_csr(csr_spmv, kSeed)); },
+      [&] { return fp_dense(dense_b, fp_csr(csr, kSeed)); },
+      [&] { return fp_csr(csr_gemm, kSeed); },
+      [&] { return fp_dense(fc, fp_dense(fb, fp_csf(kSeed))); },
+      [&] { return fp_dense(fc, fp_csf(kSeed)); },
+      [&] {
+        return fp_dense(std::get<DenseMatrix>(dense_sq_b),
+                        fp_dense(std::get<DenseMatrix>(dense_sq_a), kSeed));
+      },
+  };
+
   std::vector<Row> rows;
   const auto run = [&](const char* name, auto&& f) {
-    rows.push_back({name, time_ms(f, 1, reps), time_ms(f, threads, reps)});
+    const auto& fp = fps[rows.size()];
+    const std::uint64_t fp0 = fp();
+    Row r;
+    r.kernel = name;
+    set_simd_enabled(0);  // scalar tier: comparable to pre-SIMD baselines
+    r.serial_ms = time_ms(f, 1, reps);
+    const std::uint64_t fp_serial = fp();
+    r.parallel_ms = time_ms(f, threads, reps);
+    const std::uint64_t fp_parallel = fp();
+    r.simd_ms = 0.0;
+    std::uint64_t fp_simd = fp_parallel;
+    if (simd) {
+      set_simd_enabled(1);
+      r.simd_ms = time_ms(f, 1, reps);
+      fp_simd = fp();
+    }
+    set_simd_enabled(-1);
+    if (fp_serial != fp0 || fp_parallel != fp0 || fp_simd != fp0) {
+      std::fprintf(stderr,
+                   "%s: operand fingerprint drifted across phases "
+                   "(pre=%016llx serial=%016llx parallel=%016llx "
+                   "simd=%016llx) — phases did not time identical "
+                   "operands\n",
+                   name, static_cast<unsigned long long>(fp0),
+                   static_cast<unsigned long long>(fp_serial),
+                   static_cast<unsigned long long>(fp_parallel),
+                   static_cast<unsigned long long>(fp_simd));
+      std::exit(1);
+    }
+    r.operand_fp = fp0;
+    rows.push_back(std::move(r));
   };
   run("SpMV", [&] { exec::spmv(csr_spmv, xvec); });
   run("SpMM", [&] { exec::spmm(csr, dense_b); });
@@ -119,14 +198,24 @@ int main(int argc, char** argv) {
   std::fprintf(out, "{\n  \"bench\": \"kernels_speedup\",\n");
   std::fprintf(out, "  \"threads\": %d,\n  \"smoke\": %s,\n", threads,
                smoke ? "true" : "false");
+  std::fprintf(out, "  \"simd_supported\": %s,\n", simd ? "true" : "false");
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     const double speedup = r.parallel_ms > 0.0 ? r.serial_ms / r.parallel_ms : 0.0;
+    const double simd_over_scalar =
+        r.simd_ms > 0.0 ? r.serial_ms / r.simd_ms : 0.0;
     std::fprintf(out,
                  "    {\"kernel\": \"%s\", \"serial_ms\": %.4f, "
-                 "\"parallel_ms\": %.4f, \"speedup\": %.3f}%s\n",
-                 r.kernel.c_str(), r.serial_ms, r.parallel_ms, speedup,
+                 "\"parallel_ms\": %.4f, \"simd_ms\": %.4f,\n"
+                 "     \"serial_ns\": %.0f, \"parallel_ns\": %.0f, "
+                 "\"simd_ns\": %.0f,\n"
+                 "     \"speedup\": %.3f, \"simd_over_scalar\": %.3f, "
+                 "\"operand_fp\": \"%016llx\"}%s\n",
+                 r.kernel.c_str(), r.serial_ms, r.parallel_ms, r.simd_ms,
+                 r.serial_ms * 1e6, r.parallel_ms * 1e6, r.simd_ms * 1e6,
+                 speedup, simd_over_scalar,
+                 static_cast<unsigned long long>(r.operand_fp),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

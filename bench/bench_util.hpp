@@ -2,11 +2,32 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 namespace mt::bench {
+
+// FNV-1a over raw bytes: the operand fingerprint the speedup bench uses
+// to assert that its serial / parallel / SIMD phases all timed the very
+// same RNG-seeded operands (a phase that re-synthesized or mutated an
+// operand would silently compare apples to oranges).
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t h = 14695981039346656037ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <class T, class Alloc>
+std::uint64_t fnv1a_vec(const std::vector<T, Alloc>& v,
+                        std::uint64_t h = 14695981039346656037ull) {
+  return fnv1a(v.data(), v.size() * sizeof(T), h);
+}
 
 inline void banner(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -49,6 +49,16 @@ SERVE_RATIOS = {
 # core, so speedups sit near 1.0; multi-core runners only exceed it.)
 KERNEL_BAR = 1.0
 
+# Per-kernel SIMD-over-scalar speedup, gated only for the kernels whose
+# inner loops were vectorized in PR 7 (SpMV/SpMM/GEMM; SpGEMM and the
+# tensor kernels gained cache blocking, not a lane-parallel inner loop).
+# Both measurements come from the same process at one thread, so the
+# ratio is runner-stable. Gating auto-skips when the fresh run reports
+# the host lacks AVX2+FMA (portable-fallback CI job) or the baseline
+# predates the field.
+SIMD_BAR = 1.15
+SIMD_GATED_KERNELS = ("SpMV", "SpMM", "GEMM")
+
 # A kernel row is only gate-worthy if its serial measurement ran long
 # enough to rise above timer/warmup noise. Smoke-mode operands finish in
 # microseconds, where a single-rep "speedup" is meaningless in either
@@ -124,6 +134,33 @@ def main() -> int:
             continue
         ok &= gate(row["kernel"], float(row["speedup"]),
                    float(base_row["speedup"]), KERNEL_BAR, args.tolerance)
+
+    print("perf-gate: kernel simd/scalar speedups")
+    if not fresh_k.get("simd_supported", False):
+        print("  skip all: fresh run reports no AVX2+FMA on this host")
+    else:
+        for row in fresh_k.get("results", []):
+            if row["kernel"] not in SIMD_GATED_KERNELS:
+                continue
+            base_row = base_by_kernel.get(row["kernel"], {})
+            if "simd_over_scalar" not in base_row:
+                print(f"  skip {row['kernel']}: not in baseline "
+                      "(pre-feature record)")
+                continue
+            if "simd_over_scalar" not in row:
+                print(f"  FAIL {row['kernel']}: simd_over_scalar missing "
+                      "from fresh run", file=sys.stderr)
+                ok = False
+                continue
+            if float(row.get("serial_ms", 0.0)) < MIN_GATE_SERIAL_MS:
+                print(f"  skip {row['kernel']}: serial run too short to "
+                      f"gate ({row.get('serial_ms', 0.0)} ms < "
+                      f"{MIN_GATE_SERIAL_MS})")
+                continue
+            ok &= gate(f"{row['kernel']} (simd)",
+                       float(row["simd_over_scalar"]),
+                       float(base_row["simd_over_scalar"]), SIMD_BAR,
+                       args.tolerance)
 
     if not ok:
         print("perf-gate: REGRESSION — throughput ratios fell more than "

@@ -1,0 +1,58 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mt {
+namespace {
+
+// -1 = no override (env/detection decide), 0 = forced scalar,
+// 1 = forced on (still subject to CPU support).
+std::atomic<int> g_simd_override{-1};
+
+bool env_allows_simd() {
+  // Read-only env access; nothing in this process calls setenv/putenv, so
+  // the libc race concurrency-mt-unsafe guards against cannot occur.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* env = std::getenv("MT_SIMD")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "scalar") == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool cpu_has_avx2() {
+#if MT_SIMD_X86
+  // AVX2 and FMA are distinct CPUID bits; the SIMD tier needs both.
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool simd_enabled() {
+  const int o = g_simd_override.load(std::memory_order_relaxed);
+  if (o == 0) return false;
+  if (o > 0) return cpu_has_avx2();
+  // Env var is immutable for the process lifetime; cache the parse.
+  static const bool env_ok = env_allows_simd();
+  return env_ok && cpu_has_avx2();
+}
+
+void set_simd_enabled(int mode) {
+  g_simd_override.store(mode < 0 ? -1 : (mode > 0 ? 1 : 0),
+                        std::memory_order_relaxed);
+}
+
+int simd_override() {
+  return g_simd_override.load(std::memory_order_relaxed);
+}
+
+}  // namespace mt

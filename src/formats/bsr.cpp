@@ -83,7 +83,7 @@ BsrMatrix BsrMatrix::from_parts(index_t rows, index_t cols, index_t block_rows,
   }
   m.block_row_ptr_ = std::move(block_row_ptr);
   m.block_col_ = std::move(block_col_ids);
-  m.val_ = std::move(block_values);
+  m.val_.assign(block_values.begin(), block_values.end());
   return m;
 }
 

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/types.hpp"
 #include "formats/dense.hpp"
 #include "formats/storage.hpp"
@@ -44,8 +45,9 @@ class BsrMatrix {
 
   const std::vector<index_t>& block_row_ptr() const { return block_row_ptr_; }
   const std::vector<index_t>& block_col_ids() const { return block_col_; }
-  // Blocks stored contiguously, each block row-major, br*bc values.
-  const std::vector<value_t>& block_values() const { return val_; }
+  // Blocks stored contiguously, each block row-major, br*bc values;
+  // 64-byte aligned for the SIMD tier.
+  const AlignedVec<value_t>& block_values() const { return val_; }
 
   StorageSize storage(DataType dt) const;
 
@@ -54,7 +56,7 @@ class BsrMatrix {
   index_t br_ = kBsrBlockRows, bc_ = kBsrBlockCols;
   std::vector<index_t> block_row_ptr_;  // grid_rows + 1
   std::vector<index_t> block_col_;      // num_blocks
-  std::vector<value_t> val_;            // num_blocks * br * bc
+  AlignedVec<value_t> val_;             // num_blocks * br * bc
 };
 
 }  // namespace mt

@@ -9,6 +9,15 @@ CsrMatrix CsrMatrix::from_parts(index_t rows, index_t cols,
                                 std::vector<index_t> row_ptr,
                                 std::vector<index_t> col_ids,
                                 std::vector<value_t> values) {
+  return from_parts_aligned(rows, cols, std::move(row_ptr),
+                            std::move(col_ids),
+                            AlignedVec<value_t>(values.begin(), values.end()));
+}
+
+CsrMatrix CsrMatrix::from_parts_aligned(index_t rows, index_t cols,
+                                        std::vector<index_t> row_ptr,
+                                        std::vector<index_t> col_ids,
+                                        AlignedVec<value_t> values) {
   MT_REQUIRE(static_cast<index_t>(row_ptr.size()) == rows + 1,
              "row_ptr must have rows+1 entries");
   MT_REQUIRE(col_ids.size() == values.size(), "col_ids/values length mismatch");
@@ -44,7 +53,7 @@ CsrMatrix CsrMatrix::from_coo(const CooMatrix& c) {
   m.cols_ = sorted.cols();
   m.row_ptr_.assign(static_cast<std::size_t>(m.rows_) + 1, 0);
   m.col_ = sorted.col_ids();
-  m.val_ = sorted.values();
+  m.val_.assign(sorted.values().begin(), sorted.values().end());
   for (index_t r : sorted.row_ids()) ++m.row_ptr_[static_cast<std::size_t>(r) + 1];
   for (index_t r = 0; r < m.rows_; ++r) {
     m.row_ptr_[static_cast<std::size_t>(r) + 1] += m.row_ptr_[static_cast<std::size_t>(r)];
@@ -67,7 +76,8 @@ CooMatrix CsrMatrix::to_coo() const {
   for (index_t r = 0; r < rows_; ++r) {
     for (index_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) rows[i] = r;
   }
-  return CooMatrix::from_entries(rows_, cols_, std::move(rows), col_, val_);
+  return CooMatrix::from_entries(rows_, cols_, std::move(rows), col_,
+                                 std::vector<value_t>(val_.begin(), val_.end()));
 }
 
 StorageSize CsrMatrix::storage(DataType dt) const {

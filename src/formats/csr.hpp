@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/types.hpp"
 #include "formats/coo.hpp"
 #include "formats/dense.hpp"
@@ -23,6 +24,14 @@ class CsrMatrix {
                               std::vector<index_t> row_ptr,
                               std::vector<index_t> col_ids,
                               std::vector<value_t> values);
+  // Move-in variant for producers that already build aligned storage
+  // (SpGEMM assembles its output directly into an AlignedVec). A
+  // distinct name, not an overload: braced-init value lists would be
+  // ambiguous between the two vector types.
+  static CsrMatrix from_parts_aligned(index_t rows, index_t cols,
+                                      std::vector<index_t> row_ptr,
+                                      std::vector<index_t> col_ids,
+                                      AlignedVec<value_t> values);
   static CsrMatrix from_dense(const DenseMatrix& d);
   static CsrMatrix from_coo(const CooMatrix& c);
 
@@ -35,7 +44,8 @@ class CsrMatrix {
 
   const std::vector<index_t>& row_ptr() const { return row_ptr_; }
   const std::vector<index_t>& col_ids() const { return col_; }
-  const std::vector<value_t>& values() const { return val_; }
+  // 64-byte aligned (common/aligned.hpp) for the SIMD kernel tier.
+  const AlignedVec<value_t>& values() const { return val_; }
 
   index_t row_nnz(index_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
 
@@ -46,7 +56,7 @@ class CsrMatrix {
   index_t cols_ = 0;
   std::vector<index_t> row_ptr_;  // rows + 1
   std::vector<index_t> col_;      // nnz, ascending within each row
-  std::vector<value_t> val_;      // nnz
+  AlignedVec<value_t> val_;       // nnz
 };
 
 }  // namespace mt

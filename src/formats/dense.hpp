@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "formats/storage.hpp"
@@ -18,9 +19,15 @@ class DenseMatrix {
  public:
   DenseMatrix() = default;
   DenseMatrix(index_t rows, index_t cols, value_t fill = 0.0f);
+  // Allocator-taking overload: the serving runtime passes an arena-backed
+  // allocator so batch payload buffers are recycled across requests.
+  DenseMatrix(index_t rows, index_t cols, value_t fill,
+              const AlignedAllocator<value_t>& alloc);
 
   static DenseMatrix from_values(index_t rows, index_t cols,
                                  std::vector<value_t> values);
+  static DenseMatrix from_values(index_t rows, index_t cols,
+                                 AlignedVec<value_t> values);
 
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
@@ -35,8 +42,10 @@ class DenseMatrix {
     v_[static_cast<std::size_t>(r * cols_ + c)] = x;
   }
 
-  const std::vector<value_t>& values() const { return v_; }
-  std::vector<value_t>& values() { return v_; }
+  // Value storage is 64-byte aligned (common/aligned.hpp) so the SIMD
+  // kernel tier's vector loads start on cache-line boundaries.
+  const AlignedVec<value_t>& values() const { return v_; }
+  AlignedVec<value_t>& values() { return v_; }
 
   std::int64_t nnz() const;
 
@@ -47,7 +56,7 @@ class DenseMatrix {
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<value_t> v_;
+  AlignedVec<value_t> v_;
 };
 
 // Max |a - b| over all elements; matrices must have identical shape.

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/types.hpp"
 #include "formats/dense.hpp"
 #include "formats/storage.hpp"
@@ -30,16 +31,17 @@ class EllMatrix {
   index_t width() const { return width_; }  // slots per row
   std::int64_t nnz() const;
 
-  // Row-major, rows_ * width_ entries; padding slots have col_id == -1.
+  // Row-major, rows_ * width_ entries; padding slots have col_id == -1
+  // and value 0.0f. Values are 64-byte aligned for the SIMD tier.
   const std::vector<index_t>& col_ids() const { return col_; }
-  const std::vector<value_t>& values() const { return val_; }
+  const AlignedVec<value_t>& values() const { return val_; }
 
   StorageSize storage(DataType dt) const;
 
  private:
   index_t rows_ = 0, cols_ = 0, width_ = 0;
   std::vector<index_t> col_;
-  std::vector<value_t> val_;
+  AlignedVec<value_t> val_;
 };
 
 }  // namespace mt

@@ -9,7 +9,7 @@ DenseMatrix flatten(const DenseTensor3& d) {
 
 DenseTensor3 unflatten(index_t x, index_t y, index_t z, const DenseMatrix& m) {
   DenseTensor3 d(x, y, z);
-  d.values() = m.values();
+  d.values().assign(m.values().begin(), m.values().end());
   return d;
 }
 }  // namespace

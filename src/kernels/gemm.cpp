@@ -1,9 +1,56 @@
 #include "kernels/gemm.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/threads.hpp"
 
 namespace mt {
+
+#if MT_SIMD_X86
+namespace {
+
+// Register micro-kernel geometry: kMr x kNr output tiles (4 rows x 16
+// columns = 8 ymm accumulators, leaving registers for the two B vectors
+// and the broadcast A element) over kKc-deep k-panels so the B panel
+// (kKc x kNr floats = 16 KiB) stays L1-resident while it is reused
+// across every row tile.
+constexpr index_t kMr = 4;
+constexpr index_t kNr = 16;
+constexpr index_t kKc = 256;
+
+// One mr x 16 output tile accumulated over the k-panel [k0, k1). The
+// tile is loaded once, FMA'd kc times, stored once; k advances in the
+// same ascending order as the scalar loop, so per-cell accumulation
+// order matches scalar exactly (FMA rounding and the zero-skip aside).
+MT_SIMD_TARGET void gemm_tile_avx2(const value_t* pa, const value_t* pb,
+                                   value_t* po, index_t k, index_t n,
+                                   index_t i0, index_t mr, index_t k0,
+                                   index_t k1, index_t j0) {
+  __m256 c[kMr][2];
+  for (index_t r = 0; r < mr; ++r) {
+    c[r][0] = simd::load(po + (i0 + r) * n + j0);
+    c[r][1] = simd::load(po + (i0 + r) * n + j0 + 8);
+  }
+  for (index_t kk = k0; kk < k1; ++kk) {
+    const __m256 b0 = simd::load(pb + kk * n + j0);
+    const __m256 b1 = simd::load(pb + kk * n + j0 + 8);
+    for (index_t r = 0; r < mr; ++r) {
+      const __m256 av = simd::set1(pa[(i0 + r) * k + kk]);
+      c[r][0] = simd::fma(av, b0, c[r][0]);
+      c[r][1] = simd::fma(av, b1, c[r][1]);
+    }
+  }
+  for (index_t r = 0; r < mr; ++r) {
+    simd::store(po + (i0 + r) * n + j0, c[r][0]);
+    simd::store(po + (i0 + r) * n + j0 + 8, c[r][1]);
+  }
+}
+
+}  // namespace
+#endif  // MT_SIMD_X86
 
 DenseMatrix gemm(const DenseMatrix& a, const DenseMatrix& b) {
   MT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
@@ -13,6 +60,37 @@ DenseMatrix gemm(const DenseMatrix& a, const DenseMatrix& b) {
   const value_t* pb = b.values().data();
   value_t* po = o.values().data();
   [[maybe_unused]] const int nt = num_threads();
+#if MT_SIMD_X86
+  if (simd_enabled()) {
+    const index_t j_main = n - n % kNr;
+    // Each iteration owns rows [i0, i0+mr) of the output exclusively;
+    // results are bit-identical at any thread count.
+#pragma omp parallel for num_threads(nt) schedule(static)
+    for (index_t i0 = 0; i0 < m; i0 += kMr) {
+      const index_t mr = std::min(kMr, m - i0);
+      for (index_t k0 = 0; k0 < k; k0 += kKc) {
+        const index_t k1 = std::min(k, k0 + kKc);
+        for (index_t j0 = 0; j0 < j_main; j0 += kNr) {
+          gemm_tile_avx2(pa, pb, po, k, n, i0, mr, k0, k1, j0);
+        }
+        // Column tail (< kNr): scalar, same k-panel traversal order, and
+        // fused multiply-add to match the tile's FMA rounding — a cell's
+        // bits must not depend on whether its column falls in a tile or
+        // the tail, or concatenating batched GEMM factors (which shifts
+        // the tile grid) would change per-request results.
+        for (index_t r = i0; r < i0 + mr; ++r) {
+          for (index_t kk = k0; kk < k1; ++kk) {
+            const value_t av = pa[r * k + kk];
+            for (index_t j = j_main; j < n; ++j) {
+              po[r * n + j] = std::fmaf(av, pb[kk * n + j], po[r * n + j]);
+            }
+          }
+        }
+      }
+    }
+    return o;
+  }
+#endif
 #pragma omp parallel for num_threads(nt) schedule(static)
   for (index_t i = 0; i < m; ++i) {
     // i-k-j loop order keeps the B row access contiguous.

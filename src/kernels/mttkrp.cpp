@@ -1,10 +1,46 @@
 #include "kernels/mttkrp.hpp"
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/threads.hpp"
 #include "kernels/partition.hpp"
 
 namespace mt {
+
+#if MT_SIMD_X86
+namespace {
+
+// One CSF x-slice restricted to the rank tile [r0, r0+16): the fiber
+// accumulator lives in two ymm registers across the whole z walk, and
+// the B/C factor-row touches are confined to a 16-float panel — the
+// rank-blocking that keeps factor panels L1-resident while the (much
+// larger) id/value arrays stream. Per-(ix, r) accumulation order is the
+// same z-then-y order as the scalar loop.
+MT_SIMD_TARGET void mttkrp_csf_slice_tile_avx2(
+    const index_t* y_ptr, const index_t* y_ids, const index_t* z_ptr,
+    const index_t* z_ids, const value_t* xv, const value_t* pb,
+    const value_t* pc, value_t* pm, index_t rank, index_t xi, index_t ix,
+    index_t r0) {
+  for (index_t yi = y_ptr[xi]; yi < y_ptr[xi + 1]; ++yi) {
+    const index_t iy = y_ids[yi];
+    __m256 acc0 = simd::zero();
+    __m256 acc1 = simd::zero();
+    for (index_t zi = z_ptr[yi]; zi < z_ptr[yi + 1]; ++zi) {
+      const __m256 v = simd::set1(xv[zi]);
+      const value_t* pcr = pc + z_ids[zi] * rank + r0;
+      acc0 = simd::fma(v, simd::load(pcr), acc0);
+      acc1 = simd::fma(v, simd::load(pcr + 8), acc1);
+    }
+    const value_t* pbr = pb + iy * rank + r0;
+    value_t* pmr = pm + ix * rank + r0;
+    simd::store(pmr, simd::fma(acc0, simd::load(pbr), simd::load(pmr)));
+    simd::store(pmr + 8,
+                simd::fma(acc1, simd::load(pbr + 8), simd::load(pmr + 8)));
+  }
+}
+
+}  // namespace
+#endif  // MT_SIMD_X86
 
 DenseMatrix mttkrp_coo(const CooTensor3& x, const DenseMatrix& b,
                        const DenseMatrix& c) {
@@ -41,6 +77,49 @@ DenseMatrix mttkrp_csf(const CsfTensor3& x, const DenseMatrix& b,
   // operation-count saving.
   const auto n1 = static_cast<index_t>(x.x_ids().size());
   [[maybe_unused]] const int nt = num_threads();
+#if MT_SIMD_X86
+  if (simd_enabled()) {
+    const index_t r_main = rank - rank % 16;
+    const index_t* y_ptr = x.y_ptr().data();
+    const index_t* y_ids = x.y_ids().data();
+    const index_t* z_ptr = x.z_ptr().data();
+    const index_t* z_ids = x.z_ids().data();
+    const value_t* xv = x.values().data();
+#pragma omp parallel num_threads(nt)
+    {
+      std::vector<value_t> fiber_acc(static_cast<std::size_t>(rank - r_main));
+#pragma omp for schedule(static)
+      for (index_t xi = 0; xi < n1; ++xi) {
+        const index_t ix = x.x_ids()[static_cast<std::size_t>(xi)];
+        for (index_t r0 = 0; r0 < r_main; r0 += 16) {
+          mttkrp_csf_slice_tile_avx2(y_ptr, y_ids, z_ptr, z_ids, xv, pb, pc,
+                                     pm, rank, xi, ix, r0);
+        }
+        // Rank tail (< 16): scalar, same fiber walk per remaining rank.
+        if (r_main < rank) {
+          for (index_t yi = y_ptr[xi]; yi < y_ptr[xi + 1]; ++yi) {
+            const index_t iy = y_ids[yi];
+            std::fill(fiber_acc.begin(), fiber_acc.end(), 0.0f);
+            for (index_t zi = z_ptr[yi]; zi < z_ptr[yi + 1]; ++zi) {
+              const index_t iz = z_ids[zi];
+              const value_t v = xv[zi];
+              for (index_t r = r_main; r < rank; ++r) {
+                fiber_acc[static_cast<std::size_t>(r - r_main)] +=
+                    v * pc[iz * rank + r];
+              }
+            }
+            for (index_t r = r_main; r < rank; ++r) {
+              pm[ix * rank + r] +=
+                  fiber_acc[static_cast<std::size_t>(r - r_main)] *
+                  pb[iy * rank + r];
+            }
+          }
+        }
+      }
+    }
+    return m;
+  }
+#endif
 #pragma omp parallel num_threads(nt)
   {
     std::vector<value_t> fiber_acc(static_cast<std::size_t>(rank));

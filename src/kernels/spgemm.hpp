@@ -11,4 +11,11 @@ namespace mt {
 
 CsrMatrix spgemm_csr(const CsrMatrix& a, const CsrMatrix& b);
 
+// Cache-blocked Gustavson with an explicit accumulator tile width (in
+// output columns). spgemm_csr picks the production width; the parameter
+// is exposed so tests can force multi-tile execution on small matrices
+// and assert bit-identity against the single-tile sweep.
+CsrMatrix spgemm_csr_tiled(const CsrMatrix& a, const CsrMatrix& b,
+                           index_t tile_cols);
+
 }  // namespace mt

@@ -1,12 +1,111 @@
 #include "kernels/spmm.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/threads.hpp"
 #include "kernels/partition.hpp"
 
 namespace mt {
+
+#if MT_SIMD_X86
+namespace {
+
+// One CSR×Dense output row: j-tiles of 32 columns held in four ymm
+// accumulators across the whole nonzero walk, so each output element is
+// loaded/stored once per row instead of once per nonzero. Per-cell
+// accumulation still follows A's row-r nonzeros in order, matching the
+// scalar path's order (FMA rounding aside).
+MT_SIMD_TARGET void spmm_csr_row_avx2(const index_t* cols,
+                                      const value_t* vals, index_t cnt,
+                                      const value_t* pb, index_t n,
+                                      value_t* out) {
+  index_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    __m256 c0 = simd::zero();
+    __m256 c1 = simd::zero();
+    __m256 c2 = simd::zero();
+    __m256 c3 = simd::zero();
+    for (index_t i = 0; i < cnt; ++i) {
+      const __m256 av = simd::set1(vals[i]);
+      const value_t* pr = pb + cols[i] * n + j;
+      c0 = simd::fma(av, simd::load(pr), c0);
+      c1 = simd::fma(av, simd::load(pr + 8), c1);
+      c2 = simd::fma(av, simd::load(pr + 16), c2);
+      c3 = simd::fma(av, simd::load(pr + 24), c3);
+    }
+    simd::store(out + j, c0);
+    simd::store(out + j + 8, c1);
+    simd::store(out + j + 16, c2);
+    simd::store(out + j + 24, c3);
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 c0 = simd::zero();
+    for (index_t i = 0; i < cnt; ++i) {
+      c0 = simd::fma(simd::set1(vals[i]),
+                     simd::load(pb + cols[i] * n + j), c0);
+    }
+    simd::store(out + j, c0);
+  }
+  // Column tail (< 8): fused multiply-add, not mul+add, so a cell's bits
+  // never depend on whether its column lands in a vector tile or the tail
+  // — that is what makes per-column results independent of the matrix
+  // width, which the serving batcher relies on when it stacks SpMV
+  // payloads of different batch sizes through this kernel.
+  for (; j < n; ++j) {
+    value_t acc = 0.0f;
+    for (index_t i = 0; i < cnt; ++i) {
+      acc = std::fmaf(vals[i], pb[cols[i] * n + j], acc);
+    }
+    out[j] = acc;
+  }
+}
+
+// One Dense×CSC output column: 8-row panels of A addressed by strided
+// gather ((r+l)*k + kk), accumulated in a register across B's column-j
+// nonzeros, then scattered into the strided output column. Removes the
+// per-nonzero load/store of every output element the scalar loop pays.
+MT_SIMD_TARGET void spmm_dense_csc_col_avx2(const value_t* pa, index_t m,
+                                            index_t k, const index_t* rows,
+                                            const value_t* vals, index_t cnt,
+                                            value_t* po, index_t n,
+                                            index_t j) {
+  index_t r = 0;
+  for (; r + 8 <= m; r += 8) {
+    const __m256i base_lo = _mm256_setr_epi64x(
+        (r + 0) * k, (r + 1) * k, (r + 2) * k, (r + 3) * k);
+    const __m256i base_hi = _mm256_setr_epi64x(
+        (r + 4) * k, (r + 5) * k, (r + 6) * k, (r + 7) * k);
+    __m256 acc = simd::zero();
+    for (index_t i = 0; i < cnt; ++i) {
+      const __m256i kk = _mm256_set1_epi64x(rows[i]);
+      const __m128 lo =
+          _mm256_i64gather_ps(pa, _mm256_add_epi64(base_lo, kk), 4);
+      const __m128 hi =
+          _mm256_i64gather_ps(pa, _mm256_add_epi64(base_hi, kk), 4);
+      const __m256 col =
+          _mm256_insertf128_ps(_mm256_castps128_ps256(lo), hi, 1);
+      acc = simd::fma(col, simd::set1(vals[i]), acc);
+    }
+    alignas(32) value_t lane[8];
+    simd::store(lane, acc);
+    for (int l = 0; l < 8; ++l) {
+      po[(r + l) * n + j] += lane[l];
+    }
+  }
+  for (; r < m; ++r) {
+    value_t acc = 0.0f;
+    for (index_t i = 0; i < cnt; ++i) {
+      acc += pa[r * k + rows[i]] * vals[i];
+    }
+    po[r * n + j] += acc;
+  }
+}
+
+}  // namespace
+#endif  // MT_SIMD_X86
 
 DenseMatrix spmm_coo_dense(const CooMatrix& a, const DenseMatrix& b) {
   MT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
@@ -54,6 +153,19 @@ DenseMatrix spmm_csr_dense(const CsrMatrix& a, const DenseMatrix& b) {
   value_t* po = o.values().data();
   const value_t* pb = b.values().data();
   [[maybe_unused]] const int nt = num_threads();
+#if MT_SIMD_X86
+  if (simd_enabled()) {
+    const index_t* rp = a.row_ptr().data();
+    const index_t* ci = a.col_ids().data();
+    const value_t* av = a.values().data();
+#pragma omp parallel for num_threads(nt) schedule(static)
+    for (index_t r = 0; r < a.rows(); ++r) {
+      spmm_csr_row_avx2(ci + rp[r], av + rp[r], rp[r + 1] - rp[r], pb, n,
+                        po + r * n);
+    }
+    return o;
+  }
+#endif
 #pragma omp parallel for num_threads(nt) schedule(static)
   for (index_t r = 0; r < a.rows(); ++r) {
     for (index_t i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
@@ -111,6 +223,22 @@ DenseMatrix spmm_dense_csc(const DenseMatrix& a, const CscMatrix& b) {
   value_t* po = o.values().data();
   const value_t* pa = a.values().data();
   [[maybe_unused]] const int nt = num_threads();
+#if MT_SIMD_X86
+  if (simd_enabled()) {
+    const index_t* cp = b.col_ptr().data();
+    const index_t* ri = b.row_ids().data();
+    const value_t* bv = b.values().data();
+    // omp-determinism: each iteration owns output column j exclusively,
+    // and the row-panel/nonzero walk inside the column kernel is a pure
+    // function of j, so dynamic scheduling cannot change the result bits.
+#pragma omp parallel for num_threads(nt) schedule(dynamic, 16)
+    for (index_t j = 0; j < n; ++j) {
+      spmm_dense_csc_col_avx2(pa, m, k, ri + cp[j], bv + cp[j],
+                              cp[j + 1] - cp[j], po, n, j);
+    }
+    return o;
+  }
+#endif
   // omp-determinism: each iteration owns output column j exclusively
   // (writes po[r*n+j] for fixed j), and the per-column accumulation order
   // follows B's column-j nonzeros regardless of which thread runs it, so

@@ -1,0 +1,67 @@
+#include "runtime/arena.hpp"
+
+#include <new>
+
+namespace mt::runtime {
+
+Arena::Arena(std::size_t max_cached_bytes)
+    : max_cached_bytes_(max_cached_bytes) {}
+
+Arena::~Arena() { trim(); }
+
+void* Arena::acquire(std::size_t bytes) {
+  {
+    LockGuard lock(mu_);
+    auto it = free_.find(bytes);
+    if (it != free_.end() && !it->second.empty()) {
+      void* p = it->second.back();
+      it->second.pop_back();
+      stats_.cached_bytes -= bytes;
+      ++stats_.reuses;
+      ++stats_.outstanding;
+      return p;
+    }
+    ++stats_.fresh_allocs;
+    ++stats_.outstanding;
+  }
+  // Allocate outside the lock: the slow path must not serialize workers.
+  return ::operator new(bytes, std::align_val_t{kValueAlign});
+}
+
+void Arena::release(void* p, std::size_t bytes) noexcept {
+  // Caching can itself allocate (free-list node growth); if that throws
+  // we fall through to freeing the slab, keeping release() noexcept.
+  try {
+    LockGuard lock(mu_);
+    --stats_.outstanding;
+    if (stats_.cached_bytes + bytes <= max_cached_bytes_) {
+      free_[bytes].push_back(p);
+      stats_.cached_bytes += bytes;
+      return;
+    }
+  } catch (...) {  // NOLINT(bugprone-empty-catch): fallthrough frees below
+  }
+  // Over budget (or caching failed): free eagerly, outside the lock.
+  ::operator delete(p, bytes, std::align_val_t{kValueAlign});
+}
+
+Arena::Stats Arena::stats() const {
+  LockGuard lock(mu_);
+  return stats_;
+}
+
+void Arena::trim() {
+  std::unordered_map<std::size_t, std::vector<void*>> drained;
+  {
+    LockGuard lock(mu_);
+    drained.swap(free_);
+    stats_.cached_bytes = 0;
+  }
+  for (auto& [bytes, slabs] : drained) {
+    for (void* p : slabs) {
+      ::operator delete(p, bytes, std::align_val_t{kValueAlign});
+    }
+  }
+}
+
+}  // namespace mt::runtime

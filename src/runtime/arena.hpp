@@ -1,0 +1,76 @@
+// Slab-recycling arena behind the serving runtime's dense payloads.
+//
+// The batcher's gather/scatter path (exec::stack_columns /
+// exec::concat_columns / exec::column_block) materializes a dense
+// payload per batch and a dense block per response. Sizes repeat
+// heavily across batches (same models, same batch windows), so instead
+// of hitting the global allocator per request the Server routes those
+// buffers through an Arena: a thread-safe free list keyed by padded
+// byte size (the size classes AlignedAllocator computes — whole cache
+// lines), bounded by a byte budget.
+//
+// Implements mt::MemoryPool (common/aligned.hpp), so plugging it in is
+// just handing an arena-backed AlignedAllocator to the existing
+// containers — the buffers themselves are ordinary AlignedVec storage,
+// 64-byte aligned, and travel by move through the queue→worker→future
+// hop without copies.
+//
+// Lifetime: allocators hold a shared_ptr<MemoryPool>, so a response
+// vector handed to a client keeps the arena alive even after the
+// Server that owned it is destroyed. Always create via
+// std::make_shared<Arena>().
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/thread_annotations.hpp"
+#include "common/types.hpp"
+
+namespace mt::runtime {
+
+class Arena final : public MemoryPool {
+ public:
+  // `max_cached_bytes` bounds the free lists (not outstanding memory):
+  // a release that would exceed the budget frees eagerly instead.
+  explicit Arena(std::size_t max_cached_bytes = std::size_t{64} << 20);
+  ~Arena() override;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // MemoryPool: `bytes` is already padded to whole cache lines by
+  // AlignedAllocator; the free lists are keyed by that exact size.
+  void* acquire(std::size_t bytes) override MT_EXCLUDES(mu_);
+  void release(void* p, std::size_t bytes) noexcept override
+      MT_EXCLUDES(mu_);
+
+  struct Stats {
+    std::size_t fresh_allocs = 0;   // acquire() misses (hit ::operator new)
+    std::size_t reuses = 0;         // acquire() hits (recycled slab)
+    std::size_t cached_bytes = 0;   // bytes parked in free lists
+    std::size_t outstanding = 0;    // blocks acquired and not yet released
+  };
+  Stats stats() const MT_EXCLUDES(mu_);
+
+  // Frees every cached slab (outstanding blocks are untouched).
+  void trim() MT_EXCLUDES(mu_);
+
+ private:
+  const std::size_t max_cached_bytes_;
+  mutable Mutex mu_;
+  std::unordered_map<std::size_t, std::vector<void*>> free_
+      MT_GUARDED_BY(mu_);
+  Stats stats_ MT_GUARDED_BY(mu_);
+};
+
+// Convenience: an allocator for value buffers drawing from `arena`.
+inline AlignedAllocator<value_t> arena_allocator(
+    std::shared_ptr<Arena> arena) {
+  return AlignedAllocator<value_t>(std::move(arena));
+}
+
+}  // namespace mt::runtime

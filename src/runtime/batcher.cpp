@@ -33,13 +33,20 @@ struct FuseKeyHash {
 }  // namespace
 
 bool coalescible_spmv_format(Format acf) {
-  // CSR: both kernels sweep each row's nonzeros in index order into a
-  // single-precision accumulator — identical FLOP sequence per column.
-  // COO: both use the same fixed row-aligned nnz partition (serial sweep
-  // when unsorted), again identical per-column accumulation order.
-  // CSC is excluded: spmv_csc and spmm_csc_dense reduce over different
-  // fixed chunk widths (512 vs max(256, k/8)), so for wide matrices the
-  // partial-sum order differs. Dense is excluded: gemm() skips zero
+  // A format is coalescible when its SpMM twin's per-column accumulation
+  // order is independent of the factor width, so a request's bits are the
+  // same whether it executes alone or inside any stacked batch. The
+  // server leans on this by serving *every* SpMV on such a plan through
+  // the twin (singles as a width-1 stack): batched == unbatched bitwise
+  // holds by construction, in the scalar and SIMD tiers alike.
+  // CSR: spmm_csr_dense accumulates each (row, column) cell over the
+  // row's nonzeros in index order with fused multiply-adds in vector
+  // tiles and tail alike — width only changes addressing. COO: the twin
+  // uses the same fixed row-aligned nnz partition (serial sweep when
+  // unsorted) and mul+add per cell, which also matches spmv_coo exactly.
+  // CSC is excluded: routing it through spmm_csc_dense would change
+  // today's served bits (spmv_csc reduces over 512-column chunks, the
+  // twin over max(256, k/8)). Dense is excluded: gemm() skips zero
   // entries of A while spmv_dense accumulates them, which diverges on
   // non-finite inputs. ELL/BSR have no native SpMM kernel at all.
   return acf == Format::kCSR || acf == Format::kCOO;

@@ -99,6 +99,9 @@ Server::Server(ServerOptions opts)
       accel_(opts_.accel),
       energy_(opts_.energy),
       fingerprint_(plan_fingerprint(opts_.accel, opts_.energy)),
+      arena_(opts_.use_arena
+                 ? std::make_shared<Arena>(opts_.arena_max_cached_bytes)
+                 : nullptr),
       plans_(opts_.plan_cache_limits),
       reps_(opts_.conversion_cache_limits),
       queue_(opts_.queue_capacity) {
@@ -441,7 +444,21 @@ void Server::execute_plan(Request& req, const PlanCache::PlanPtr& plan,
   const auto t_exec = now_ns();
   switch (req.kernel) {
     case Kernel::kSpMV:
-      resp.result = exec::spmv(*rep_a, req.vec, &s.dispatch);
+      if (coalescible_spmv_format(plan->run_a) &&
+          exec::has_native(Kernel::kSpMM, plan->run_a)) {
+        // Coalescible plans serve through the SpMM twin as a width-1
+        // column stack — exactly the coalesced path with one member — so
+        // response bits never depend on batch timing, in every kernel
+        // tier. (The SIMD SpMV row kernel reduces 8 lanes in a tree and
+        // would otherwise round differently from the twin; it remains the
+        // fast path for direct exec::spmv use.) In the scalar tier the
+        // twin's column bits equal exec::spmv's, so this changes nothing
+        // with SIMD off.
+        const DenseMatrix b1 = exec::stack_columns({&req.vec}, dense_alloc());
+        resp.result = exec::column_of(exec::spmm(*rep_a, b1, &s.dispatch), 0);
+      } else {
+        resp.result = exec::spmv(*rep_a, req.vec, &s.dispatch);
+      }
       break;
     case Kernel::kGemm:
     case Kernel::kSpMM:
@@ -583,12 +600,12 @@ void Server::serve_fused(std::vector<Item>& window,
       std::vector<const std::vector<value_t>*> cols;
       cols.reserve(members.size());
       for (const auto i : members) cols.push_back(&window[i].req.vec);
-      fused_b = exec::stack_columns(cols);
+      fused_b = exec::stack_columns(cols, dense_alloc());
     } else {
       std::vector<const DenseMatrix*> blocks;
       blocks.reserve(members.size());
       for (const auto i : members) blocks.push_back(&window[i].req.dense_b);
-      fused_b = exec::concat_columns(blocks);
+      fused_b = exec::concat_columns(blocks, dense_alloc());
     }
 
     const auto t_exec = now_ns();
@@ -621,7 +638,8 @@ void Server::serve_fused(std::vector<Item>& window,
       if (is_spmv) {
         resp.result = exec::column_of(fused_c, j_idx);
       } else {
-        resp.result = exec::column_block(fused_c, j_idx * width, width);
+        resp.result = exec::column_block(fused_c, j_idx * width, width,
+                                         dense_alloc());
       }
     }
     // Count before completing any promise: a client that observes its

@@ -39,8 +39,10 @@
 #include <vector>
 
 #include "accel/config.hpp"
+#include "common/aligned.hpp"
 #include "common/thread_annotations.hpp"
 #include "energy/energy_model.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/batcher.hpp"
 #include "runtime/conversion_cache.hpp"
 #include "runtime/mpmc_queue.hpp"
@@ -111,6 +113,13 @@ struct ServerOptions {
   // the PR-3 one-request-one-kernel path.
   BatchPolicy batching = BatchPolicy::kWindow;
   int batch_window = 8;
+  // Dense payload recycling (runtime/arena.hpp): the batcher's fused
+  // factors and every per-response dense block draw their 64-byte-aligned
+  // storage from a server-owned slab arena, so steady-state serving stops
+  // hitting the global allocator for payload-sized buffers. Off: plain
+  // aligned heap allocations — identical bytes, no recycling.
+  bool use_arena = true;
+  std::size_t arena_max_cached_bytes = std::size_t{64} << 20;
   AccelConfig accel = AccelConfig::paper_default();
   EnergyParams energy;
 };
@@ -198,6 +207,8 @@ class Server {
   const PlanCache& plan_cache() const { return plans_; }
   const ConversionCache& conversion_cache() const { return reps_; }
   const ServerOptions& options() const { return opts_; }
+  // The payload arena, or null when ServerOptions::use_arena is off.
+  const std::shared_ptr<Arena>& arena() const { return arena_; }
 
   // Closes intake, drains queued requests, joins workers, restores the
   // kernel-thread setting. Idempotent; the destructor calls it.
@@ -219,6 +230,11 @@ class Server {
   Response serve(Request& req, std::int64_t queue_wait_ns);
   void execute_plan(Request& req, const PlanCache::PlanPtr& plan,
                     Response& resp);
+  // Allocator for dense payloads and response blocks: arena-backed when
+  // the arena is on, a plain aligned allocator otherwise.
+  AlignedAllocator<value_t> dense_alloc() const {
+    return arena_ ? arena_allocator(arena_) : AlignedAllocator<value_t>{};
+  }
   // One coherent read of the live planning model. Each request takes
   // exactly one snapshot and uses it for both the plan key and the SAGE
   // search, so a concurrent update_model() can never cache a plan priced
@@ -259,6 +275,11 @@ class Server {
       MT_GUARDED_BY(reg_mu_);
   std::unordered_map<std::uint64_t, ConversionCache::TensorPtr> tensors_
       MT_GUARDED_BY(reg_mu_);
+
+  // Payload arena (null when opts_.use_arena is false). Shared: response
+  // buffers carry the shared_ptr through their allocator, so client-held
+  // results stay valid after the server dies.
+  std::shared_ptr<Arena> arena_;
 
   PlanCache plans_;
   ConversionCache reps_;

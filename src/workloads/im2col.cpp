@@ -76,7 +76,7 @@ DenseTensor3 conv2d_im2col(const DenseTensor3& input,
   const index_t ho = out_dim(input.dim_y(), r, pad);
   const index_t wo = out_dim(input.dim_z(), s, pad);
   DenseTensor3 out(filters.rows(), ho, wo);
-  out.values() = o.values();
+  out.values().assign(o.values().begin(), o.values().end());
   return out;
 }
 

@@ -1,0 +1,186 @@
+// Arena (runtime/arena.hpp): slab recycling, size-class exactness, byte
+// budget, trim, thread-safety under concurrent acquire/release, and the
+// serving-runtime integration — payload buffers drawn from a Server's
+// arena, recycled across requests, and outliving the arena's owning
+// handle. This suite is labeled `concurrency` so the TSan CI job runs it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "convert/convert.hpp"
+#include "exec/exec.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/server.hpp"
+#include "testing.hpp"
+
+namespace mt::runtime {
+namespace {
+
+using testing::random_dense;
+
+TEST(Arena, AcquireIsCacheLineAlignedAndRecycled) {
+  const auto arena = std::make_shared<Arena>();
+  const auto alloc = arena_allocator(arena);
+  {
+    AlignedVec<value_t> v(alloc);
+    v.resize(1000, 1.5f);
+    EXPECT_TRUE(is_aligned(v.data()));
+    const auto s = arena->stats();
+    EXPECT_EQ(s.fresh_allocs, 1u);
+    EXPECT_EQ(s.reuses, 0u);
+    EXPECT_EQ(s.outstanding, 1u);
+  }
+  {
+    const auto s = arena->stats();
+    EXPECT_EQ(s.outstanding, 0u);
+    EXPECT_GE(s.cached_bytes, 1000 * sizeof(value_t));
+  }
+  {
+    // Same element count => same padded size class => recycled slab.
+    AlignedVec<value_t> v(alloc);
+    v.resize(1000, 2.5f);
+    const auto s = arena->stats();
+    EXPECT_EQ(s.fresh_allocs, 1u);
+    EXPECT_EQ(s.reuses, 1u);
+    EXPECT_EQ(v[999], 2.5f);
+  }
+}
+
+TEST(Arena, SizeClassesAreExact) {
+  const auto arena = std::make_shared<Arena>();
+  const auto alloc = arena_allocator(arena);
+  {
+    AlignedVec<value_t> a(alloc), b(alloc);
+    a.resize(64);   // 256 B padded
+    b.resize(80);   // 320 B padded
+  }
+  AlignedVec<value_t> c(alloc);
+  c.resize(64);
+  const auto s = arena->stats();
+  // The 256 B class is recycled; the 320 B slab stays parked.
+  EXPECT_EQ(s.reuses, 1u);
+  EXPECT_EQ(s.fresh_allocs, 2u);
+  EXPECT_GE(s.cached_bytes, std::size_t{320});
+}
+
+TEST(Arena, ZeroBudgetFreesEagerly) {
+  const auto arena = std::make_shared<Arena>(0);
+  const auto alloc = arena_allocator(arena);
+  {
+    AlignedVec<value_t> v(alloc);
+    v.resize(256);
+  }
+  const auto s = arena->stats();
+  EXPECT_EQ(s.cached_bytes, 0u);
+  AlignedVec<value_t> v(alloc);
+  v.resize(256);
+  EXPECT_EQ(arena->stats().fresh_allocs, 2u);  // nothing was cached
+}
+
+TEST(Arena, TrimDropsCachedSlabs) {
+  const auto arena = std::make_shared<Arena>();
+  const auto alloc = arena_allocator(arena);
+  { AlignedVec<value_t> v(alloc); v.resize(512); }
+  EXPECT_GT(arena->stats().cached_bytes, 0u);
+  arena->trim();
+  EXPECT_EQ(arena->stats().cached_bytes, 0u);
+}
+
+TEST(Arena, ConcurrentAcquireReleaseStaysConsistent) {
+  const auto arena = std::make_shared<Arena>();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&arena, t] {
+      const auto alloc = arena_allocator(arena);
+      for (int i = 0; i < kIters; ++i) {
+        AlignedVec<value_t> v(alloc);
+        v.resize(static_cast<std::size_t>((i + t) % 7 + 1) * 37,
+                 static_cast<value_t>(i));
+        EXPECT_TRUE(is_aligned(v.data()));
+        EXPECT_EQ(v.back(), static_cast<value_t>(i));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const auto s = arena->stats();
+  EXPECT_EQ(s.outstanding, 0u);
+  EXPECT_EQ(s.fresh_allocs + s.reuses,
+            static_cast<std::size_t>(kThreads) * kIters);
+}
+
+// A buffer drawn from the arena keeps it alive through the allocator's
+// shared_ptr: dropping every external handle must not invalidate the
+// buffer, and the final release must not crash.
+TEST(Arena, BufferOutlivesLastExternalHandle) {
+  DenseMatrix block;
+  {
+    auto arena = std::make_shared<Arena>();
+    const auto m = random_dense(32, 8, 1.0, 61);
+    block = exec::column_block(m, 2, 3, arena_allocator(arena));
+    arena.reset();  // the block's allocator still holds the pool
+  }
+  ASSERT_EQ(block.rows(), 32);
+  ASSERT_EQ(block.cols(), 3);
+  EXPECT_TRUE(is_aligned(block.values().data()));
+  value_t sum = 0.0f;
+  for (const auto v : block.values()) sum += v;
+  EXPECT_TRUE(std::isfinite(sum));
+}
+
+// --- Server integration ---
+
+ServerOptions arena_opts() {
+  ServerOptions o;
+  o.num_workers = 1;
+  o.queue_capacity = 8;
+  o.accel.num_pes = 32;
+  o.accel.pe_buffer_bytes = 64 * 4;
+  return o;
+}
+
+Request spmv_request(MatrixHandle a, const std::vector<value_t>& x) {
+  Request r;
+  r.kernel = Kernel::kSpMV;
+  r.a = a;
+  r.vec = x;
+  return r;
+}
+
+TEST(Arena, ServerRecyclesPayloadsAcrossRequests) {
+  Server srv(arena_opts());
+  ASSERT_NE(srv.arena(), nullptr);  // on by default
+  const auto h = srv.register_matrix(
+      encode(random_dense(64, 48, 0.05, 62), Format::kCSR));
+  const std::vector<value_t> x(48, 0.5f);
+
+  const auto r1 = srv.submit(spmv_request(h, x)).get();
+  const auto after_one = srv.arena()->stats();
+  EXPECT_GE(after_one.fresh_allocs, 1u);  // the width-1 stacked factor
+  const auto r2 = srv.submit(spmv_request(h, x)).get();
+  EXPECT_GE(srv.arena()->stats().reuses, 1u);  // same size class, recycled
+  EXPECT_EQ(std::get<std::vector<value_t>>(r1.result),
+            std::get<std::vector<value_t>>(r2.result));
+}
+
+TEST(Arena, ServerWithArenaOffStillServes) {
+  auto opts = arena_opts();
+  opts.use_arena = false;
+  Server srv(opts);
+  EXPECT_EQ(srv.arena(), nullptr);
+  const auto h = srv.register_matrix(
+      encode(random_dense(32, 24, 0.1, 63), Format::kCSR));
+  const std::vector<value_t> x(24, 1.0f);
+  const auto resp = srv.submit(spmv_request(h, x)).get();
+  EXPECT_EQ(std::get<std::vector<value_t>>(resp.result).size(), 32u);
+}
+
+}  // namespace
+}  // namespace mt::runtime

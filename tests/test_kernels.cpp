@@ -87,7 +87,8 @@ TEST(Spmv, AgreesWithGemmColumn) {
   const auto a = random_dense(40, 30, 0.15, 888);
   const auto xs = random_dense(30, 1, 1.0, 999);
   const auto want = gemm(a, xs);
-  const auto got = spmv_csr(CsrMatrix::from_dense(a), xs.values());
+  const std::vector<value_t> x(xs.values().begin(), xs.values().end());
+  const auto got = spmv_csr(CsrMatrix::from_dense(a), x);
   for (index_t i = 0; i < 40; ++i) {
     EXPECT_NEAR(got[static_cast<std::size_t>(i)], want.at(i, 0), kTol);
   }

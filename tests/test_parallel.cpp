@@ -3,6 +3,11 @@
 // kernels is always across independent output rows/fibers, so the
 // per-element accumulation order is identical and results are
 // bit-identical, not merely tolerance-close.
+//
+// Every kernel check runs once per kernel tier (scalar always, the AVX2
+// tier when the host supports it): the determinism contract is per-tier —
+// each tier is bit-identical across thread counts, even though the two
+// tiers round differently from each other.
 #include <gtest/gtest.h>
 
 #include <utility>
@@ -12,6 +17,7 @@
 #include <omp.h>
 #endif
 
+#include "common/simd.hpp"
 #include "common/threads.hpp"
 #include "formats/csc.hpp"
 #include "formats/csf.hpp"
@@ -42,7 +48,23 @@ auto serial_vs_parallel(F&& f) {
   return std::pair(std::move(serial), std::move(parallel));
 }
 
-void expect_same(const std::vector<value_t>& a, const std::vector<value_t>& b) {
+// Runs `body` once with the scalar tier pinned and, when the host has
+// AVX2+FMA, once with the SIMD tier pinned, restoring runtime detection
+// afterwards.
+template <typename F>
+void run_tiers(F&& body) {
+  set_simd_enabled(0);
+  body();
+  if (cpu_has_avx2()) {
+    set_simd_enabled(1);
+    body();
+  }
+  set_simd_enabled(-1);
+}
+
+template <class AllocA, class AllocB>
+void expect_same(const std::vector<value_t, AllocA>& a,
+                 const std::vector<value_t, AllocB>& b) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i], b[i]) << "element " << i;
@@ -83,8 +105,10 @@ TEST(Parallel, SpmvCsr) {
   const auto a = CsrMatrix::from_dense(mt::testing::random_dense(64, 96, 0.15, 11));
   const auto xd = mt::testing::random_dense(96, 1, 1.0, 12);
   const std::vector<value_t> x(xd.values().begin(), xd.values().end());
-  auto [s, p] = serial_vs_parallel([&] { return spmv_csr(a, x); });
-  expect_same(s, p);
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return spmv_csr(a, x); });
+    expect_same(s, p);
+  });
 }
 
 // The engine's other SpMV ACFs: CSC reduces fixed column chunks in chunk
@@ -94,44 +118,50 @@ TEST(Parallel, SpmvEngineFormats) {
   const auto d = mt::testing::random_dense(70, 90, 0.15, 13);
   const auto xd = mt::testing::random_dense(90, 1, 1.0, 14);
   const std::vector<value_t> x(xd.values().begin(), xd.values().end());
-  {
-    const auto a = CscMatrix::from_dense(d);
-    auto [s, p] = serial_vs_parallel([&] { return spmv_csc(a, x); });
-    expect_same(s, p);
-  }
-  {
-    const auto a = CooMatrix::from_dense(d);
-    auto [s, p] = serial_vs_parallel([&] { return spmv_coo(a, x); });
-    expect_same(s, p);
-  }
-  {
-    auto [s, p] = serial_vs_parallel([&] { return spmv_dense(d, x); });
-    expect_same(s, p);
-  }
-  {
-    const auto a = EllMatrix::from_dense(d);
-    auto [s, p] = serial_vs_parallel([&] { return spmv_ell(a, x); });
-    expect_same(s, p);
-  }
-  {
-    const auto a = BsrMatrix::from_dense(d);
-    auto [s, p] = serial_vs_parallel([&] { return spmv_bsr(a, x); });
-    expect_same(s, p);
-  }
+  run_tiers([&] {
+    {
+      const auto a = CscMatrix::from_dense(d);
+      auto [s, p] = serial_vs_parallel([&] { return spmv_csc(a, x); });
+      expect_same(s, p);
+    }
+    {
+      const auto a = CooMatrix::from_dense(d);
+      auto [s, p] = serial_vs_parallel([&] { return spmv_coo(a, x); });
+      expect_same(s, p);
+    }
+    {
+      auto [s, p] = serial_vs_parallel([&] { return spmv_dense(d, x); });
+      expect_same(s, p);
+    }
+    {
+      const auto a = EllMatrix::from_dense(d);
+      auto [s, p] = serial_vs_parallel([&] { return spmv_ell(a, x); });
+      expect_same(s, p);
+    }
+    {
+      const auto a = BsrMatrix::from_dense(d);
+      auto [s, p] = serial_vs_parallel([&] { return spmv_bsr(a, x); });
+      expect_same(s, p);
+    }
+  });
 }
 
 TEST(Parallel, SpmmCooDense) {
   const auto a = CooMatrix::from_dense(mt::testing::random_dense(52, 60, 0.2, 15));
   const auto b = mt::testing::random_dense(60, 28, 1.0, 16);
-  auto [s, p] = serial_vs_parallel([&] { return spmm_coo_dense(a, b); });
-  expect_same(s, p);
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return spmm_coo_dense(a, b); });
+    expect_same(s, p);
+  });
 }
 
 TEST(Parallel, SpmmCscDense) {
   const auto a = CscMatrix::from_dense(mt::testing::random_dense(52, 60, 0.2, 17));
   const auto b = mt::testing::random_dense(60, 28, 1.0, 18);
-  auto [s, p] = serial_vs_parallel([&] { return spmm_csc_dense(a, b); });
-  expect_same(s, p);
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return spmm_csc_dense(a, b); });
+    expect_same(s, p);
+  });
 }
 
 TEST(Parallel, MttkrpHicoo) {
@@ -139,43 +169,53 @@ TEST(Parallel, MttkrpHicoo) {
   const auto x = HicooTensor3::from_coo(CooTensor3::from_dense(t));
   const auto b = mt::testing::random_dense(20, 8, 1.0, 44);
   const auto c = mt::testing::random_dense(16, 8, 1.0, 45);
-  auto [s, p] = serial_vs_parallel([&] { return mttkrp_hicoo(x, b, c); });
-  expect_same(s, p);
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return mttkrp_hicoo(x, b, c); });
+    expect_same(s, p);
+  });
 }
 
 TEST(Parallel, SpmmCsrDense) {
   const auto a = CsrMatrix::from_dense(mt::testing::random_dense(48, 64, 0.2, 21));
   const auto b = mt::testing::random_dense(64, 32, 1.0, 22);
-  auto [s, p] = serial_vs_parallel([&] { return spmm_csr_dense(a, b); });
-  expect_same(s, p);
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return spmm_csr_dense(a, b); });
+    expect_same(s, p);
+  });
 }
 
 TEST(Parallel, SpmmDenseCsc) {
   const auto a = mt::testing::random_dense(40, 56, 1.0, 23);
   const auto b = CscMatrix::from_dense(mt::testing::random_dense(56, 44, 0.2, 24));
-  auto [s, p] = serial_vs_parallel([&] { return spmm_dense_csc(a, b); });
-  expect_same(s, p);
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return spmm_dense_csc(a, b); });
+    expect_same(s, p);
+  });
 }
 
 TEST(Parallel, SpmmCsrCsc) {
   const auto a = CsrMatrix::from_dense(mt::testing::random_dense(40, 56, 0.2, 25));
   const auto b = CscMatrix::from_dense(mt::testing::random_dense(56, 44, 0.2, 26));
-  auto [s, p] = serial_vs_parallel([&] { return spmm_csr_csc(a, b); });
-  expect_same(s, p);
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return spmm_csr_csc(a, b); });
+    expect_same(s, p);
+  });
 }
 
 TEST(Parallel, SpgemmCsr) {
   const auto a = CsrMatrix::from_dense(mt::testing::random_dense(48, 64, 0.15, 31));
   const auto b = CsrMatrix::from_dense(mt::testing::random_dense(64, 56, 0.15, 32));
-  auto [s, p] = serial_vs_parallel([&] { return spgemm_csr(a, b); });
-  ASSERT_EQ(s.nnz(), p.nnz());
-  for (std::size_t i = 0; i < s.row_ptr().size(); ++i) {
-    EXPECT_EQ(s.row_ptr()[i], p.row_ptr()[i]);
-  }
-  for (std::size_t i = 0; i < s.values().size(); ++i) {
-    EXPECT_EQ(s.col_ids()[i], p.col_ids()[i]);
-    EXPECT_EQ(s.values()[i], p.values()[i]);
-  }
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return spgemm_csr(a, b); });
+    ASSERT_EQ(s.nnz(), p.nnz());
+    for (std::size_t i = 0; i < s.row_ptr().size(); ++i) {
+      EXPECT_EQ(s.row_ptr()[i], p.row_ptr()[i]);
+    }
+    for (std::size_t i = 0; i < s.values().size(); ++i) {
+      EXPECT_EQ(s.col_ids()[i], p.col_ids()[i]);
+      EXPECT_EQ(s.values()[i], p.values()[i]);
+    }
+  });
 }
 
 TEST(Parallel, MttkrpCsf) {
@@ -183,26 +223,32 @@ TEST(Parallel, MttkrpCsf) {
   const auto x = CsfTensor3::from_dense(t);
   const auto b = mt::testing::random_dense(20, 8, 1.0, 42);
   const auto c = mt::testing::random_dense(16, 8, 1.0, 43);
-  auto [s, p] = serial_vs_parallel([&] { return mttkrp_csf(x, b, c); });
-  expect_same(s, p);
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return mttkrp_csf(x, b, c); });
+    expect_same(s, p);
+  });
 }
 
 TEST(Parallel, SpttmCsf) {
   const auto t = mt::testing::random_tensor(24, 20, 16, 0.1, 51);
   const auto x = CsfTensor3::from_dense(t);
   const auto u = mt::testing::random_dense(16, 8, 1.0, 52);
-  auto [s, p] = serial_vs_parallel([&] { return spttm_csf(x, u); });
-  ASSERT_EQ(s.dim_x(), p.dim_x());
-  ASSERT_EQ(s.dim_y(), p.dim_y());
-  ASSERT_EQ(s.dim_z(), p.dim_z());
-  expect_same(s.values(), p.values());
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return spttm_csf(x, u); });
+    ASSERT_EQ(s.dim_x(), p.dim_x());
+    ASSERT_EQ(s.dim_y(), p.dim_y());
+    ASSERT_EQ(s.dim_z(), p.dim_z());
+    expect_same(s.values(), p.values());
+  });
 }
 
 TEST(Parallel, Gemm) {
   const auto a = mt::testing::random_dense(40, 48, 0.5, 61);
   const auto b = mt::testing::random_dense(48, 36, 0.5, 62);
-  auto [s, p] = serial_vs_parallel([&] { return gemm(a, b); });
-  expect_same(s, p);
+  run_tiers([&] {
+    auto [s, p] = serial_vs_parallel([&] { return gemm(a, b); });
+    expect_same(s, p);
+  });
 }
 
 }  // namespace

@@ -29,12 +29,24 @@
 // isolates the router (ISSUE-5 bar: sharding must not cost throughput,
 // ratio >= 1.0; multi-core runners see the contention relief as > 1).
 //
+// A fifth comparison measures what the telemetry layer costs: the same
+// cached pipelined SpMV traffic with full observability (metrics + a
+// tracing ring) vs everything off. The ratio obs_on_over_off is the
+// ISSUE-8 bar (>= 0.95 — telemetry must cost under 5% of cached-serving
+// throughput) and is read by the CI perf-gate.
+//
+// Client-side latency is aggregated with obs::Histogram (the same
+// log2-bucketed histogram the server exports), so quantiles are bucket
+// upper bounds — quantized, allocation-free, and mergeable across client
+// threads with no post-hoc sort. Queue-wait quantiles come straight from
+// the server's own mt_serve_queue_wait_ns histogram.
+//
 // Output: human-readable table on stdout plus a JSON record (--out,
 // default BENCH_serve.json) with per-mode throughput/latency/cache rates,
 // the cached-over-bypass speedup the ISSUE-3 acceptance bar reads, the
-// batched-over-unbatched speedup the ISSUE-4 bar (>=1.5x) reads, and the
-// sharded-over-unsharded speedup the ISSUE-5 bar and the CI perf-gate
-// read.
+// batched-over-unbatched speedup the ISSUE-4 bar (>=1.5x) reads, the
+// sharded-over-unsharded speedup the ISSUE-5 bar reads, and the
+// obs_on_over_off ratio the ISSUE-8 bar and the CI perf-gate read.
 //
 // Usage: bench_serve [--smoke] [--out FILE] [--clients N] [--requests N]
 //                    [--workers N]
@@ -49,6 +61,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/router.hpp"
 #include "runtime/server.hpp"
 #include "workloads/synth.hpp"
@@ -86,11 +99,31 @@ struct Operands {
   DenseMatrix spmm_b, mttkrp_b, mttkrp_c;
 };
 
+// Log2-bucketed quantiles (us) lifted from an obs::HistogramSnapshot of
+// nanosecond samples.
+struct Quantiles {
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+};
+
+Quantiles quantiles_us(const obs::HistogramSnapshot& s) {
+  return {static_cast<double>(s.p50()) / 1e3,
+          static_cast<double>(s.p95()) / 1e3,
+          static_cast<double>(s.p99()) / 1e3};
+}
+
+// The server's own view of time spent queued, read from its exported
+// mt_serve_queue_wait_ns histogram (cumulative over the server's life).
+Quantiles queue_wait_quantiles(const std::vector<obs::MetricSnapshot>& snap) {
+  for (const auto& m : snap) {
+    if (m.name == "mt_serve_queue_wait_ns") return quantiles_us(m.hist);
+  }
+  return {};
+}
+
 struct ModeResult {
   double throughput_rps = 0.0;
-  double closed_p50_us = 0.0, closed_p99_us = 0.0;
+  Quantiles closed, open, queue_wait;
   double open_rate_rps = 0.0;
-  double open_p50_us = 0.0, open_p99_us = 0.0;
   CountersSnapshot counters;
 };
 
@@ -167,40 +200,27 @@ Request make_request(const Operands& ops, int seq) {
   return r;
 }
 
-double percentile(std::vector<double>& xs, double q) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(xs.size() - 1) + 0.5);
-  return xs[idx];
-}
-
 // Closed-loop: each client thread submits back-to-back (one outstanding
-// request per client). Returns throughput; fills latencies (us).
+// request per client). Returns throughput; client threads record
+// end-to-end latency (ns) straight into the shared histogram — its
+// per-thread shards make the concurrent writes contention-free.
 double closed_loop(Server& srv, const Operands& ops, int clients,
-                   int requests, std::vector<double>& latencies_us) {
-  std::vector<std::vector<double>> per_client(
-      static_cast<std::size_t>(clients));
+                   int requests, obs::Histogram& lat_ns) {
   const auto t0 = now_ns();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      auto& lat = per_client[static_cast<std::size_t>(c)];
-      lat.reserve(static_cast<std::size_t>(requests));
       for (int i = 0; i < requests; ++i) {
         const auto ts = now_ns();
         auto fut = srv.submit(make_request(ops, c * requests + i));
         (void)fut.get();
-        lat.push_back(static_cast<double>(now_ns() - ts) / 1e3);
+        lat_ns.record(now_ns() - ts);
       }
     });
   }
   for (auto& t : threads) t.join();
   const double wall_s = static_cast<double>(now_ns() - t0) / 1e9;
-  for (auto& lat : per_client) {
-    latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
-  }
   return static_cast<double>(clients) * static_cast<double>(requests) /
          wall_s;
 }
@@ -209,7 +229,7 @@ double closed_loop(Server& srv, const Operands& ops, int clients,
 // arrival to response completion (collector drains in FIFO submit order,
 // matching the server's FIFO queue).
 void open_loop(Server& srv, const Operands& ops, double rate_rps,
-               int requests, std::vector<double>& latencies_us) {
+               int requests, obs::Histogram& lat_ns) {
   std::vector<std::future<Response>> futs;
   std::vector<std::int64_t> scheduled;
   futs.reserve(static_cast<std::size_t>(requests));
@@ -225,12 +245,9 @@ void open_loop(Server& srv, const Operands& ops, double rate_rps,
     scheduled.push_back(due);
     futs.push_back(srv.submit(make_request(ops, i)));
   }
-  latencies_us.reserve(static_cast<std::size_t>(requests));
   for (int i = 0; i < requests; ++i) {
     (void)futs[static_cast<std::size_t>(i)].get();
-    latencies_us.push_back(
-        static_cast<double>(now_ns() - scheduled[static_cast<std::size_t>(i)]) /
-        1e3);
+    lat_ns.record(now_ns() - scheduled[static_cast<std::size_t>(i)]);
   }
 }
 
@@ -243,13 +260,12 @@ ModeResult run_mode(const Config& cfg, bool caches_on, double open_rate_rps) {
   // load, and both modes get the same treatment.
   ModeResult r;
   for (int t = 0; t < cfg.trials; ++t) {
-    std::vector<double> closed_lat;
+    obs::Histogram closed_lat;
     const double thr =
         closed_loop(srv, ops, cfg.clients, cfg.requests, closed_lat);
     if (thr > r.throughput_rps) {
       r.throughput_rps = thr;
-      r.closed_p50_us = percentile(closed_lat, 0.50);
-      r.closed_p99_us = percentile(closed_lat, 0.99);
+      r.closed = quantiles_us(closed_lat.snapshot());
     }
   }
 
@@ -260,11 +276,11 @@ ModeResult run_mode(const Config& cfg, bool caches_on, double open_rate_rps) {
   r.open_rate_rps = open_rate_rps > 0.0
                         ? open_rate_rps
                         : std::max(r.throughput_rps * 0.5, 10.0);
-  std::vector<double> open_lat;
+  obs::Histogram open_lat;
   open_loop(srv, ops, r.open_rate_rps, cfg.open_loop_requests, open_lat);
-  r.open_p50_us = percentile(open_lat, 0.50);
-  r.open_p99_us = percentile(open_lat, 0.99);
+  r.open = quantiles_us(open_lat.snapshot());
 
+  r.queue_wait = queue_wait_quantiles(srv.metrics_snapshot());
   r.counters = srv.counters();
   srv.stop();
   return r;
@@ -274,7 +290,7 @@ ModeResult run_mode(const Config& cfg, bool caches_on, double open_rate_rps) {
 
 struct BatchModeResult {
   double throughput_rps = 0.0;
-  double p50_us = 0.0, p99_us = 0.0;
+  Quantiles lat, queue_wait;
   CountersSnapshot counters;
 };
 
@@ -285,16 +301,12 @@ struct BatchModeResult {
 double pipelined_spmv_loop(Server& srv, MatrixHandle h,
                            const std::vector<value_t>& x, int clients,
                            int outstanding, int requests,
-                           std::vector<double>& latencies_us) {
-  std::vector<std::vector<double>> per_client(
-      static_cast<std::size_t>(clients));
+                           obs::Histogram& lat_ns) {
   const auto t0 = now_ns();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      auto& lat = per_client[static_cast<std::size_t>(c)];
-      lat.reserve(static_cast<std::size_t>(requests));
+    threads.emplace_back([&] {
       std::deque<std::pair<std::future<Response>, std::int64_t>> inflight;
       auto submit_one = [&] {
         Request r;
@@ -307,7 +319,7 @@ double pipelined_spmv_loop(Server& srv, MatrixHandle h,
         auto [fut, ts] = std::move(inflight.front());
         inflight.pop_front();
         (void)fut.get();
-        lat.push_back(static_cast<double>(now_ns() - ts) / 1e3);
+        lat_ns.record(now_ns() - ts);
       };
       for (int i = 0; i < requests; ++i) {
         submit_one();
@@ -318,9 +330,6 @@ double pipelined_spmv_loop(Server& srv, MatrixHandle h,
   }
   for (auto& t : threads) t.join();
   const double wall_s = static_cast<double>(now_ns() - t0) / 1e9;
-  for (auto& lat : per_client) {
-    latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
-  }
   return static_cast<double>(clients) * static_cast<double>(requests) /
          wall_s;
 }
@@ -373,17 +382,17 @@ BatchModeResult run_batch_mode(const Config& cfg, BatchPolicy policy) {
   BatchModeResult r;
   for (int t = 0; t < cfg.trials; ++t) {
     const auto before = srv.counters();
-    std::vector<double> lat;
+    obs::Histogram lat;
     const double thr =
         pipelined_spmv_loop(srv, h, x, cfg.clients, cfg.spmv_outstanding,
                             cfg.spmv_requests, lat);
     if (thr > r.throughput_rps) {
       r.throughput_rps = thr;
-      r.p50_us = percentile(lat, 0.50);
-      r.p99_us = percentile(lat, 0.99);
+      r.lat = quantiles_us(lat.snapshot());
       r.counters = delta(srv.counters(), before);
     }
   }
+  r.queue_wait = queue_wait_quantiles(srv.metrics_snapshot());
   srv.stop();
   return r;
 }
@@ -398,16 +407,12 @@ template <typename S>
 double pipelined_sharded_loop(S& srv, const std::vector<MatrixHandle>& hs,
                               const std::vector<value_t>& x, int clients,
                               int outstanding, int requests,
-                              std::vector<double>& latencies_us) {
-  std::vector<std::vector<double>> per_client(
-      static_cast<std::size_t>(clients));
+                              obs::Histogram& lat_ns) {
   const auto t0 = now_ns();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      auto& lat = per_client[static_cast<std::size_t>(c)];
-      lat.reserve(static_cast<std::size_t>(requests));
       std::deque<std::pair<std::future<Response>, std::int64_t>> inflight;
       int seq = c;  // stagger operand order across clients
       auto submit_one = [&] {
@@ -421,7 +426,7 @@ double pipelined_sharded_loop(S& srv, const std::vector<MatrixHandle>& hs,
         auto [fut, ts] = std::move(inflight.front());
         inflight.pop_front();
         (void)fut.get();
-        lat.push_back(static_cast<double>(now_ns() - ts) / 1e3);
+        lat_ns.record(now_ns() - ts);
       };
       for (int i = 0; i < requests; ++i) {
         submit_one();
@@ -432,9 +437,6 @@ double pipelined_sharded_loop(S& srv, const std::vector<MatrixHandle>& hs,
   }
   for (auto& t : threads) t.join();
   const double wall_s = static_cast<double>(now_ns() - t0) / 1e9;
-  for (auto& lat : per_client) {
-    latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
-  }
   return static_cast<double>(clients) * static_cast<double>(requests) /
          wall_s;
 }
@@ -465,16 +467,16 @@ BatchModeResult measure_shard_mode(const Config& cfg, S& srv) {
 
   BatchModeResult r;
   for (int t = 0; t < cfg.trials; ++t) {
-    std::vector<double> lat;
+    obs::Histogram lat;
     const double thr = pipelined_sharded_loop(
         srv, hs, x, cfg.clients, cfg.spmv_outstanding, cfg.shard_requests,
         lat);
     if (thr > r.throughput_rps) {
       r.throughput_rps = thr;
-      r.p50_us = percentile(lat, 0.50);
-      r.p99_us = percentile(lat, 0.99);
+      r.lat = quantiles_us(lat.snapshot());
     }
   }
+  r.queue_wait = queue_wait_quantiles(srv.metrics_snapshot());
   r.counters = srv.counters();
   srv.stop();
   return r;
@@ -498,11 +500,66 @@ BatchModeResult run_shard_mode(const Config& cfg, int num_shards) {
   return measure_shard_mode(cfg, srv);
 }
 
+// --- Telemetry-overhead phase ---
+
+// The same cached pipelined SpMV traffic as the batching phase (batching
+// off) with observability fully on (metrics + per-plan/exec histograms +
+// a tracing ring sized to keep every span) vs fully off. What survives
+// in the ratio is the per-request telemetry cost on the hottest path.
+//
+// Unlike the other phases, this one keeps the full-size operand and at
+// least two trials even under --smoke: the telemetry cost per request is
+// a fixed few hundred ns, so shrinking the request's real work inflates
+// the measured *ratio* into something no production request would see,
+// and a single smoke trial on a shared runner is pure noise.
+BatchModeResult run_obs_mode(const Config& cfg, bool obs_on) {
+  ServerOptions o = make_options(cfg, /*caches_on=*/true);
+  o.obs.metrics = obs_on;
+  o.obs.trace_ring_capacity = obs_on ? 4096 : 0;
+  Server srv(o);
+
+  const index_t n = 256;
+  const auto coo = synth_coo_matrix(
+      n, n, static_cast<std::int64_t>(0.04 * static_cast<double>(n * n)), 71);
+  const auto h = srv.register_matrix(convert(AnyMatrix(coo), Format::kCSR));
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.125f * static_cast<float>(i % 11) - 0.5f;
+  }
+  {
+    Request warm;
+    warm.kernel = Kernel::kSpMV;
+    warm.a = h;
+    warm.vec = x;
+    (void)srv.submit(warm).get();
+  }
+
+  BatchModeResult r;
+  const int trials = std::max(cfg.trials, 2);
+  for (int t = 0; t < trials; ++t) {
+    obs::Histogram lat;
+    const double thr =
+        pipelined_spmv_loop(srv, h, x, cfg.clients, cfg.spmv_outstanding,
+                            cfg.spmv_requests, lat);
+    if (thr > r.throughput_rps) {
+      r.throughput_rps = thr;
+      r.lat = quantiles_us(lat.snapshot());
+    }
+    if (obs_on) (void)srv.drain_trace();  // a live consumer, as in production
+  }
+  r.queue_wait = queue_wait_quantiles(srv.metrics_snapshot());
+  r.counters = srv.counters();
+  srv.stop();
+  return r;
+}
+
 void print_batch_mode(const char* name, const BatchModeResult& r) {
   std::printf(
-      "%-9s  %10.0f req/s   p50 %8.1f us  p99 %8.1f us\n"
+      "%-9s  %10.0f req/s   p50 %8.1f us  p95 %8.1f us  p99 %8.1f us\n"
+      "           queue-wait p50 %8.1f us  p99 %8.1f us\n"
       "           batches %lld, batched %lld/%lld requests (avg size %.1f)\n",
-      name, r.throughput_rps, r.p50_us, r.p99_us,
+      name, r.throughput_rps, r.lat.p50_us, r.lat.p95_us, r.lat.p99_us,
+      r.queue_wait.p50_us, r.queue_wait.p99_us,
       static_cast<long long>(r.counters.batches),
       static_cast<long long>(r.counters.batched_requests),
       static_cast<long long>(r.counters.completed),
@@ -512,14 +569,17 @@ void print_batch_mode(const char* name, const BatchModeResult& r) {
 void print_mode(const char* name, const ModeResult& r) {
   const double n = std::max(1.0, static_cast<double>(r.counters.completed));
   std::printf(
-      "%-7s  %10.0f req/s   closed p50 %8.1f us  p99 %8.1f us\n"
-      "         open   p50 %8.1f us  p99 %8.1f us\n"
+      "%-7s  %10.0f req/s   closed p50 %8.1f us  p95 %8.1f us  "
+      "p99 %8.1f us\n"
+      "         open   p50 %8.1f us  p99 %8.1f us   queue-wait p50 %8.1f us  "
+      "p99 %8.1f us\n"
       "         per-req avg: plan %6.1f us  convert %6.1f us  exec %6.1f us  "
       "queue %6.1f us\n"
       "         plan hit %5.1f%%  conversion hit %5.1f%%  (completed %lld, "
       "failed %lld)\n",
-      name, r.throughput_rps, r.closed_p50_us, r.closed_p99_us, r.open_p50_us,
-      r.open_p99_us, static_cast<double>(r.counters.plan_ns) / n / 1e3,
+      name, r.throughput_rps, r.closed.p50_us, r.closed.p95_us,
+      r.closed.p99_us, r.open.p50_us, r.open.p99_us, r.queue_wait.p50_us,
+      r.queue_wait.p99_us, static_cast<double>(r.counters.plan_ns) / n / 1e3,
       static_cast<double>(r.counters.convert_ns) / n / 1e3,
       static_cast<double>(r.counters.exec_ns) / n / 1e3,
       static_cast<double>(r.counters.queue_wait_ns) / n / 1e3,
@@ -534,15 +594,22 @@ void write_json(const Config& cfg, const ModeResult& cached,
                 const BatchModeResult& batched,
                 const BatchModeResult& unbatched, double batch_speedup,
                 const BatchModeResult& sharded,
-                const BatchModeResult& unsharded, double shard_speedup) {
+                const BatchModeResult& unsharded, double shard_speedup,
+                const BatchModeResult& obs_on, const BatchModeResult& obs_off,
+                double obs_ratio) {
   std::ofstream os(cfg.out);
+  auto quantiles = [&](const char* prefix, const Quantiles& q) {
+    os << "    \"" << prefix << "p50_us\": " << q.p50_us << ",\n"
+       << "    \"" << prefix << "p95_us\": " << q.p95_us << ",\n"
+       << "    \"" << prefix << "p99_us\": " << q.p99_us << ",\n";
+  };
   auto batch_mode = [&](const char* name, const BatchModeResult& r,
                         bool last) {
     os << "  \"" << name << "\": {\n"
-       << "    \"throughput_rps\": " << r.throughput_rps << ",\n"
-       << "    \"p50_us\": " << r.p50_us << ",\n"
-       << "    \"p99_us\": " << r.p99_us << ",\n"
-       << "    \"batches\": " << r.counters.batches << ",\n"
+       << "    \"throughput_rps\": " << r.throughput_rps << ",\n";
+    quantiles("", r.lat);
+    quantiles("queue_wait_", r.queue_wait);
+    os << "    \"batches\": " << r.counters.batches << ",\n"
        << "    \"batched_requests\": " << r.counters.batched_requests << ",\n"
        << "    \"avg_batch_size\": " << r.counters.avg_batch_size() << ",\n"
        << "    \"completed\": " << r.counters.completed << ",\n"
@@ -551,12 +618,11 @@ void write_json(const Config& cfg, const ModeResult& cached,
   };
   auto mode = [&](const char* name, const ModeResult& r, bool last) {
     os << "  \"" << name << "\": {\n"
-       << "    \"throughput_rps\": " << r.throughput_rps << ",\n"
-       << "    \"closed_loop_p50_us\": " << r.closed_p50_us << ",\n"
-       << "    \"closed_loop_p99_us\": " << r.closed_p99_us << ",\n"
-       << "    \"open_loop_p50_us\": " << r.open_p50_us << ",\n"
-       << "    \"open_loop_p99_us\": " << r.open_p99_us << ",\n"
-       << "    \"plan_hit_rate\": " << r.counters.plan_hit_rate() << ",\n"
+       << "    \"throughput_rps\": " << r.throughput_rps << ",\n";
+    quantiles("closed_loop_", r.closed);
+    quantiles("open_loop_", r.open);
+    quantiles("queue_wait_", r.queue_wait);
+    os << "    \"plan_hit_rate\": " << r.counters.plan_hit_rate() << ",\n"
        << "    \"conversion_hit_rate\": " << r.counters.conversion_hit_rate()
        << ",\n"
        << "    \"completed\": " << r.counters.completed << ",\n"
@@ -575,14 +641,19 @@ void write_json(const Config& cfg, const ModeResult& cached,
      << "  \"num_shards\": " << cfg.shard_count << ",\n"
      << "  \"speedup_cached_over_bypass\": " << speedup << ",\n"
      << "  \"speedup_batched_over_unbatched\": " << batch_speedup << ",\n"
-     << "  \"speedup_sharded_over_unsharded\": " << shard_speedup << ",\n";
+     << "  \"speedup_sharded_over_unsharded\": " << shard_speedup << ",\n"
+     << "  \"obs_on_over_off\": " << obs_ratio << ",\n";
   mode("cached", cached, false);
   mode("bypass", bypass, false);
   batch_mode("batched", batched, false);
   batch_mode("unbatched", unbatched, false);
   // The shard phase runs with batching off, so its batches fields read 0.
   batch_mode("sharded", sharded, false);
-  batch_mode("unsharded", unsharded, true);
+  batch_mode("unsharded", unsharded, false);
+  // Telemetry-overhead phase: obs_off's queue_wait quantiles read 0 (the
+  // histogram doesn't exist with metrics off).
+  batch_mode("obs_on", obs_on, false);
+  batch_mode("obs_off", obs_off, true);
   os << "}\n";
 }
 
@@ -688,8 +759,25 @@ int main(int argc, char** argv) {
       shard_speedup >= 1.0 ? "(meets the >=1.0x acceptance bar)"
                            : "(below the 1.0x bar)");
 
+  // Telemetry-overhead phase: the cached hot path with full observability
+  // vs none. The bar is a *cost ceiling*, not a speedup floor.
+  mt::bench::subhead("telemetry overhead (cached pipelined SpMV)");
+  const BatchModeResult obs_on = run_obs_mode(cfg, /*obs_on=*/true);
+  print_batch_mode("obs on", obs_on);
+  const BatchModeResult obs_off = run_obs_mode(cfg, /*obs_on=*/false);
+  print_batch_mode("obs off", obs_off);
+  const double obs_ratio = obs_off.throughput_rps > 0.0
+                               ? obs_on.throughput_rps /
+                                     obs_off.throughput_rps
+                               : 0.0;
+  std::printf(
+      "\nthroughput ratio (obs on / obs off): %.3fx %s\n", obs_ratio,
+      obs_ratio >= 0.95 ? "(meets the >=0.95x acceptance bar)"
+                        : "(below the 0.95x bar)");
+
   write_json(cfg, cached, bypass, open_rate, speedup, batched, unbatched,
-             batch_speedup, sharded, unsharded, shard_speedup);
+             batch_speedup, sharded, unsharded, shard_speedup, obs_on,
+             obs_off, obs_ratio);
   std::printf("wrote %s\n", cfg.out.c_str());
   return 0;
 }

@@ -37,12 +37,30 @@ import sys
 # metric -> acceptance bar it had to clear when recorded (see ISSUE logs:
 # cached/bypass >= 5x in PR 3, batched/unbatched >= 1.5x in PR 4,
 # sharded/unsharded >= 1.0x in PR 5 — sharding must not cost throughput
-# at equal total workers; multi-core runners see contention relief > 1).
+# at equal total workers; multi-core runners see contention relief > 1,
+# obs on/off >= 0.95x in PR 8 — full telemetry may cost at most 5% of
+# cached-serving throughput).
 SERVE_RATIOS = {
     "speedup_cached_over_bypass": 5.0,
     "speedup_batched_over_unbatched": 1.5,
     "speedup_sharded_over_unsharded": 1.0,
+    "obs_on_over_off": 0.95,
 }
+
+# Latency-quantile fields printed for the record but never gated: they are
+# absolute microsecond numbers (runner-dependent) and log2-bucket upper
+# bounds besides. Keys are (mode object, field) paths into the serve JSON.
+SERVE_INFO_QUANTILES = (
+    ("cached", "closed_loop_p50_us"),
+    ("cached", "closed_loop_p95_us"),
+    ("cached", "closed_loop_p99_us"),
+    ("cached", "queue_wait_p50_us"),
+    ("cached", "queue_wait_p99_us"),
+    ("batched", "p99_us"),
+    ("batched", "queue_wait_p99_us"),
+    ("obs_on", "p99_us"),
+    ("obs_off", "p99_us"),
+)
 
 # Per-kernel parallel-over-serial speedup. Bar 1.0: the OpenMP path must
 # not be slower than serial. (The committed baseline was recorded on one
@@ -118,6 +136,14 @@ def main() -> int:
             continue
         ok &= gate(metric, float(fresh_serve[metric]),
                    float(base_serve[metric]), bar, args.tolerance)
+
+    print("perf-gate: serve latency quantiles (info only, not gated)")
+    for mode, field in SERVE_INFO_QUANTILES:
+        value = fresh_serve.get(mode, {}).get(field)
+        if value is None:
+            print(f"  info {mode}.{field}: absent (pre-feature bench)")
+        else:
+            print(f"  info {mode}.{field}: {float(value):.1f} us")
 
     print("perf-gate: kernel parallel/serial speedups")
     fresh_k = load(pick(args.fresh_dir, "BENCH_kernels"))

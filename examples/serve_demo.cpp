@@ -11,15 +11,39 @@
 //      shards (consistent hashing; the handle encodes its shard), routes
 //      each request to its owner, and runs cross-shard SpGEMM pairs on
 //      the first operand's shard via zero-copy replication.
+//   7. Watch the telemetry: each section ends with the relevant slice of
+//      Server::metrics_text() (Prometheus-style exposition), the burst
+//      section walks its own trace spans, and the fleet section shows
+//      the router-aggregated view.
 //
 // Build & run:  cmake --build build && ./build/examples/serve_demo
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/router.hpp"
 #include "runtime/server.hpp"
 #include "workloads/synth.hpp"
+
+namespace {
+
+// Prints the lines of a metrics_text() exposition that contain `filter`
+// (every line when filter is empty), indented under a caption.
+void print_metrics(const std::string& text, const char* filter,
+                   const char* caption) {
+  std::printf("  [metrics] %s\n", caption);
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (*filter != '\0' && line.find(filter) == std::string::npos) continue;
+    std::printf("    %s\n", line.c_str());
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace mt;
@@ -29,6 +53,7 @@ int main() {
   opts.num_workers = 2;
   opts.accel.num_pes = 64;
   opts.accel.pe_buffer_bytes = 128 * 4;
+  opts.obs.trace_ring_capacity = 1024;  // keep spans for the burst section
   Server server(opts);
   std::printf("server up: %d workers, queue capacity %zu\n",
               opts.num_workers, opts.queue_capacity);
@@ -52,6 +77,8 @@ int main() {
     std::printf("SpMV #%d: y[0]=%.3f  %s\n", i + 1, y[0],
                 resp.stats.describe().c_str());
   }
+  print_metrics(server.metrics_text(), "mt_serve_plan_",
+                "the second request was a plan-cache hit:");
 
   // --- An SpMM on the same operand reuses its cached COO rep for SAGE ---
   Request mm;
@@ -62,6 +89,8 @@ int main() {
   std::printf("SpMM:    %s\n", mresp.stats.describe().c_str());
   std::printf("         SAGE chose %s\n",
               server.plan_for(mm)->choice.describe().c_str());
+  print_metrics(server.metrics_text(), "mt_exec_ns_count",
+                "per-kernel/format/tier exec histograms so far:");
 
   // --- A burst of SpMVs: the batcher coalesces what piles up ---
   // Occupy the workers with a chunky SpGEMM, then fire same-workload
@@ -83,12 +112,26 @@ int main() {
   for (int i = 0; i < 12; ++i) burst.push_back(server.submit(r));
   (void)occupier1.get();
   (void)occupier2.get();
+  std::uint64_t burst_trace = 0;
   for (std::size_t i = 0; i < burst.size(); ++i) {
     const auto resp = burst[i].get();
     if (i == 0 || i + 1 == burst.size()) {
       std::printf("burst #%zu: %s\n", i + 1, resp.stats.describe().c_str());
     }
+    if (i == 0) burst_trace = resp.stats.trace_id;
   }
+  // Walk the first burst request's trace: queue wait, then its exec slice
+  // inside the fused-group launch (parented spans share the group's id).
+  std::printf("  [trace] spans of burst #1 (trace %llu):\n",
+              static_cast<unsigned long long>(burst_trace));
+  for (const auto& s : server.drain_trace()) {
+    if (s.trace_id != burst_trace) continue;
+    std::printf("    %-7s %8.1f us%s\n", std::string(obs::name_of(s.stage)).c_str(),
+                static_cast<double>(s.duration_ns()) / 1e3,
+                s.parent_span != 0 ? "  (in fused group)" : "");
+  }
+  print_metrics(server.metrics_text(), "mt_serve_batch",
+                "coalescing counters:");
 
   // --- Aggregate counters ---
   const auto c = server.counters();
@@ -106,6 +149,10 @@ int main() {
               static_cast<long long>(c.batches),
               static_cast<long long>(c.batched_requests),
               c.avg_batch_size());
+  // The full exposition: everything above plus caches, arena, queue, and
+  // latency histograms, in one scrape-able dump.
+  print_metrics(server.metrics_text(), "",
+                "full metrics_text() exposition:");
 
   server.stop();
   std::printf("server stopped cleanly\n");
@@ -163,6 +210,13 @@ int main() {
               static_cast<long long>(fc.completed),
               static_cast<long long>(fc.plan_hits),
               static_cast<long long>(fc.plan_misses), fleet.queue_depth());
+  // Router aggregation: per-shard series merged by name (counters and
+  // histogram buckets add, gauges sum into fleet totals) plus the
+  // router's own mt_router_* series.
+  print_metrics(fleet.metrics_text(), "_total",
+                "fleet-wide counter series (all shards merged):");
+  print_metrics(fleet.metrics_text(), "mt_router_",
+                "router series:");
   fleet.stop();
   std::printf("fleet stopped cleanly\n");
   return 0;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "kernels/gemm.hpp"
 #include "kernels/mttkrp.hpp"
 #include "kernels/spgemm.hpp"
@@ -156,6 +157,7 @@ Dispatch make_dispatch(Kernel k, Format fa) {
   Dispatch d;
   d.kernel = k;
   d.given_a = d.ran_a = fa;
+  d.simd = simd_enabled();
   return d;
 }
 

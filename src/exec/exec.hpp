@@ -38,7 +38,8 @@ constexpr std::string_view name_of(Path p) {
 }
 
 // How one engine call was executed: the operand formats as handed in and
-// the formats the kernel actually consumed (equal on the native path).
+// the formats the kernel actually consumed (equal on the native path),
+// plus which kernel tier (SIMD or scalar) was live at dispatch time.
 struct Dispatch {
   Kernel kernel = Kernel::kSpMV;
   Path path = Path::kNative;
@@ -47,9 +48,16 @@ struct Dispatch {
   bool has_b = false;               // second compressed operand present
   Format given_b = Format::kDense;
   Format ran_b = Format::kDense;
+  bool simd = false;                // mt::simd_enabled() when dispatched —
+                                    // labels the obs exec-time histograms
 
   std::string describe() const;  // e.g. "SpMV over DIA: fallback via CSR"
 };
+
+// The tier label the observability layer attaches to exec histograms.
+constexpr std::string_view tier_name(bool simd) {
+  return simd ? "avx2" : "scalar";
+}
 
 // --- Entry points (one per kernel; the sparse operand is format-generic) ---
 

@@ -45,6 +45,13 @@ constexpr std::string_view name_of(Format f) {
   return "?";
 }
 
+// Every format, in enum order — the iteration set for coverage queries
+// and the index space of the serving runtime's per-format telemetry.
+inline constexpr std::array<Format, 11> kAllFormats = {
+    Format::kDense, Format::kCOO, Format::kCSR, Format::kCSC,
+    Format::kRLC,   Format::kZVC, Format::kBSR, Format::kDIA,
+    Format::kELL,   Format::kCSF, Format::kHiCOO};
+
 // MCF candidates SAGE searches for a matrix operand (paper §VII-A).
 inline constexpr std::array<Format, 6> kMatrixMcfChoices = {
     Format::kDense, Format::kRLC, Format::kZVC,

@@ -1,0 +1,126 @@
+#include "obs/export.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace mt::obs {
+
+namespace {
+
+// Splits "name{a="b",c="d"}" into ("name", "a=\"b\",c=\"d\"").
+// No-label names return an empty label part.
+std::pair<std::string, std::string> split_labels(const std::string& full) {
+  const auto brace = full.find('{');
+  if (brace == std::string::npos || full.back() != '}') return {full, ""};
+  return {full.substr(0, brace),
+          full.substr(brace + 1, full.size() - brace - 2)};
+}
+
+// "name{labels,extra}" — handles every combination of empty parts.
+std::string with_labels(const std::string& base, const std::string& labels,
+                        const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return base;
+  std::string out = base + "{" + labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra + "}";
+  return out;
+}
+
+std::int64_t bucket_upper_bound(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= 63) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << i) - 1;
+}
+
+// Label values carry quotes ('{kernel="SpMV"}'); JSON keys must escape
+// them.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+const char* kind_name(MetricSnapshot::Kind k) {
+  switch (k) {
+    case MetricSnapshot::Kind::kCounter: return "counter";
+    case MetricSnapshot::Kind::kGauge: return "gauge";
+    case MetricSnapshot::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void render_histogram_text(std::ostringstream& os, const std::string& base,
+                           const std::string& labels,
+                           const HistogramSnapshot& h) {
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;  // sparse: log2 histograms are mostly 0
+    cum += h.buckets[i];
+    os << with_labels(base + "_bucket", labels,
+                      "le=\"" + std::to_string(bucket_upper_bound(i)) + "\"")
+       << ' ' << cum << '\n';
+  }
+  os << with_labels(base + "_bucket", labels, "le=\"+Inf\"") << ' ' << h.count
+     << '\n';
+  os << with_labels(base + "_sum", labels) << ' ' << h.sum << '\n';
+  os << with_labels(base + "_count", labels) << ' ' << h.count << '\n';
+  const std::pair<const char*, double> qs[] = {
+      {"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}};
+  for (const auto& [qname, q] : qs) {
+    os << with_labels(base, labels,
+                      std::string("quantile=\"") + qname + "\"")
+       << ' ' << h.quantile(q) << '\n';
+  }
+  os << with_labels(base + "_max", labels) << ' ' << h.max << '\n';
+}
+
+}  // namespace
+
+std::string metrics_text(const std::vector<MetricSnapshot>& snap) {
+  std::ostringstream os;
+  std::string last_base;
+  for (const auto& m : snap) {
+    const auto [base, labels] = split_labels(m.name);
+    if (base != last_base) {
+      os << "# TYPE " << base << ' ' << kind_name(m.kind) << '\n';
+      last_base = base;
+    }
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        os << m.name << ' ' << m.value << '\n';
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        render_histogram_text(os, base, labels, m.hist);
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::string metrics_json(const std::vector<MetricSnapshot>& snap) {
+  std::ostringstream os;
+  os << "{\n";
+  bool first = true;
+  for (const auto& m : snap) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << json_escape(m.name) << "\": ";
+    if (m.kind == MetricSnapshot::Kind::kHistogram) {
+      os << "{\"count\": " << m.hist.count << ", \"sum\": " << m.hist.sum
+         << ", \"max\": " << m.hist.max << ", \"mean\": " << m.hist.mean()
+         << ", \"p50\": " << m.hist.p50() << ", \"p95\": " << m.hist.p95()
+         << ", \"p99\": " << m.hist.p99() << "}";
+    } else {
+      os << m.value;
+    }
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace mt::obs

@@ -1,0 +1,41 @@
+// Stats exposition — renders a metrics snapshot as Prometheus-style text
+// or JSON.
+//
+// The registry keys metrics by full name with labels baked in
+// (`mt_exec_ns{kernel="SpMV",format="CSR",tier="avx2"}`); the text
+// renderer splits that back into base name + label set so histograms
+// expose the conventional series:
+//
+//   mt_exec_ns_bucket{kernel="SpMV",...,le="1024"} 17
+//   mt_exec_ns_bucket{kernel="SpMV",...,le="+Inf"} 31
+//   mt_exec_ns_sum{kernel="SpMV",...} 913840
+//   mt_exec_ns_count{kernel="SpMV",...} 31
+//   mt_exec_ns{kernel="SpMV",...,quantile="0.5"} 16383
+//
+// Only non-empty histogram buckets get a _bucket line (log2 bucketing
+// would otherwise print 64 lines per histogram, mostly zeros); `le`
+// bounds are the buckets' inclusive upper bounds, so the series is still
+// cumulative and monotone the way scrapers expect. Quantile lines carry
+// p50/p95/p99 pre-extracted — the paper-repo benches and the README
+// examples read those directly.
+//
+// metrics_json renders the same snapshot as one JSON object keyed by full
+// metric name — the machine-consumption twin (BENCH tooling, tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mt::obs {
+
+// Prometheus-style text exposition of a snapshot (see file comment).
+std::string metrics_text(const std::vector<MetricSnapshot>& snap);
+
+// JSON object: {"name": value, ...} for counters/gauges and
+// {"name": {"count":..,"sum":..,"max":..,"p50":..,"p95":..,"p99":..}, ...}
+// for histograms.
+std::string metrics_json(const std::vector<MetricSnapshot>& snap);
+
+}  // namespace mt::obs

@@ -1,0 +1,188 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace mt::obs {
+
+std::size_t shard_slot() {
+  // Round-robin assignment on first use: up to kShards concurrent
+  // recording threads land on distinct slots (a modulo-hashed thread id
+  // can collide even for two threads). The counter never shrinks — a
+  // thread keeps its slot for its lifetime.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+namespace {
+
+std::size_t bucket_of(std::int64_t v) {
+  if (v <= 0) return 0;
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+// The value the quantile estimator reports for a bucket: its inclusive
+// upper bound (2^i - 1 for bucket i), so estimates never undershoot the
+// bucket that contains the true quantile.
+std::int64_t bucket_upper(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= 63) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << i) - 1;
+}
+
+}  // namespace
+
+std::int64_t HistogramSnapshot::quantile(double q) const {
+  if (count <= 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th value (1-based, ceil): the smallest bucket whose
+  // cumulative count reaches it holds the quantile.
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             q * static_cast<double>(count) + 0.9999999));
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets[i];
+    if (cum >= rank) return std::min(bucket_upper(i), max);
+  }
+  return max;
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(
+    const HistogramSnapshot& o) {
+  count += o.count;
+  sum += o.sum;
+  max = std::max(max, o.max);
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+  return *this;
+}
+
+std::int64_t Counter::value() const {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::record(std::int64_t v) {
+  if (v < 0) v = 0;
+  Shard& s = shards_[shard_slot()];
+  s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  // Relaxed CAS max: last-writer races only ever lose to a larger value.
+  std::int64_t cur = s.max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  for (const auto& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+Registry::Slot& Registry::slot_for(std::string_view name,
+                                   MetricSnapshot::Kind kind) {
+  auto [it, inserted] = map_.try_emplace(std::string(name));
+  if (inserted) {
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  LockGuard lk(mu_);
+  Slot& s = slot_for(name, MetricSnapshot::Kind::kCounter);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  LockGuard lk(mu_);
+  Slot& s = slot_for(name, MetricSnapshot::Kind::kGauge);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  LockGuard lk(mu_);
+  Slot& s = slot_for(name, MetricSnapshot::Kind::kHistogram);
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>();
+  return *s.histogram;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    LockGuard lk(mu_);
+    out.reserve(map_.size());
+    for (const auto& [name, slot] : map_) {
+      MetricSnapshot m;
+      m.name = name;
+      m.kind = slot.kind;
+      switch (slot.kind) {
+        case MetricSnapshot::Kind::kCounter:
+          m.value = slot.counter->value();
+          break;
+        case MetricSnapshot::Kind::kGauge:
+          m.value = slot.gauge->value();
+          break;
+        case MetricSnapshot::Kind::kHistogram:
+          m.hist = slot.histogram->snapshot();
+          break;
+      }
+      out.push_back(std::move(m));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::size_t Registry::size() const {
+  LockGuard lk(mu_);
+  return map_.size();
+}
+
+void merge_snapshots(std::vector<MetricSnapshot>& to,
+                     const std::vector<MetricSnapshot>& from) {
+  for (const auto& m : from) {
+    auto it = std::lower_bound(
+        to.begin(), to.end(), m,
+        [](const MetricSnapshot& a, const MetricSnapshot& b) {
+          return a.name < b.name;
+        });
+    if (it == to.end() || it->name != m.name) {
+      to.insert(it, m);
+      continue;
+    }
+    // Kind mismatches across servers would be a naming bug; keep the
+    // first kind and fold values by that kind (counters/gauges sum,
+    // histograms bucket-merge).
+    if (it->kind == MetricSnapshot::Kind::kHistogram) {
+      it->hist += m.hist;
+    } else {
+      it->value += m.value;
+    }
+  }
+}
+
+}  // namespace mt::obs

@@ -1,0 +1,197 @@
+// Lock-free metrics registry — the measurement substrate of the serving
+// runtime (src/runtime) and the input feed for the future adaptive
+// planner (ROADMAP: online adaptive planning from measured latencies).
+//
+// Three metric kinds:
+//
+//   Counter    monotonic sum (requests served, cache evictions)
+//   Gauge      last-written level (queue depth, cached bytes)
+//   Histogram  log2-bucketed latency distribution with p50/p95/p99/max
+//              extraction (queue wait, per-kernel exec time)
+//
+// Hot-path design: every recording operation is a relaxed atomic add on a
+// per-thread shard — no locks, no branches beyond the shard pick, no
+// allocation. Each metric owns kShards cache-line-sized shard slots;
+// a thread hashes its id to a slot once (thread_local) and keeps it, so
+// two workers recording into one histogram touch different cache lines.
+// Reads merge the shards.
+//
+// Consistency contract for merged reads (the same weak-consistency shape
+// as Server::queue_depth, extended to sharded writers): a snapshot reads
+// each shard's atomics individually with relaxed loads, so the merged
+// value may mix shard states from slightly different instants and may
+// miss recordings that are mid-flight on other threads. Three guarantees
+// hold regardless: (1) every individual load is atomic — never a torn
+// value; (2) counters and histogram bucket counts are monotone, so a
+// snapshot never exceeds what was actually recorded by the time the last
+// shard is read; (3) after the writing threads are joined (or otherwise
+// happens-before-ordered with the reader), a snapshot is exact — the
+// concurrency test asserts bit-exact counts after join. That is the
+// strongest contract available without serializing the hot path, and it
+// is what telemetry wants: trends while running, exact totals at rest.
+//
+// Naming scheme (what the registry keys and the exposition surfaces):
+//   mt_<subsystem>_<quantity>[_<unit>]{label="value",...}
+// e.g. mt_serve_queue_wait_ns, mt_exec_ns{kernel="SpMV",format="CSR",
+// tier="avx2"}. Labels are baked into the name string — the registry is
+// a flat name -> metric map; obs/export.cpp re-parses the {...} suffix
+// only for the Prometheus text rendering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace mt::obs {
+
+// Shard count per metric. A power of two so the slot pick is a mask; 8
+// slots cover the worker-pool sizes the runtime actually runs (2-8) while
+// keeping an idle metric at half a KiB.
+inline constexpr std::size_t kShards = 8;
+
+// The calling thread's shard slot — assigned round-robin on first use so
+// up to kShards concurrently-recording threads get distinct slots.
+std::size_t shard_slot();
+
+// Number of log2 buckets. Bucket i counts values v with bit_width(v) == i,
+// i.e. bucket 0 is v <= 0 (clamped), bucket i >= 1 covers [2^(i-1), 2^i).
+// 64 buckets cover the full positive int64 range (ns timestamps included).
+inline constexpr std::size_t kBuckets = 64;
+
+// --- Snapshots (plain values; mergeable across shards and servers) ---
+
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t max = 0;
+  std::int64_t buckets[kBuckets] = {};
+
+  // Quantile estimate: the upper bound of the bucket where the cumulative
+  // count crosses q * count (0 for an empty histogram). Log2 buckets make
+  // this exact to within 2x, which is the resolution latency monitoring
+  // needs; max is tracked exactly.
+  std::int64_t quantile(double q) const;
+  std::int64_t p50() const { return quantile(0.50); }
+  std::int64_t p95() const { return quantile(0.95); }
+  std::int64_t p99() const { return quantile(0.99); }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  // Bucket-wise merge: associative and commutative (the unit tests assert
+  // it), so shard merges, cross-server merges, and router aggregation all
+  // compose in any order.
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o);
+};
+
+// One exported metric at one instant.
+struct MetricSnapshot {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;       // counter / gauge
+  HistogramSnapshot hist;       // histogram
+};
+
+// --- Metrics (registry-owned; record paths are lock-free) ---
+
+class Counter {
+ public:
+  void add(std::int64_t n) {
+    shards_[shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  // Merged shard read — weakly consistent while writers run (file comment).
+  std::int64_t value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+// A level, not a sum: set() overwrites. Gauges are usually written by one
+// sampler (the exposition path pulls levels from their owning structures),
+// so they keep a single slot rather than shards.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  // Records `v` (clamped to >= 0) into the calling thread's shard:
+  // one relaxed add on the bucket, one on count, one on sum, and a
+  // relaxed max update. No locks, no allocation.
+  void record(std::int64_t v);
+  // Merged shard read — weakly consistent while writers run (file comment).
+  HistogramSnapshot snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> count{0};
+    std::atomic<std::int64_t> sum{0};
+    std::atomic<std::int64_t> max{0};
+    std::atomic<std::int64_t> buckets[kBuckets] = {};
+  };
+  Shard shards_[kShards];
+};
+
+// --- Registry ---
+//
+// Owns the metrics by name. Creation takes the registry mutex once; the
+// returned references are stable for the registry's lifetime, so callers
+// cache them and the steady-state record path never touches the map.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Get-or-create. Mixing kinds under one name throws std::logic_error
+  // (it is always a naming bug, and silently aliasing would corrupt both).
+  Counter& counter(std::string_view name) MT_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) MT_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) MT_EXCLUDES(mu_);
+
+  // Every metric, sorted by name (stable exposition order). Each entry is
+  // a merged shard read; the set of metrics is a point-in-time copy.
+  std::vector<MetricSnapshot> snapshot() const MT_EXCLUDES(mu_);
+
+  std::size_t size() const MT_EXCLUDES(mu_);
+
+ private:
+  struct Slot {
+    MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Slot& slot_for(std::string_view name, MetricSnapshot::Kind kind)
+      MT_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Slot> map_ MT_GUARDED_BY(mu_);
+};
+
+// Merges `from` into `to` by metric name: counters and histograms add,
+// gauges sum as well (aggregating levels across shards — a fleet's queue
+// depth is the sum of per-shard depths). Names missing from `to` are
+// appended. Keeps `to` sorted by name.
+void merge_snapshots(std::vector<MetricSnapshot>& to,
+                     const std::vector<MetricSnapshot>& from);
+
+}  // namespace mt::obs

@@ -1,0 +1,98 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace mt::obs {
+
+namespace {
+
+std::int64_t trace_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void TraceRing::push_locked(const SpanRecord& r) {
+  if (ring_.size() < cap_) {
+    ring_.push_back(r);
+    return;
+  }
+  // Full: overwrite the oldest record in place. head_ points at it; the
+  // ring stays a contiguous [head_, head_) circular window.
+  ring_[head_] = r;
+  head_ = (head_ + 1) % cap_;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRing::push(const SpanRecord& r) {
+  if (cap_ == 0) return;
+  LockGuard lk(mu_);
+  push_locked(r);
+}
+
+void TraceRing::push_all(const std::vector<SpanRecord>& rs) {
+  if (cap_ == 0 || rs.empty()) return;
+  LockGuard lk(mu_);
+  for (const auto& r : rs) push_locked(r);
+}
+
+std::vector<SpanRecord> TraceRing::drain() {
+  std::vector<SpanRecord> out;
+  LockGuard lk(mu_);
+  if (ring_.empty()) return out;
+  out.reserve(ring_.size());
+  // Oldest-first: [head_, end) then [0, head_).
+  for (std::size_t i = head_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (std::size_t i = 0; i < head_; ++i) out.push_back(ring_[i]);
+  ring_.clear();
+  head_ = 0;
+  return out;
+}
+
+std::size_t TraceRing::size() const {
+  LockGuard lk(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceScope::add(Stage stage, std::int64_t start_ns,
+                              std::int64_t end_ns, std::uint64_t parent_span,
+                              int batch_size) {
+  return add_for(trace_id_, stage, start_ns, end_ns, parent_span, batch_size);
+}
+
+std::uint64_t TraceScope::add_for(std::uint64_t trace_id, Stage stage,
+                                  std::int64_t start_ns, std::int64_t end_ns,
+                                  std::uint64_t parent_span, int batch_size) {
+  if (sink_ == nullptr) return 0;
+  SpanRecord r;
+  r.trace_id = trace_id;
+  r.span_id = ids_->next();
+  r.parent_span = parent_span;
+  r.stage = stage;
+  r.start_ns = start_ns;
+  r.end_ns = end_ns;
+  r.batch_size = batch_size;
+  buf_.push_back(r);
+  return r.span_id;
+}
+
+void TraceScope::flush() {
+  if (sink_ == nullptr || buf_.empty()) return;
+  sink_->push_all(buf_);
+  buf_.clear();
+}
+
+Span::Span(TraceScope& scope, Stage stage, std::uint64_t parent_span)
+    : scope_(scope), stage_(stage), parent_(parent_span),
+      start_ns_(scope.active() ? trace_now_ns() : 0),
+      done_(!scope.active()) {}
+
+std::uint64_t Span::end() {
+  if (done_) return 0;
+  done_ = true;
+  return scope_.add(stage_, start_ns_, trace_now_ns(), parent_);
+}
+
+}  // namespace mt::obs

@@ -1,0 +1,186 @@
+// Per-request trace spans — where a slow request spent its time.
+//
+// Every request admitted to a Server gets a trace id (assigned by the
+// Server at admission, or earlier by the ShardedServer router so one id
+// follows the request across a shard hop). As the request moves through
+// the pipeline, RAII Span objects record stage intervals:
+//
+//   queue      enqueue -> worker pickup            (per request)
+//   plan       plan-cache resolution / SAGE search (per request or group)
+//   convert    operand representation resolution   (per request or group)
+//   exec       the kernel launch                   (per request or group)
+//   scatter    fused-result un-stacking            (per fused group)
+//   group      a fused batch launch; member requests' exec spans link to
+//              it via parent_span (their slices partition its interval)
+//   route      router-side shard resolution + replica setup
+//
+// Records land in a bounded per-server ring (TraceRing): writers never
+// block and never allocate in steady state — when the ring is full the
+// oldest record is overwritten, because under overload fresh spans are
+// exactly the ones an operator needs. drain() hands back the buffered
+// records oldest-first and clears the ring.
+//
+// The span id space is per-server (a monotonically increasing counter);
+// trace ids are globally unique per router/server via the same scheme.
+// ShardedServer::drain_trace() merges the per-shard rings and tags each
+// record with its shard, so a cross-shard request's route span (router)
+// and stage spans (executing shard) share one trace id.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace mt::obs {
+
+enum class Stage : std::uint8_t {
+  kQueue,
+  kPlan,
+  kConvert,
+  kExec,
+  kScatter,
+  kGroup,
+  kRoute,
+};
+
+constexpr std::string_view name_of(Stage s) {
+  switch (s) {
+    case Stage::kQueue: return "queue";
+    case Stage::kPlan: return "plan";
+    case Stage::kConvert: return "convert";
+    case Stage::kExec: return "exec";
+    case Stage::kScatter: return "scatter";
+    case Stage::kGroup: return "group";
+    case Stage::kRoute: return "route";
+  }
+  return "?";
+}
+
+// One recorded stage interval. Plain data; drained records are safe to
+// hold after the server dies.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;  // 0 = root of its trace
+  Stage stage = Stage::kQueue;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  int shard = -1;        // filled by ShardedServer::drain_trace()
+  int batch_size = 1;    // members sharing a group span's launch
+
+  std::int64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+// Bounded MPMC ring of span records. push() never blocks: a full ring
+// drops its oldest record. capacity 0 disables recording entirely (every
+// push is a no-op) — the ServerOptions::obs.tracing=false path.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : cap_(capacity) {
+    // The ring grows lazily to cap_ on first pushes, then stays put, so
+    // a tracing-off server allocates nothing here.
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void push(const SpanRecord& r) MT_EXCLUDES(mu_);
+  // One lock for a request's whole span set (the server buffers a
+  // request's records and flushes once).
+  void push_all(const std::vector<SpanRecord>& rs) MT_EXCLUDES(mu_);
+
+  // The buffered records oldest-first; clears the ring. Weakly consistent
+  // with concurrent pushes (a record pushed during the drain lands in the
+  // next drain), exact once writers are quiescent.
+  std::vector<SpanRecord> drain() MT_EXCLUDES(mu_);
+
+  std::size_t size() const MT_EXCLUDES(mu_);
+  std::size_t capacity() const { return cap_; }
+  // Records overwritten before ever being drained.
+  std::int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void push_locked(const SpanRecord& r) MT_REQUIRES(mu_);
+
+  const std::size_t cap_;
+  mutable Mutex mu_;
+  std::vector<SpanRecord> ring_ MT_GUARDED_BY(mu_);  // grows to cap_, then fixed
+  std::size_t head_ MT_GUARDED_BY(mu_) = 0;  // oldest record when full
+  std::atomic<std::int64_t> dropped_{0};
+};
+
+// Issues span/trace ids. One per Server (and one per router), so ids are
+// unique within the ring(s) an operator drains together.
+class IdSource {
+ public:
+  std::uint64_t next() { return n_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+ private:
+  std::atomic<std::uint64_t> n_{0};
+};
+
+// A request's span set under construction: stack-buffered records flushed
+// to the ring in one push_all when the request completes. Null sink =
+// tracing off; every operation degrades to a no-op without branching at
+// call sites.
+class TraceScope {
+ public:
+  TraceScope(TraceRing* sink, IdSource* ids, std::uint64_t trace_id)
+      : sink_(sink && sink->capacity() > 0 ? sink : nullptr), ids_(ids),
+        trace_id_(trace_id) {}
+
+  ~TraceScope() { flush(); }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  bool active() const { return sink_ != nullptr; }
+  std::uint64_t trace_id() const { return trace_id_; }
+
+  // Appends a completed interval; returns its span id (0 when inactive).
+  std::uint64_t add(Stage stage, std::int64_t start_ns, std::int64_t end_ns,
+                    std::uint64_t parent_span = 0, int batch_size = 1);
+
+  // Same, under an explicit trace id — the fused-group path records each
+  // member's exec slice under that member's own trace while the group
+  // span lives on the leader's.
+  std::uint64_t add_for(std::uint64_t trace_id, Stage stage,
+                        std::int64_t start_ns, std::int64_t end_ns,
+                        std::uint64_t parent_span = 0, int batch_size = 1);
+
+  void flush();
+
+ private:
+  TraceRing* sink_;
+  IdSource* ids_;
+  std::uint64_t trace_id_;
+  std::vector<SpanRecord> buf_;
+};
+
+// RAII stage timer over a TraceScope: records [construction, destruction)
+// via scope.add() unless ended explicitly first.
+class Span {
+ public:
+  Span(TraceScope& scope, Stage stage, std::uint64_t parent_span = 0);
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Ends the interval now; returns the recorded span id (0 if inactive).
+  std::uint64_t end();
+
+ private:
+  TraceScope& scope_;
+  Stage stage_;
+  std::uint64_t parent_;
+  std::int64_t start_ns_;
+  bool done_ = false;
+};
+
+}  // namespace mt::obs

@@ -56,6 +56,10 @@ class Arena final : public MemoryPool {
   };
   Stats stats() const MT_EXCLUDES(mu_);
 
+  // The free-list byte budget (the ctor argument) — exported as the
+  // mt_arena_budget_bytes gauge so cached_bytes has a denominator.
+  std::size_t max_cached_bytes() const { return max_cached_bytes_; }
+
   // Frees every cached slab (outstanding blocks are untouched).
   void trim() MT_EXCLUDES(mu_);
 

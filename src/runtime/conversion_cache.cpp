@@ -85,6 +85,7 @@ void ConversionCache::enforce_limits() {
     if (!victim) break;  // everything left is in-flight; nothing evictable
     matrices_.erase(*victim);
     tensors_.erase(*victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

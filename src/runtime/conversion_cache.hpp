@@ -64,6 +64,11 @@ class ConversionCache {
   std::int64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  // Representations dropped by the capacity policy (evict() calls — the
+  // operand-retirement path — are not counted here).
+  std::int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   std::size_t size() const MT_EXCLUDES(mu_);
   // Aggregate storage_of() bytes of the materialized representations
   // (identity shares excluded — they borrow the registry's memory).
@@ -117,6 +122,7 @@ class ConversionCache {
       MT_GUARDED_BY(mu_);
   EvictionIndex<Key, KeyHash> index_ MT_GUARDED_BY(mu_);
   std::atomic<std::int64_t> hits_{0}, misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
 };
 
 }  // namespace mt::runtime

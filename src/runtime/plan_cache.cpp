@@ -94,6 +94,7 @@ void PlanCache::enforce_limits() {
     const auto victim = index_.pop_victim();
     if (!victim) break;  // everything left is in-flight; nothing evictable
     map_.erase(*victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

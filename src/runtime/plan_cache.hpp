@@ -35,6 +35,10 @@
 #include "runtime/cache_policy.hpp"
 #include "sage/sage.hpp"
 
+namespace mt::obs {
+class Histogram;
+}  // namespace mt::obs
+
 namespace mt::runtime {
 
 // Identity of one distinct serving workload.
@@ -64,6 +68,12 @@ struct Plan {
   SageTensorChoice tensor_choice;  // tensor kernels
   Format run_a = Format::kDense;   // executed ACF of operand A / tensor X
   Format run_b = Format::kDense;   // executed ACF of operand B (if any)
+  // Per-plan exec-latency accumulator (mt_plan_exec_ns{plan="..."}),
+  // owned by the Server's obs::Registry and wired at plan creation; null
+  // when telemetry is off. Living on the plan keeps the hot path at one
+  // pointer chase — no name lookup per request — and the measured
+  // distribution is the feed for the ROADMAP's online adaptive planner.
+  obs::Histogram* latency = nullptr;
 };
 
 class PlanCache {
@@ -98,6 +108,11 @@ class PlanCache {
   std::int64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  // Plans retired by the capacity policy (not by evict_operand/retire —
+  // those are hygiene, this is budget pressure).
+  std::int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   std::size_t size() const MT_EXCLUDES(mu_);
   const CacheOptions& limits() const { return limits_; }
 
@@ -115,6 +130,7 @@ class PlanCache {
   std::unordered_map<PlanKey, Entry, PlanKeyHash> map_ MT_GUARDED_BY(mu_);
   EvictionIndex<PlanKey, PlanKeyHash> index_ MT_GUARDED_BY(mu_);
   std::atomic<std::int64_t> hits_{0}, misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
 };
 
 }  // namespace mt::runtime

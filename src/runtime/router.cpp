@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/export.hpp"
 
 namespace mt::runtime {
 
@@ -126,8 +127,25 @@ int ShardedServer::to_local(Request& r) {
 
 std::future<Response> ShardedServer::submit(Request r) {
   try {
+    const bool tracing = opts_.shard.obs.trace_ring_capacity > 0;
+    const auto t0 = tracing ? now_ns() : 0;
     const int s = to_local(r);
-    return shards_[static_cast<std::size_t>(s)]->submit(std::move(r));
+    Server& shard = *shards_[static_cast<std::size_t>(s)];
+    if (tracing) {
+      // Pre-assign the trace id from the router's fleet-unique source and
+      // deposit the route span (shard resolution + replica setup) on the
+      // executing shard, so the whole trace drains from one ring under
+      // one id that no other shard's requests can share.
+      if (r.trace_id == 0) r.trace_id = trace_ids_.next();
+      obs::SpanRecord rec;
+      rec.trace_id = r.trace_id;
+      rec.span_id = shard.trace_ids().next();
+      rec.stage = obs::Stage::kRoute;
+      rec.start_ns = t0;
+      rec.end_ns = now_ns();
+      shard.push_span(rec);
+    }
+    return shard.submit(std::move(r));
   } catch (...) {
     // Routing failures (foreign handle, evicted cross-shard operand)
     // surface on the future, matching Server's own error surface.
@@ -172,6 +190,40 @@ std::size_t ShardedServer::queue_depth() const {
   std::size_t depth = 0;
   for (const auto& s : shards_) depth += s->queue_depth();
   return depth;
+}
+
+std::vector<obs::MetricSnapshot> ShardedServer::metrics_snapshot() const {
+  std::vector<obs::MetricSnapshot> total;
+  for (const auto& s : shards_) {
+    obs::merge_snapshots(total, s->metrics_snapshot());
+  }
+  std::vector<obs::MetricSnapshot> router(2);
+  router[0].name = "mt_router_routing_failures_total";
+  router[0].kind = obs::MetricSnapshot::Kind::kCounter;
+  router[0].value = routing_failures_.load(std::memory_order_relaxed);
+  router[1].name = "mt_router_shards";
+  router[1].kind = obs::MetricSnapshot::Kind::kGauge;
+  router[1].value = num_shards();
+  obs::merge_snapshots(total, router);
+  return total;
+}
+
+std::string ShardedServer::metrics_text() const {
+  return obs::metrics_text(metrics_snapshot());
+}
+
+std::string ShardedServer::metrics_json() const {
+  return obs::metrics_json(metrics_snapshot());
+}
+
+std::vector<obs::SpanRecord> ShardedServer::drain_trace() {
+  std::vector<obs::SpanRecord> out;
+  for (int s = 0; s < num_shards(); ++s) {
+    auto part = shards_[static_cast<std::size_t>(s)]->drain_trace();
+    for (auto& r : part) r.shard = s;
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
 }
 
 CountersSnapshot ShardedServer::shard_counters(int shard) const {

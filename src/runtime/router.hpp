@@ -112,6 +112,23 @@ class ShardedServer {
   CountersSnapshot counters() const;
   std::size_t queue_depth() const;
 
+  // Fleet-wide telemetry: every shard's metrics_snapshot() merged by
+  // metric name (obs::merge_snapshots — counters and histogram buckets
+  // add, gauge levels sum into fleet totals, e.g. mt_queue_depth becomes
+  // the aggregate depth), plus the router's own series
+  // (mt_router_routing_failures_total, mt_router_shards). Same weak
+  // consistency as counters(): per-shard addends from no single instant.
+  std::vector<obs::MetricSnapshot> metrics_snapshot() const;
+  std::string metrics_text() const;
+  std::string metrics_json() const;
+
+  // Merges every shard's trace ring (each drained oldest-first) and tags
+  // each record with its shard index. A routed request's route span and
+  // stage spans share one trace id and one shard ring (the router deposits
+  // its spans on the executing shard), so per-trace reassembly needs no
+  // cross-ring matching.
+  std::vector<obs::SpanRecord> drain_trace();
+
   CountersSnapshot shard_counters(int shard) const;
   std::size_t queue_depth(int shard) const;
   const Server& shard(int i) const;
@@ -152,6 +169,12 @@ class ShardedServer {
       replicas_ MT_GUARDED_BY(replica_mu_);
 
   std::atomic<std::int64_t> routing_failures_{0};
+
+  // Fleet-wide trace-id source. Shards' own IdSources all start at 1, so
+  // shard-issued ids would collide across rings once drain_trace() merges
+  // them; the router hands every routed request an id from this single
+  // counter instead (Server::submit only assigns when trace_id == 0).
+  obs::IdSource trace_ids_;
 };
 
 }  // namespace mt::runtime

@@ -1,10 +1,12 @@
 #include "runtime/server.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/threads.hpp"
+#include "obs/export.hpp"
 #include "sage/plan_key.hpp"
 
 namespace mt::runtime {
@@ -30,6 +32,15 @@ void repair_pair(Format& ra, Format& rb) {
 
 Format repair_single(Kernel k, Format acf) {
   return exec::has_native(k, acf) ? acf : exec::fallback_format(k);
+}
+
+// Plan-fingerprint label for the per-plan latency accumulators
+// (mt_plan_exec_ns{plan="<hex>"}).
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
 }
 
 const CooMatrix& as_coo(const AnyMatrix& m) {
@@ -102,11 +113,16 @@ Server::Server(ServerOptions opts)
       arena_(opts_.use_arena
                  ? std::make_shared<Arena>(opts_.arena_max_cached_bytes)
                  : nullptr),
+      trace_ring_(opts_.obs.trace_ring_capacity),
       plans_(opts_.plan_cache_limits),
       reps_(opts_.conversion_cache_limits),
+      counters_(registry_),
       queue_(opts_.queue_capacity) {
   MT_REQUIRE(opts_.num_workers >= 1, "server needs at least one worker");
   MT_REQUIRE(opts_.batch_window >= 1, "batch window must be at least 1");
+  if (opts_.obs.metrics) {
+    queue_wait_hist_ = &registry_.histogram("mt_serve_queue_wait_ns");
+  }
   if (opts_.cap_kernel_threads &&
       (opts_.num_workers > 1 || opts_.shard_member)) {
     ThreadCapRegistry::instance().acquire(opts_.num_workers);
@@ -355,6 +371,16 @@ PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s,
       break;
     }
   }
+  if (opts_.obs.metrics) {
+    // Per-plan latency accumulator, labeled by the plan key's fingerprint.
+    // Re-deriving an evicted plan rebinds the same histogram, so a plan's
+    // measured distribution survives cache churn — exactly what the
+    // adaptive planner wants to learn from.
+    const auto fp = static_cast<std::uint64_t>(
+        PlanKeyHash{}(key_for(r, model.fingerprint)));
+    plan->latency = &registry_.histogram("mt_plan_exec_ns{plan=\"" +
+                                         hex64(fp) + "\"}");
+  }
   return plan;
 }
 
@@ -404,6 +430,9 @@ PlanCache::PlanPtr Server::plan_for(const Request& r) {
 std::future<Response> Server::submit(Request r) {
   Item item;
   item.req = std::move(r);
+  if (item.req.trace_id == 0 && trace_ring_.capacity() > 0) {
+    item.req.trace_id = trace_ids_.next();
+  }
   item.enqueue_ns = now_ns();
   auto fut = item.promise.get_future();
   if (!queue_.push(std::move(item))) {
@@ -420,6 +449,7 @@ std::future<Response> Server::submit(Request r) {
 Response Server::serve(Request& req, std::int64_t queue_wait_ns) {
   Response resp;
   resp.stats.queue_wait_ns = queue_wait_ns;
+  resp.stats.trace_id = req.trace_id;
   const auto plan = resolve_plan(req, resp.stats);
   execute_plan(req, plan, resp);
   return resp;
@@ -481,6 +511,8 @@ void Server::execute_plan(Request& req, const PlanCache::PlanPtr& plan,
       break;
   }
   s.exec_ns = now_ns() - t_exec;
+  if (plan->latency != nullptr) plan->latency->record(s.exec_ns);
+  if (auto* h = exec_hist(s.dispatch)) h->record(s.exec_ns);
 }
 
 // --- Batched serving (runtime/batcher.hpp) ---
@@ -518,17 +550,58 @@ void Server::serve_window(std::vector<Item>& window) {
 }
 
 void Server::serve_one(Item& item) {
+  const auto start = now_ns();
   try {
     // Queue wait runs until this request's group actually starts, so time
     // spent parked behind earlier groups of the same drained window is
     // charged to latency, not hidden.
-    Response resp = serve(item.req, now_ns() - item.enqueue_ns);
+    Response resp = serve(item.req, start - item.enqueue_ns);
+    if (queue_wait_hist_ != nullptr) {
+      queue_wait_hist_->record(resp.stats.queue_wait_ns);
+    }
+    record_trace(item.enqueue_ns, start, resp.stats);
     counters_.record(resp.stats);
     item.promise.set_value(std::move(resp));
   } catch (...) {
     counters_.record_failure();
     item.promise.set_exception(std::current_exception());
   }
+}
+
+void Server::record_trace(std::int64_t enqueue_ns, std::int64_t start_ns,
+                          const ServeStats& s) {
+  if (trace_ring_.capacity() == 0 || s.trace_id == 0) return;
+  obs::TraceScope scope(&trace_ring_, &trace_ids_, s.trace_id);
+  scope.add(obs::Stage::kQueue, enqueue_ns, start_ns);
+  // The serve path runs plan -> convert -> exec back to back, so laying
+  // the measured durations end to end reconstructs the real intervals.
+  auto t = start_ns;
+  scope.add(obs::Stage::kPlan, t, t + s.plan_ns);
+  t += s.plan_ns;
+  scope.add(obs::Stage::kConvert, t, t + s.convert_ns);
+  t += s.convert_ns;
+  scope.add(obs::Stage::kExec, t, t + s.exec_ns, 0, s.batch_size);
+}
+
+obs::Histogram* Server::exec_hist(const exec::Dispatch& d) {
+  if (!opts_.obs.metrics) return nullptr;
+  const auto k = static_cast<std::size_t>(d.kernel);
+  const auto f = static_cast<std::size_t>(d.ran_a);
+  const auto t = static_cast<std::size_t>(d.simd ? 1 : 0);
+  auto& slot = exec_hists_[(k * kAllFormats.size() + f) * 2 + t];
+  auto* h = slot.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    std::string name = "mt_exec_ns{kernel=\"";
+    name += name_of(d.kernel);
+    name += "\",format=\"";
+    name += name_of(d.ran_a);
+    name += "\",tier=\"";
+    name += exec::tier_name(d.simd);
+    name += "\"}";
+    h = &registry_.histogram(name);
+    slot.store(h, std::memory_order_release);
+  }
+  return h;
 }
 
 BatchItem Server::batch_item_for(const Request& r) const {
@@ -573,6 +646,7 @@ void Server::serve_fused(std::vector<Item>& window,
   try {
     ServeStats ls;  // leader stats: the group's plan/convert costs
     ls.queue_wait_ns = start - lead.enqueue_ns;
+    ls.trace_id = lead.req.trace_id;
     const auto plan = resolve_plan(lead.req, ls);
     if (is_spmv && !(coalescible_spmv_format(plan->run_a) &&
                      exec::has_native(Kernel::kSpMM, plan->run_a))) {
@@ -582,6 +656,10 @@ void Server::serve_fused(std::vector<Item>& window,
       Response resp;
       resp.stats = ls;
       execute_plan(lead.req, plan, resp);
+      if (queue_wait_hist_ != nullptr) {
+        queue_wait_hist_->record(resp.stats.queue_wait_ns);
+      }
+      record_trace(lead.enqueue_ns, start, resp.stats);
       counters_.record(resp.stats);
       lead.promise.set_value(std::move(resp));
       for (std::size_t j = 1; j < members.size(); ++j) {
@@ -611,7 +689,12 @@ void Server::serve_fused(std::vector<Item>& window,
     const auto t_exec = now_ns();
     exec::Dispatch dispatch;
     const DenseMatrix fused_c = exec::spmm(*rep_a, fused_b, &dispatch);
-    const auto exec_ns = now_ns() - t_exec;
+    const auto exec_end = now_ns();
+    const auto exec_ns = exec_end - t_exec;
+    // Histograms see the launch, not the members: one fused kernel is one
+    // latency sample (the per-request counters still amortize below).
+    if (plan->latency != nullptr) plan->latency->record(exec_ns);
+    if (auto* eh = exec_hist(dispatch)) eh->record(exec_ns);
 
     // Scatter: build every response before completing any promise, so a
     // failure anywhere still fails the whole group uniformly.
@@ -630,10 +713,14 @@ void Server::serve_fused(std::vector<Item>& window,
         s.plan_cache_hit = opts_.use_plan_cache;
       }
       s.queue_wait_ns = start - it.enqueue_ns;
+      s.trace_id = it.req.trace_id;
       s.batched = true;
       s.batch_size = n;
       s.dispatch = dispatch;
       s.exec_ns = exec_ns / n;  // amortized slice: sums stay meaningful
+      if (queue_wait_hist_ != nullptr) {
+        queue_wait_hist_->record(s.queue_wait_ns);
+      }
       const auto j_idx = static_cast<index_t>(j);
       if (is_spmv) {
         resp.result = exec::column_of(fused_c, j_idx);
@@ -641,6 +728,30 @@ void Server::serve_fused(std::vector<Item>& window,
         resp.result = exec::column_block(fused_c, j_idx * width, width,
                                          dense_alloc());
       }
+    }
+    // Trace: plan/convert on the leader's trace, one group span covering
+    // the fused launch, and per-member exec slices that exactly partition
+    // the group interval (slice j is [t_exec + j*exec_ns/n,
+    // t_exec + (j+1)*exec_ns/n)) and link to it via parent_span — each
+    // member's slice lives on that member's own trace id, so following
+    // any one request's trace leads to the launch it shared.
+    if (trace_ring_.capacity() > 0 && lead.req.trace_id != 0) {
+      obs::TraceScope scope(&trace_ring_, &trace_ids_, lead.req.trace_id);
+      scope.add(obs::Stage::kPlan, start, start + ls.plan_ns);
+      scope.add(obs::Stage::kConvert, start + ls.plan_ns,
+                start + ls.plan_ns + ls.convert_ns);
+      const auto group =
+          scope.add(obs::Stage::kGroup, t_exec, exec_end, 0, n);
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        const Item& it = window[members[j]];
+        const auto jj = static_cast<std::int64_t>(j);
+        scope.add_for(it.req.trace_id, obs::Stage::kQueue, it.enqueue_ns,
+                      start);
+        scope.add_for(it.req.trace_id, obs::Stage::kExec,
+                      t_exec + jj * exec_ns / n,
+                      t_exec + (jj + 1) * exec_ns / n, group, n);
+      }
+      scope.add(obs::Stage::kScatter, exec_end, now_ns(), 0, n);
     }
     // Count before completing any promise: a client that observes its
     // future ready must also observe the batch in the counters.
@@ -659,6 +770,72 @@ void Server::serve_fused(std::vector<Item>& window,
       window[i].promise.set_exception(e);
     }
   }
+}
+
+// --- Exposition ---
+
+std::vector<obs::MetricSnapshot> Server::metrics_snapshot() const {
+  auto snap = registry_.snapshot();
+  // Pull-based series: levels owned by their structures (caches, arena,
+  // queue), sampled only here so steady-state serving never maintains
+  // them. Counters among them (hits, evictions) are monotone at the
+  // source, so the exported series is monotone too.
+  std::vector<obs::MetricSnapshot> pulled;
+  const auto add = [&pulled](const char* name, std::int64_t v,
+                             obs::MetricSnapshot::Kind kind) {
+    obs::MetricSnapshot m;
+    m.name = name;
+    m.kind = kind;
+    m.value = v;
+    pulled.push_back(std::move(m));
+  };
+  const auto counter = [&add](const char* name, std::int64_t v) {
+    add(name, v, obs::MetricSnapshot::Kind::kCounter);
+  };
+  const auto gauge = [&add](const char* name, std::int64_t v) {
+    add(name, v, obs::MetricSnapshot::Kind::kGauge);
+  };
+  counter("mt_plan_cache_hits_total", plans_.hits());
+  counter("mt_plan_cache_misses_total", plans_.misses());
+  counter("mt_plan_cache_evictions_total", plans_.evictions());
+  gauge("mt_plan_cache_entries", static_cast<std::int64_t>(plans_.size()));
+  counter("mt_conversion_cache_hits_total", reps_.hits());
+  counter("mt_conversion_cache_misses_total", reps_.misses());
+  counter("mt_conversion_cache_evictions_total", reps_.evictions());
+  gauge("mt_conversion_cache_entries",
+        static_cast<std::int64_t>(reps_.size()));
+  gauge("mt_conversion_cache_bytes",
+        static_cast<std::int64_t>(reps_.bytes()));
+  if (arena_ != nullptr) {
+    const auto a = arena_->stats();
+    counter("mt_arena_fresh_allocs_total",
+            static_cast<std::int64_t>(a.fresh_allocs));
+    counter("mt_arena_reuses_total", static_cast<std::int64_t>(a.reuses));
+    gauge("mt_arena_cached_bytes",
+          static_cast<std::int64_t>(a.cached_bytes));
+    gauge("mt_arena_outstanding_blocks",
+          static_cast<std::int64_t>(a.outstanding));
+    gauge("mt_arena_budget_bytes",
+          static_cast<std::int64_t>(arena_->max_cached_bytes()));
+  }
+  gauge("mt_queue_depth", static_cast<std::int64_t>(queue_.size()));
+  gauge("mt_queue_capacity",
+        static_cast<std::int64_t>(opts_.queue_capacity));
+  gauge("mt_workers", opts_.num_workers);
+  gauge("mt_kernel_threads", num_threads());
+  counter("mt_trace_dropped_total", trace_ring_.dropped());
+  gauge("mt_trace_buffered_spans",
+        static_cast<std::int64_t>(trace_ring_.size()));
+  obs::merge_snapshots(snap, pulled);
+  return snap;
+}
+
+std::string Server::metrics_text() const {
+  return obs::metrics_text(metrics_snapshot());
+}
+
+std::string Server::metrics_json() const {
+  return obs::metrics_json(metrics_snapshot());
 }
 
 }  // namespace mt::runtime

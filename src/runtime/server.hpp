@@ -30,6 +30,8 @@
 // last capping server stops.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -42,6 +44,8 @@
 #include "common/aligned.hpp"
 #include "common/thread_annotations.hpp"
 #include "energy/energy_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/batcher.hpp"
 #include "runtime/conversion_cache.hpp"
@@ -75,6 +79,10 @@ struct Request {
   std::vector<value_t> vec;    // SpMV input vector
   DenseMatrix dense_b;         // dense factor (SpMM B / SpTTM U / MTTKRP B)
   DenseMatrix dense_c;         // MTTKRP C
+  // Trace identity (obs/trace.hpp). 0 = assign at admission; the
+  // ShardedServer router pre-assigns so one id follows a request across
+  // its shard hop. Ignored when tracing is off.
+  std::uint64_t trace_id = 0;
 };
 
 using Result =
@@ -86,6 +94,25 @@ using Result =
 struct Response {
   Result result;
   ServeStats stats;
+};
+
+// Telemetry switches (src/obs). The always-on baseline — the
+// ServerCounters sums behind Server::counters() — is not gated here; it
+// predates this layer and benches depend on it. These knobs govern the
+// *extra* instrumentation:
+//
+//   metrics   latency histograms (queue wait, per-kernel x format x tier
+//             exec time) and per-plan accumulators. Hot-path cost per
+//             request: a handful of relaxed atomic adds on per-thread
+//             shards (obs/metrics.hpp).
+//   tracing   per-request stage spans into a bounded ring
+//             (trace_ring_capacity > 0). Spans are derived from the
+//             stage timestamps the server already measures, so the cost
+//             is one short lock + a few copies per request, not extra
+//             clock reads.
+struct ObsOptions {
+  bool metrics = true;
+  std::size_t trace_ring_capacity = 0;  // records kept; 0 = tracing off
 };
 
 struct ServerOptions {
@@ -122,6 +149,10 @@ struct ServerOptions {
   std::size_t arena_max_cached_bytes = std::size_t{64} << 20;
   AccelConfig accel = AccelConfig::paper_default();
   EnergyParams energy;
+  // Telemetry (src/obs): histograms/per-plan accumulators and request
+  // tracing. Defaults keep metrics on (the ≥0.95x overhead budget is
+  // checked by bench_serve) and tracing off.
+  ObsOptions obs;
 };
 
 class Server {
@@ -210,6 +241,28 @@ class Server {
   // The payload arena, or null when ServerOptions::use_arena is off.
   const std::shared_ptr<Arena>& arena() const { return arena_; }
 
+  // Full telemetry snapshot: every registry metric (counters and the
+  // ObsOptions::metrics histograms) plus pull-based gauges sampled now —
+  // cache hit/miss/eviction/entries/bytes, arena reuse/alloc/budget,
+  // queue depth/capacity, kernel-thread width, trace-ring drops. Merged
+  // shard reads carry the obs/metrics.hpp weak-consistency contract;
+  // the pulled gauges carry queue_depth()'s (each exact at its own read
+  // point, jointly from no single instant).
+  std::vector<obs::MetricSnapshot> metrics_snapshot() const;
+  // The snapshot rendered for scraping (obs/export.hpp).
+  std::string metrics_text() const;
+  std::string metrics_json() const;
+
+  // Drains the trace ring (oldest-first) — empty when tracing is off.
+  std::vector<obs::SpanRecord> drain_trace() { return trace_ring_.drain(); }
+  const obs::TraceRing& trace_ring() const { return trace_ring_; }
+
+  // Router hooks (ShardedServer): pre-assign trace ids from this shard's
+  // id source and deposit router-side spans (the route stage) into this
+  // shard's ring, so every record of one trace drains from one place.
+  obs::IdSource& trace_ids() { return trace_ids_; }
+  void push_span(const obs::SpanRecord& r) { trace_ring_.push(r); }
+
   // Closes intake, drains queued requests, joins workers, restores the
   // kernel-thread setting. Idempotent; the destructor calls it.
   void stop();
@@ -226,6 +279,16 @@ class Server {
   void serve_one(Item& item);
   void serve_fused(std::vector<Item>& window,
                    const std::vector<std::size_t>& members);
+  // Replays a served request's stage intervals (already measured into its
+  // ServeStats) as trace spans: queue -> plan -> convert -> exec laid
+  // end-to-end from `start_ns`. One ring lock per request, zero extra
+  // clock reads.
+  void record_trace(std::int64_t enqueue_ns, std::int64_t start_ns,
+                    const ServeStats& s);
+  // The exec-time histogram for this dispatch
+  // (mt_exec_ns{kernel=..,format=..,tier=..}), cached per combination so
+  // the steady state is one atomic pointer load. Null when metrics off.
+  obs::Histogram* exec_hist(const exec::Dispatch& d);
   BatchItem batch_item_for(const Request& r) const;
   Response serve(Request& req, std::int64_t queue_wait_ns);
   void execute_plan(Request& req, const PlanCache::PlanPtr& plan,
@@ -280,6 +343,21 @@ class Server {
   // buffers carry the shared_ptr through their allocator, so client-held
   // results stay valid after the server dies.
   std::shared_ptr<Arena> arena_;
+
+  // Telemetry. Declared before counters_: ServerCounters is a view over
+  // registry_ and binds its counters at construction.
+  obs::Registry registry_;
+  obs::IdSource trace_ids_;
+  obs::TraceRing trace_ring_;
+  // Cached registry references so the hot path never re-does a name
+  // lookup: the queue-wait histogram (null = ObsOptions::metrics off) and
+  // one lazily-bound slot per (kernel, ran-format, simd-tier) exec
+  // histogram. Benign create race: both racers get the same registry
+  // object.
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  std::array<std::atomic<obs::Histogram*>,
+             kAllKernels.size() * kAllFormats.size() * 2>
+      exec_hists_ = {};
 
   PlanCache plans_;
   ConversionCache reps_;

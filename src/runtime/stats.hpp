@@ -8,12 +8,12 @@
 // feeds bench_serve and the examples.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
 
 #include "exec/exec.hpp"
+#include "obs/metrics.hpp"
 
 namespace mt::runtime {
 
@@ -37,6 +37,8 @@ struct ServeStats {
   int batch_size = 1;         // requests sharing that launch (1 = alone)
   exec::Dispatch dispatch;    // how the exec engine ran the kernel
                               // (a coalesced SpMV reports the SpMM it ran)
+  std::uint64_t trace_id = 0;  // key into Server::drain_trace() records
+                               // (0 when tracing is off)
 
   std::int64_t total_ns() const {
     return queue_wait_ns + plan_ns + convert_ns + exec_ns;
@@ -102,56 +104,85 @@ struct CountersSnapshot {
   }
 };
 
-// Lock-free accumulation of ServeStats records across worker threads.
-// Relaxed ordering: counters are monotonic telemetry, not synchronization.
+// Lock-free accumulation of ServeStats records across worker threads — a
+// thin view over an obs::Registry. Each member points at a registry
+// counter (mt_serve_*_total), so everything record() folds in shows up in
+// Server::metrics_text() under the same names this snapshot reports, with
+// no second set of books.
+//
+// Consistency: snapshot() performs one merged shard read per counter (the
+// obs/metrics.hpp contract) — weakly consistent while workers are still
+// recording, exact once they are quiescent. The same shape as the queue's
+// size() contract: trends while running, exact totals at rest.
 class ServerCounters {
  public:
+  // Creates (or adopts) the mt_serve_* counters in `reg`. The references
+  // are stable for the registry's lifetime; the registry must outlive
+  // this view.
+  explicit ServerCounters(obs::Registry& reg)
+      : completed_(&reg.counter("mt_serve_requests_total")),
+        failed_(&reg.counter("mt_serve_failures_total")),
+        plan_hits_(&reg.counter("mt_serve_plan_hits_total")),
+        plan_misses_(&reg.counter("mt_serve_plan_misses_total")),
+        conversion_hits_(&reg.counter("mt_serve_conversion_hits_total")),
+        conversion_misses_(&reg.counter("mt_serve_conversion_misses_total")),
+        batches_(&reg.counter("mt_serve_batches_total")),
+        batched_requests_(&reg.counter("mt_serve_batched_requests_total")),
+        queue_wait_ns_(&reg.counter("mt_serve_queue_wait_ns_total")),
+        plan_ns_(&reg.counter("mt_serve_plan_ns_total")),
+        convert_ns_(&reg.counter("mt_serve_convert_ns_total")),
+        exec_ns_(&reg.counter("mt_serve_exec_ns_total")) {}
+
   void record(const ServeStats& s) {
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    (s.plan_cache_hit ? plan_hits_ : plan_misses_)
-        .fetch_add(1, std::memory_order_relaxed);
-    conversion_hits_.fetch_add(s.conversion_hits, std::memory_order_relaxed);
-    conversion_misses_.fetch_add(s.conversion_misses,
-                                 std::memory_order_relaxed);
-    queue_wait_ns_.fetch_add(s.queue_wait_ns, std::memory_order_relaxed);
-    plan_ns_.fetch_add(s.plan_ns, std::memory_order_relaxed);
-    convert_ns_.fetch_add(s.convert_ns, std::memory_order_relaxed);
-    exec_ns_.fetch_add(s.exec_ns, std::memory_order_relaxed);
+    completed_->inc();
+    (s.plan_cache_hit ? plan_hits_ : plan_misses_)->inc();
+    conversion_hits_->add(s.conversion_hits);
+    conversion_misses_->add(s.conversion_misses);
+    queue_wait_ns_->add(s.queue_wait_ns);
+    plan_ns_->add(s.plan_ns);
+    convert_ns_->add(s.convert_ns);
+    exec_ns_->add(s.exec_ns);
   }
 
-  void record_failure() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void record_failure() { failed_->inc(); }
 
   // Called once per fused launch that served `n` (> 1) requests; the
   // per-request record() calls above still happen for every member.
   void record_batch(int n) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    batched_requests_.fetch_add(n, std::memory_order_relaxed);
+    batches_->inc();
+    batched_requests_->add(n);
   }
 
   CountersSnapshot snapshot() const {
     CountersSnapshot c;
-    c.completed = completed_.load(std::memory_order_relaxed);
-    c.failed = failed_.load(std::memory_order_relaxed);
-    c.plan_hits = plan_hits_.load(std::memory_order_relaxed);
-    c.plan_misses = plan_misses_.load(std::memory_order_relaxed);
-    c.conversion_hits = conversion_hits_.load(std::memory_order_relaxed);
-    c.conversion_misses = conversion_misses_.load(std::memory_order_relaxed);
-    c.batches = batches_.load(std::memory_order_relaxed);
-    c.batched_requests = batched_requests_.load(std::memory_order_relaxed);
-    c.queue_wait_ns = queue_wait_ns_.load(std::memory_order_relaxed);
-    c.plan_ns = plan_ns_.load(std::memory_order_relaxed);
-    c.convert_ns = convert_ns_.load(std::memory_order_relaxed);
-    c.exec_ns = exec_ns_.load(std::memory_order_relaxed);
+    c.completed = completed_->value();
+    c.failed = failed_->value();
+    c.plan_hits = plan_hits_->value();
+    c.plan_misses = plan_misses_->value();
+    c.conversion_hits = conversion_hits_->value();
+    c.conversion_misses = conversion_misses_->value();
+    c.batches = batches_->value();
+    c.batched_requests = batched_requests_->value();
+    c.queue_wait_ns = queue_wait_ns_->value();
+    c.plan_ns = plan_ns_->value();
+    c.convert_ns = convert_ns_->value();
+    c.exec_ns = exec_ns_->value();
     return c;
   }
 
  private:
-  std::atomic<std::int64_t> completed_{0}, failed_{0};
-  std::atomic<std::int64_t> plan_hits_{0}, plan_misses_{0};
-  std::atomic<std::int64_t> conversion_hits_{0}, conversion_misses_{0};
-  std::atomic<std::int64_t> batches_{0}, batched_requests_{0};
-  std::atomic<std::int64_t> queue_wait_ns_{0}, plan_ns_{0}, convert_ns_{0},
-      exec_ns_{0};
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Counter* plan_hits_;
+  obs::Counter* plan_misses_;
+  obs::Counter* conversion_hits_;
+  obs::Counter* conversion_misses_;
+  obs::Counter* batches_;
+  obs::Counter* batched_requests_;
+  obs::Counter* queue_wait_ns_;
+  obs::Counter* plan_ns_;
+  obs::Counter* convert_ns_;
+  obs::Counter* exec_ns_;
 };
 
 }  // namespace mt::runtime

@@ -43,8 +43,10 @@ import re
 import sys
 
 # Directories holding OpenMP parallel loops that feed bit-identity-gated
-# results. Other directories (bench/, tests/) may use OpenMP freely.
-SCAN_DIRS = ("src/kernels", "src/exec")
+# results, plus the telemetry layer (src/obs must stay lock/atomic-based:
+# an OpenMP region on a metrics path would need the same justification).
+# Other directories (bench/, tests/) may use OpenMP freely.
+SCAN_DIRS = ("src/kernels", "src/exec", "src/obs")
 SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h"}
 
 # How many lines above a pragma a justification comment may sit.

@@ -35,6 +35,15 @@
 // ISSUE-8 bar (>= 0.95 — telemetry must cost under 5% of cached-serving
 // throughput) and is read by the CI perf-gate.
 //
+// A sixth comparison measures what the async device submission ring buys
+// on a modeled offload backend (mint, simulate_latency on): one serving
+// worker either blocks inside every device call — at most one job in
+// flight — or submits its whole drained window into the ring and claims
+// completions afterwards, overlapping the modeled device latency across
+// the ring's executor threads. The ratio device_inflight_over_blocking
+// is the ISSUE-9 bar (>= 1.2 — keeping >1 device job in flight per
+// worker must buy real throughput) and is read by the CI perf-gate.
+//
 // Client-side latency is aggregated with obs::Histogram (the same
 // log2-bucketed histogram the server exports), so quantiles are bucket
 // upper bounds — quantized, allocation-free, and mergeable across client
@@ -88,6 +97,10 @@ struct Config {
   int shard_count = 4;
   int shard_operands = 8;
   int shard_requests = 1200;  // per client
+  // Device phase: pipelined SpMV through the mint backend, async ring vs
+  // blocking offload, 1 serving worker either way.
+  int device_ring_workers = 4;
+  int device_requests = 300;  // per client
 };
 
 struct Operands {
@@ -131,12 +144,12 @@ ServerOptions make_options(const Config& cfg, bool caches_on) {
   ServerOptions o;
   o.num_workers = cfg.workers;
   o.queue_capacity = 64;
-  o.use_plan_cache = caches_on;
-  o.use_conversion_cache = caches_on;
+  o.caches.use_plan_cache = caches_on;
+  o.caches.use_conversion_cache = caches_on;
   // Batching off here: the cached/bypass numbers isolate what the caches
   // buy, and stay comparable to the recorded PR-3 baseline. The batching
   // phase below measures the batcher separately.
-  o.batching = BatchPolicy::kOff;
+  o.batch.policy = BatchPolicy::kOff;
   // Modest accelerator model: the SAGE search space is identical to the
   // paper default's; only the pricing arithmetic inputs differ.
   o.accel.num_pes = 64;
@@ -292,6 +305,8 @@ struct BatchModeResult {
   double throughput_rps = 0.0;
   Quantiles lat, queue_wait;
   CountersSnapshot counters;
+  // Device phase only: the ring's in-flight high-water mark (0 elsewhere).
+  std::int64_t ring_peak_in_flight = 0;
 };
 
 // Pipelined closed-loop: each client keeps `outstanding` SpMV requests in
@@ -336,8 +351,8 @@ double pipelined_spmv_loop(Server& srv, MatrixHandle h,
 
 BatchModeResult run_batch_mode(const Config& cfg, BatchPolicy policy) {
   ServerOptions o = make_options(cfg, /*caches_on=*/true);
-  o.batching = policy;
-  o.batch_window = cfg.batch_window;
+  o.batch.policy = policy;
+  o.batch.window = cfg.batch_window;
   Server srv(o);
 
   // One larger operand, SpMV-only traffic: the thousand-SpMVs-on-one-model
@@ -553,6 +568,66 @@ BatchModeResult run_obs_mode(const Config& cfg, bool obs_on) {
   return r;
 }
 
+// --- Async device-backend phase ---
+
+// Pipelined SpMV through the mint (modeled offload) backend with latency
+// simulation on, so every device job occupies its modeled wall-clock
+// (bounded). One serving worker either blocks inside each device call or
+// drains its window into the submission ring before claiming — the only
+// variable is whether >1 device job can be in flight per worker. Caches
+// are warm in both modes; the serving-side work is identical.
+BatchModeResult run_device_mode(const Config& cfg, bool async) {
+  ServerOptions o = make_options(cfg, /*caches_on=*/true);
+  o.num_workers = 1;
+  o.batch.policy = BatchPolicy::kWindow;  // the drained window feeds the ring
+  o.batch.window = cfg.batch_window;
+  o.backend.backend = exec::BackendKind::kMint;
+  o.backend.async = async;
+  o.backend.ring_slots = 32;
+  o.backend.ring_workers = cfg.device_ring_workers;
+  o.backend.simulate_latency = true;
+  o.backend.max_simulated_latency_ns = 500'000;  // bound the per-job sleep
+  Server srv(o);
+
+  // The batching phase's operand: density 0.04 keeps the modeled offload
+  // latency well above the per-request serving overhead, so the measured
+  // ratio reflects device-time overlap rather than host bookkeeping.
+  const index_t n = cfg.smoke ? 96 : 256;
+  const auto coo = synth_coo_matrix(
+      n, n, static_cast<std::int64_t>(0.04 * static_cast<double>(n * n)), 71);
+  const auto h = srv.register_matrix(convert(AnyMatrix(coo), Format::kCSR));
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.125f * static_cast<float>(i % 11) - 0.5f;
+  }
+  {
+    Request warm;  // resolve the plan + ACF rep outside the timed region
+    warm.kernel = Kernel::kSpMV;
+    warm.a = h;
+    warm.vec = x;
+    (void)srv.submit(warm).get();
+  }
+
+  BatchModeResult r;
+  for (int t = 0; t < cfg.trials; ++t) {
+    obs::Histogram lat;
+    const double thr =
+        pipelined_spmv_loop(srv, h, x, cfg.clients, cfg.spmv_outstanding,
+                            cfg.device_requests, lat);
+    if (thr > r.throughput_rps) {
+      r.throughput_rps = thr;
+      r.lat = quantiles_us(lat.snapshot());
+    }
+  }
+  r.queue_wait = queue_wait_quantiles(srv.metrics_snapshot());
+  r.counters = srv.counters();
+  if (srv.device_ring() != nullptr) {
+    r.ring_peak_in_flight = srv.device_ring()->stats().peak_in_flight;
+  }
+  srv.stop();
+  return r;
+}
+
 void print_batch_mode(const char* name, const BatchModeResult& r) {
   std::printf(
       "%-9s  %10.0f req/s   p50 %8.1f us  p95 %8.1f us  p99 %8.1f us\n"
@@ -596,7 +671,8 @@ void write_json(const Config& cfg, const ModeResult& cached,
                 const BatchModeResult& sharded,
                 const BatchModeResult& unsharded, double shard_speedup,
                 const BatchModeResult& obs_on, const BatchModeResult& obs_off,
-                double obs_ratio) {
+                double obs_ratio, const BatchModeResult& dev_async,
+                const BatchModeResult& dev_blocking, double device_ratio) {
   std::ofstream os(cfg.out);
   auto quantiles = [&](const char* prefix, const Quantiles& q) {
     os << "    \"" << prefix << "p50_us\": " << q.p50_us << ",\n"
@@ -642,7 +718,11 @@ void write_json(const Config& cfg, const ModeResult& cached,
      << "  \"speedup_cached_over_bypass\": " << speedup << ",\n"
      << "  \"speedup_batched_over_unbatched\": " << batch_speedup << ",\n"
      << "  \"speedup_sharded_over_unsharded\": " << shard_speedup << ",\n"
-     << "  \"obs_on_over_off\": " << obs_ratio << ",\n";
+     << "  \"obs_on_over_off\": " << obs_ratio << ",\n"
+     << "  \"device_ring_workers\": " << cfg.device_ring_workers << ",\n"
+     << "  \"device_ring_peak_in_flight\": " << dev_async.ring_peak_in_flight
+     << ",\n"
+     << "  \"device_inflight_over_blocking\": " << device_ratio << ",\n";
   mode("cached", cached, false);
   mode("bypass", bypass, false);
   batch_mode("batched", batched, false);
@@ -653,7 +733,11 @@ void write_json(const Config& cfg, const ModeResult& cached,
   // Telemetry-overhead phase: obs_off's queue_wait quantiles read 0 (the
   // histogram doesn't exist with metrics off).
   batch_mode("obs_on", obs_on, false);
-  batch_mode("obs_off", obs_off, true);
+  batch_mode("obs_off", obs_off, false);
+  // Device phase: both run with batching off on the device path (fusion
+  // is a host-kernel contract), so their batches fields read 0.
+  batch_mode("device_async", dev_async, false);
+  batch_mode("device_blocking", dev_blocking, true);
   os << "}\n";
 }
 
@@ -689,6 +773,7 @@ int main(int argc, char** argv) {
     cfg.trials = 1;
     cfg.spmv_requests = 400;
     cfg.shard_requests = 300;
+    cfg.device_requests = 120;
   }
 
   mt::bench::banner("Serving runtime: cached vs no-cache repeated traffic");
@@ -775,9 +860,32 @@ int main(int argc, char** argv) {
       obs_ratio >= 0.95 ? "(meets the >=0.95x acceptance bar)"
                         : "(below the 0.95x bar)");
 
+  // Async device-backend phase: modeled offload (mint) with simulated
+  // latency; the ring's submit-all-then-claim-all window vs blocking
+  // inside every device call.
+  mt::bench::subhead("async device ring (mint offload, pipelined SpMV)");
+  std::printf("1 worker, %d ring workers, %d clients x %d outstanding, "
+              "%d requests/client\n",
+              cfg.device_ring_workers, cfg.clients, cfg.spmv_outstanding,
+              cfg.device_requests);
+  const BatchModeResult dev_async = run_device_mode(cfg, /*async=*/true);
+  print_batch_mode("async", dev_async);
+  const BatchModeResult dev_blocking = run_device_mode(cfg, /*async=*/false);
+  print_batch_mode("blocking", dev_blocking);
+  const double device_ratio =
+      dev_blocking.throughput_rps > 0.0
+          ? dev_async.throughput_rps / dev_blocking.throughput_rps
+          : 0.0;
+  std::printf(
+      "\nthroughput ratio (async / blocking): %.2fx, ring peak in-flight "
+      "%lld %s\n",
+      device_ratio, static_cast<long long>(dev_async.ring_peak_in_flight),
+      device_ratio >= 1.2 ? "(meets the >=1.2x acceptance bar)"
+                          : "(below the 1.2x bar)");
+
   write_json(cfg, cached, bypass, open_rate, speedup, batched, unbatched,
              batch_speedup, sharded, unsharded, shard_speedup, obs_on,
-             obs_off, obs_ratio);
+             obs_off, obs_ratio, dev_async, dev_blocking, device_ratio);
   std::printf("wrote %s\n", cfg.out.c_str());
   return 0;
 }

@@ -39,12 +39,15 @@ import sys
 # sharded/unsharded >= 1.0x in PR 5 — sharding must not cost throughput
 # at equal total workers; multi-core runners see contention relief > 1,
 # obs on/off >= 0.95x in PR 8 — full telemetry may cost at most 5% of
-# cached-serving throughput).
+# cached-serving throughput, async/blocking >= 1.2x in PR 9 — the device
+# submission ring must buy real pipelining over blocking in every mint
+# call).
 SERVE_RATIOS = {
     "speedup_cached_over_bypass": 5.0,
     "speedup_batched_over_unbatched": 1.5,
     "speedup_sharded_over_unsharded": 1.0,
     "obs_on_over_off": 0.95,
+    "device_inflight_over_blocking": 1.2,
 }
 
 # Latency-quantile fields printed for the record but never gated: they are
@@ -60,6 +63,8 @@ SERVE_INFO_QUANTILES = (
     ("batched", "queue_wait_p99_us"),
     ("obs_on", "p99_us"),
     ("obs_off", "p99_us"),
+    ("device_async", "p99_us"),
+    ("device_blocking", "p99_us"),
 )
 
 # Per-kernel parallel-over-serial speedup. Bar 1.0: the OpenMP path must

@@ -164,8 +164,8 @@ int main() {
   sopts.shard.accel = opts.accel;
   // Per-shard cache budgets keep every shard bounded under operand churn
   // (cost-aware LRU: hot/expensive conversions survive pressure).
-  sopts.shard.conversion_cache_limits.max_entries = 64;
-  sopts.shard.plan_cache_limits.max_entries = 128;
+  sopts.shard.caches.conversion_limits.max_entries = 64;
+  sopts.shard.caches.plan_limits.max_entries = 128;
   ShardedServer fleet(sopts);
   std::printf("\nsharded: %d shards x %d worker(s)\n", fleet.num_shards(),
               sopts.shard.num_workers);

@@ -1,0 +1,198 @@
+#include "exec/backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "exec/backend_detail.hpp"
+
+namespace mt::exec {
+
+namespace {
+
+// Effective host MAC throughput used when pricing CPU execution: a coarse,
+// documented constant (single-threaded scalar fp32 order of magnitude) —
+// the point of the number is a stable *relative* scale against the device
+// models, not an absolute prediction. The fixed term covers per-call
+// dispatch and representation-borrowing overhead.
+constexpr double kCpuFlopsPerNs = 2.0;     // ~2 GFLOP/s
+constexpr double kCpuDispatchNs = 2000.0;
+
+const EnergyParams& energy_or_default(const EnergyParams* p) {
+  static const EnergyParams kDefault{};
+  return p == nullptr ? kDefault : *p;
+}
+
+class CpuBackend final : public Backend {
+ public:
+  BackendKind kind() const override { return BackendKind::kCpu; }
+
+  JobResult run(const Job& job) const override {
+    JobResult r;
+    switch (job.kernel) {
+      case Kernel::kSpMV:
+        MT_REQUIRE(job.a != nullptr && job.vec != nullptr,
+                   "SpMV job needs a matrix operand and an input vector");
+        r.output = spmv(*job.a, *job.vec, &r.dispatch);
+        break;
+      case Kernel::kGemm:
+      case Kernel::kSpMM:
+        // The one run() signature covers both historical SpMM entry
+        // points: a second compressed operand when present, the dense
+        // factor otherwise.
+        MT_REQUIRE(job.a != nullptr &&
+                       (job.b != nullptr || job.dense_b != nullptr),
+                   "SpMM job needs operand A and a B operand or factor");
+        r.output = job.b != nullptr ? spmm(*job.a, *job.b, &r.dispatch)
+                                    : spmm(*job.a, *job.dense_b, &r.dispatch);
+        break;
+      case Kernel::kSpGEMM:
+        MT_REQUIRE(job.a != nullptr && job.b != nullptr,
+                   "SpGEMM job needs two compressed operands");
+        r.output = spgemm(*job.a, *job.b, &r.dispatch);
+        break;
+      case Kernel::kSpTTM:
+        MT_REQUIRE(job.x != nullptr && job.dense_b != nullptr,
+                   "SpTTM job needs a tensor operand and a dense factor");
+        r.output = ttm(*job.x, *job.dense_b, &r.dispatch);
+        break;
+      case Kernel::kMTTKRP:
+        MT_REQUIRE(job.x != nullptr && job.dense_b != nullptr &&
+                       job.dense_c != nullptr,
+                   "MTTKRP job needs a tensor operand and two dense factors");
+        r.output = mttkrp(*job.x, *job.dense_b, *job.dense_c, &r.dispatch);
+        break;
+    }
+    return r;
+  }
+
+  BackendCost price(const PricingInput& in) const override {
+    BackendCost c;
+    c.ns = kCpuDispatchNs + static_cast<double>(in.flops) / kCpuFlopsPerNs;
+    c.energy_j = energy_or_default(in.energy).cpu_tdp_w * c.ns * 1e-9;
+    return c;
+  }
+};
+
+// Modeled offload: CPU kernels produce the bytes (bit-identical to
+// CpuBackend), the SAGE/MINT cost model of the plan's winning combination
+// produces the latency. With simulate_latency on, run() occupies the
+// modeled wall-clock (bounded), which is what lets an async submission
+// ring demonstrate real in-flight overlap even on a single-core host.
+class MintBackend final : public Backend {
+ public:
+  explicit MintBackend(const MintBackendOptions& opts) : opts_(opts) {}
+
+  BackendKind kind() const override { return BackendKind::kMint; }
+
+  JobResult run(const Job& job) const override {
+    JobResult r = cpu_.run(job);
+    r.dispatch.backend = BackendKind::kMint;
+    r.dispatch.tier = ExecTier::kDevice;
+    r.device_ns = job.modeled_ns;
+    if (opts_.simulate_latency && job.modeled_ns > 0) {
+      const auto sleep_ns =
+          std::min(job.modeled_ns, opts_.max_simulated_latency_ns);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+    }
+    return r;
+  }
+
+  BackendCost price(const PricingInput& in) const override {
+    const EnergyParams& energy = energy_or_default(in.energy);
+    BackendCost c;
+    if (in.sage_cost != nullptr) {
+      // Full offload envelope: DRAM streaming + MINT conversion +
+      // accelerator compute of the winning combination.
+      c.ns = energy.seconds(in.sage_cost->total_cycles()) * 1e9;
+      c.energy_j = in.sage_cost->total_energy_j();
+      return c;
+    }
+    // No SAGE search ran (plain GEMM): dense MACs at the accelerator's
+    // full vector rate, plus the PCIe-style transfer setup the offload
+    // model charges per job.
+    const AccelConfig cfg =
+        in.accel != nullptr ? *in.accel : AccelConfig::paper_default();
+    const double macs = static_cast<double>(in.flops) / 2.0;
+    const double cycles = macs / static_cast<double>(cfg.total_macs());
+    c.ns = energy.pcie_latency_s * 1e9 +
+           energy.seconds(static_cast<std::int64_t>(cycles)) * 1e9;
+    c.energy_j = macs * energy.mac_energy_j(cfg.dtype);
+    return c;
+  }
+
+ private:
+  CpuBackend cpu_;
+  MintBackendOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                      const MintBackendOptions& mint) {
+  switch (kind) {
+    case BackendKind::kCpu: return std::make_unique<CpuBackend>();
+    case BackendKind::kSim: return detail::make_sim_backend();
+    case BackendKind::kMint: return std::make_unique<MintBackend>(mint);
+  }
+  MT_ENSURE(false, "unknown backend kind");
+  return nullptr;
+}
+
+namespace {
+
+double span_err(const value_t* a, const value_t* b, std::size_t n) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = a[i], y = b[i];
+    const double scale = std::max({1.0, std::abs(x), std::abs(y)});
+    worst = std::max(worst, std::abs(x - y) / scale);
+  }
+  return worst;
+}
+
+constexpr double kShapeMismatch = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double max_rel_error(const JobOutput& a, const JobOutput& b) {
+  if (a.index() != b.index()) return kShapeMismatch;
+  if (const auto* va = std::get_if<std::vector<value_t>>(&a)) {
+    const auto& vb = std::get<std::vector<value_t>>(b);
+    if (va->size() != vb.size()) return kShapeMismatch;
+    return span_err(va->data(), vb.data(), va->size());
+  }
+  if (const auto* ma = std::get_if<DenseMatrix>(&a)) {
+    const auto& mb = std::get<DenseMatrix>(b);
+    if (ma->rows() != mb.rows() || ma->cols() != mb.cols()) {
+      return kShapeMismatch;
+    }
+    return span_err(ma->values().data(), mb.values().data(),
+                    static_cast<std::size_t>(ma->size()));
+  }
+  if (const auto* ca = std::get_if<CsrMatrix>(&a)) {
+    const auto& cb = std::get<CsrMatrix>(b);
+    if (ca->rows() != cb.rows() || ca->cols() != cb.cols()) {
+      return kShapeMismatch;
+    }
+    // Compare on decoded dense values: the two backends may keep different
+    // explicit-zero patterns for the same numerical product.
+    const DenseMatrix da = csr_to_dense(*ca), db = csr_to_dense(cb);
+    return span_err(da.values().data(), db.values().data(),
+                    static_cast<std::size_t>(da.size()));
+  }
+  const auto& ta = std::get<DenseTensor3>(a);
+  const auto& tb = std::get<DenseTensor3>(b);
+  if (ta.dim_x() != tb.dim_x() || ta.dim_y() != tb.dim_y() ||
+      ta.dim_z() != tb.dim_z()) {
+    return kShapeMismatch;
+  }
+  return span_err(ta.values().data(), tb.values().data(),
+                  static_cast<std::size_t>(ta.size()));
+}
+
+}  // namespace mt::exec

@@ -1,0 +1,14 @@
+// Internal seam between backend.cpp (factory) and sim_backend.cpp (the
+// cycle-simulator backend's lowering machinery). Not part of the public
+// exec API — include exec/backend.hpp instead.
+#pragma once
+
+#include <memory>
+
+#include "exec/backend.hpp"
+
+namespace mt::exec::detail {
+
+std::unique_ptr<Backend> make_sim_backend();
+
+}  // namespace mt::exec::detail

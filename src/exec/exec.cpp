@@ -157,7 +157,8 @@ Dispatch make_dispatch(Kernel k, Format fa) {
   Dispatch d;
   d.kernel = k;
   d.given_a = d.ran_a = fa;
-  d.simd = simd_enabled();
+  d.backend = BackendKind::kCpu;
+  d.tier = simd_enabled() ? ExecTier::kSimd : ExecTier::kScalar;
   return d;
 }
 

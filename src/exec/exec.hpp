@@ -37,9 +37,29 @@ constexpr std::string_view name_of(Path p) {
   return p == Path::kNative ? "native" : "fallback";
 }
 
+// Which execution substrate ran (or would run) a job. kCpu is the
+// OpenMP/SIMD kernel library underneath the free functions below; kSim is
+// the cycle-accurate accelerator simulator (src/accel, "slow accurate");
+// kMint is the MINT modeled-offload pipeline (bit-exact CPU results priced
+// and optionally delayed by the accelerator cost model). See backend.hpp.
+enum class BackendKind : std::uint8_t { kCpu, kSim, kMint };
+
+constexpr std::string_view name_of(BackendKind b) {
+  switch (b) {
+    case BackendKind::kCpu: return "cpu";
+    case BackendKind::kSim: return "sim";
+    case BackendKind::kMint: return "mint";
+  }
+  return "?";
+}
+
+// Execution tier within a backend: the CPU backend dispatches scalar or
+// SIMD kernel bodies; device backends run as a single device tier.
+enum class ExecTier : std::uint8_t { kScalar, kSimd, kDevice };
+
 // How one engine call was executed: the operand formats as handed in and
 // the formats the kernel actually consumed (equal on the native path),
-// plus which kernel tier (SIMD or scalar) was live at dispatch time.
+// plus the backend x tier that was live at dispatch time.
 struct Dispatch {
   Kernel kernel = Kernel::kSpMV;
   Path path = Path::kNative;
@@ -48,15 +68,37 @@ struct Dispatch {
   bool has_b = false;               // second compressed operand present
   Format given_b = Format::kDense;
   Format ran_b = Format::kDense;
-  bool simd = false;                // mt::simd_enabled() when dispatched —
-                                    // labels the obs exec-time histograms
+  BackendKind backend = BackendKind::kCpu;
+  ExecTier tier = ExecTier::kScalar;  // kSimd iff mt::simd_enabled() when
+                                      // the CPU backend dispatched
 
   std::string describe() const;  // e.g. "SpMV over DIA: fallback via CSR"
 };
 
 // The tier label the observability layer attaches to exec histograms.
-constexpr std::string_view tier_name(bool simd) {
-  return simd ? "avx2" : "scalar";
+// CPU keeps the pre-backend label values ("scalar"/"avx2") so existing
+// mt_exec_ns{...,tier=...} series names stay stable for scrapes; device
+// backends add new values in the same label key instead of overloading
+// the CPU ones (a scalar CPU run and a device run are different series).
+constexpr std::string_view tier_label(BackendKind b, ExecTier t) {
+  switch (b) {
+    case BackendKind::kCpu: return t == ExecTier::kSimd ? "avx2" : "scalar";
+    case BackendKind::kSim: return "sim";
+    case BackendKind::kMint: return "mint";
+  }
+  return "?";
+}
+
+// Dense index of the (backend, tier) combination for per-tier telemetry
+// slot arrays; kNumTierSlots is the array extent.
+inline constexpr std::size_t kNumTierSlots = 4;
+constexpr std::size_t tier_slot(BackendKind b, ExecTier t) {
+  switch (b) {
+    case BackendKind::kCpu: return t == ExecTier::kSimd ? 1 : 0;
+    case BackendKind::kSim: return 2;
+    case BackendKind::kMint: return 3;
+  }
+  return 0;
 }
 
 // --- Entry points (one per kernel; the sparse operand is format-generic) ---

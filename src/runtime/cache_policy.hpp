@@ -42,6 +42,8 @@ struct CacheOptions {
   std::size_t max_entries = kUnboundedCacheLimit;
   std::size_t max_bytes = kUnboundedCacheLimit;
 
+  bool operator==(const CacheOptions&) const = default;
+
   bool bypass() const { return max_entries == 0 || max_bytes == 0; }
   bool bounded() const {
     return max_entries != kUnboundedCacheLimit ||

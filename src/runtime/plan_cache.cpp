@@ -26,6 +26,7 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
   mix(h, k.b);
   mix(h, k.model);
   mix(h, static_cast<std::uint64_t>(k.width));
+  mix(h, static_cast<std::uint64_t>(k.backend));
   return h;
 }
 

@@ -31,6 +31,7 @@
 
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
+#include "exec/exec.hpp"
 #include "formats/format.hpp"
 #include "runtime/cache_policy.hpp"
 #include "sage/sage.hpp"
@@ -49,6 +50,10 @@ struct PlanKey {
   std::uint64_t model = 0;  // sage::plan_fingerprint(cfg, energy)
   index_t width = 0;        // dense factor columns: N for SpMM, rank for
                             // tensor kernels, 1 for SpMV, 0 otherwise
+  // Execution substrate the plan routes to. Same workload, different
+  // backend => different plan: the executed ACFs may repair differently
+  // and the priced costs certainly do.
+  exec::BackendKind backend = exec::BackendKind::kCpu;
 
   bool operator==(const PlanKey&) const = default;
 };
@@ -68,6 +73,16 @@ struct Plan {
   SageTensorChoice tensor_choice;  // tensor kernels
   Format run_a = Format::kDense;   // executed ACF of operand A / tensor X
   Format run_b = Format::kDense;   // executed ACF of operand B (if any)
+  // The backend dimension: which substrate executes this plan, and what
+  // each configured backend charges for the workload (exec::Backend::
+  // price). Both prices are recorded even under forced routing so stats
+  // and benches can compare the host and device envelopes per plan.
+  exec::BackendKind backend = exec::BackendKind::kCpu;
+  double cpu_cost_ns = 0.0;     // CpuBackend's predicted latency
+  double device_cost_ns = 0.0;  // device backend's price (0 = none built)
+  // device_cost_ns rounded to whole ns — travels as Job::modeled_ns, i.e.
+  // the latency MintBackend reports (and optionally enforces).
+  std::int64_t modeled_device_ns = 0;
   // Per-plan exec-latency accumulator (mt_plan_exec_ns{plan="..."}),
   // owned by the Server's obs::Registry and wired at plan creation; null
   // when telemetry is off. Living on the plan keeps the hot path at one

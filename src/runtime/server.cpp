@@ -1,7 +1,10 @@
 #include "runtime/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <deque>
+#include <stdexcept>
 #include <utility>
 
 #include "common/error.hpp"
@@ -10,6 +13,50 @@
 #include "sage/plan_key.hpp"
 
 namespace mt::runtime {
+
+// normalized() is the one place the deprecated flat aliases are still
+// read — by design, so the fold-in itself compiles warning-free.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+ServerOptions::ServerOptions() = default;
+ServerOptions::ServerOptions(const ServerOptions&) = default;
+ServerOptions::ServerOptions(ServerOptions&&) = default;
+ServerOptions& ServerOptions::operator=(const ServerOptions&) = default;
+ServerOptions& ServerOptions::operator=(ServerOptions&&) = default;
+ServerOptions::~ServerOptions() = default;
+
+ServerOptions ServerOptions::normalized() const {
+  ServerOptions n = *this;
+  const ServerOptions defaults;
+  // An alias left at its default is treated as unset (group field wins);
+  // a changed alias overrides the group. Group and alias defaults are
+  // identical, so explicitly re-setting an alias to the default is a
+  // no-op either way.
+  if (use_plan_cache != defaults.use_plan_cache) {
+    n.caches.use_plan_cache = use_plan_cache;
+  }
+  if (use_conversion_cache != defaults.use_conversion_cache) {
+    n.caches.use_conversion_cache = use_conversion_cache;
+  }
+  if (!(plan_cache_limits == defaults.plan_cache_limits)) {
+    n.caches.plan_limits = plan_cache_limits;
+  }
+  if (!(conversion_cache_limits == defaults.conversion_cache_limits)) {
+    n.caches.conversion_limits = conversion_cache_limits;
+  }
+  if (batching != defaults.batching) n.batch.policy = batching;
+  if (batch_window != defaults.batch_window) n.batch.window = batch_window;
+  if (use_arena != defaults.use_arena) n.arena.enabled = use_arena;
+  if (arena_max_cached_bytes != defaults.arena_max_cached_bytes) {
+    n.arena.max_cached_bytes = arena_max_cached_bytes;
+  }
+  return n;
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -106,20 +153,36 @@ class ThreadCapRegistry {
 }  // namespace
 
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts)),
+    : opts_(opts.normalized()),
       accel_(opts_.accel),
       energy_(opts_.energy),
       fingerprint_(plan_fingerprint(opts_.accel, opts_.energy)),
-      arena_(opts_.use_arena
-                 ? std::make_shared<Arena>(opts_.arena_max_cached_bytes)
+      arena_(opts_.arena.enabled
+                 ? std::make_shared<Arena>(opts_.arena.max_cached_bytes)
                  : nullptr),
       trace_ring_(opts_.obs.trace_ring_capacity),
-      plans_(opts_.plan_cache_limits),
-      reps_(opts_.conversion_cache_limits),
+      plans_(opts_.caches.plan_limits),
+      reps_(opts_.caches.conversion_limits),
       counters_(registry_),
       queue_(opts_.queue_capacity) {
   MT_REQUIRE(opts_.num_workers >= 1, "server needs at least one worker");
-  MT_REQUIRE(opts_.batch_window >= 1, "batch window must be at least 1");
+  MT_REQUIRE(opts_.batch.window >= 1, "batch window must be at least 1");
+  cpu_backend_ = exec::make_backend(exec::BackendKind::kCpu);
+  if (opts_.backend.backend != exec::BackendKind::kCpu) {
+    exec::MintBackendOptions mo;
+    mo.simulate_latency = opts_.backend.simulate_latency;
+    mo.max_simulated_latency_ns = opts_.backend.max_simulated_latency_ns;
+    device_backend_ = exec::make_backend(opts_.backend.backend, mo);
+    if (opts_.backend.async) {
+      exec::RingOptions ro;
+      ro.slots = opts_.backend.ring_slots;
+      ro.workers = opts_.backend.ring_workers;
+      ring_ = std::make_unique<exec::DeviceRing>(*device_backend_, ro);
+    }
+  } else {
+    MT_REQUIRE(!opts_.backend.async && !opts_.backend.dual_run,
+               "async submission and dual-run need a device backend");
+  }
   if (opts_.obs.metrics) {
     queue_wait_hist_ = &registry_.histogram("mt_serve_queue_wait_ns");
   }
@@ -145,6 +208,10 @@ void Server::stop() {
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  // Workers claim every ticket they submitted before exiting, so by here
+  // the ring is idle; stop it after the joins so no claim ever races a
+  // drained ring.
+  if (ring_ != nullptr) ring_->stop();
   if (capped_threads_) ThreadCapRegistry::instance().release(opts_.num_workers);
 }
 
@@ -218,7 +285,7 @@ ConversionCache::MatrixPtr Server::matrix_rep(MatrixHandle h, Format f,
                                               ServeStats& s) {
   MT_REQUIRE(h.valid(), "request names no matrix operand");
   auto src = matrix_src(h.id);
-  if (!opts_.use_conversion_cache) {
+  if (!opts_.caches.use_conversion_cache) {
     if (format_of(*src) == f) {
       // Identity needs no conversion even with the cache bypassed.
       ++s.conversion_hits;
@@ -242,7 +309,7 @@ ConversionCache::TensorPtr Server::tensor_rep(TensorHandle h, Format f,
                                               ServeStats& s) {
   MT_REQUIRE(h.valid(), "request names no tensor operand");
   auto src = tensor_src(h.id);
-  if (!opts_.use_conversion_cache) {
+  if (!opts_.caches.use_conversion_cache) {
     if (format_of(*src) == f) {
       ++s.conversion_hits;
       return src;
@@ -296,6 +363,7 @@ PlanKey Server::key_for(const Request& r, std::uint64_t model) const {
   PlanKey k;
   k.kernel = r.kernel;
   k.model = model;
+  k.backend = opts_.backend.backend;
   if (is_tensor_kernel(r.kernel)) {
     k.a = r.x.id;
     k.width = r.dense_b.cols();
@@ -371,6 +439,29 @@ PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s,
       break;
     }
   }
+  // The backend dimension: price the workload on the host and (when one
+  // is configured) the device, and stamp which substrate executes it.
+  // The SAGE CostBreakdown of the winning combination — where a search
+  // ran — is the device envelope; plain GEMM prices on the MAC estimate.
+  {
+    exec::PricingInput pin;
+    pin.kernel = r.kernel;
+    pin.flops = flops_for(r);
+    if (is_tensor_kernel(r.kernel)) {
+      pin.sage_cost = &plan->tensor_choice.cost;
+    } else if (r.kernel != Kernel::kGemm) {
+      pin.sage_cost = &plan->choice.cost;
+    }
+    pin.accel = &accel;
+    pin.energy = &energy;
+    plan->cpu_cost_ns = cpu_backend_->price(pin).ns;
+    if (device_backend_ != nullptr) {
+      plan->backend = opts_.backend.backend;
+      plan->device_cost_ns = device_backend_->price(pin).ns;
+      plan->modeled_device_ns =
+          static_cast<std::int64_t>(std::llround(plan->device_cost_ns));
+    }
+  }
   if (opts_.obs.metrics) {
     // Per-plan latency accumulator, labeled by the plan key's fingerprint.
     // Re-deriving an evicted plan rebinds the same histogram, so a plan's
@@ -390,7 +481,7 @@ PlanCache::PlanPtr Server::resolve_plan(const Request& r, ServeStats& s) {
   // model always agree, even when update_model() lands mid-request.
   const ModelSnapshot model = model_snapshot();
   PlanCache::PlanPtr plan;
-  if (!opts_.use_plan_cache) {
+  if (!opts_.caches.use_plan_cache) {
     s.plan_cache_hit = false;
     plan = compute_plan(r, s, model);
   } else {
@@ -456,7 +547,9 @@ Response Server::serve(Request& req, std::int64_t queue_wait_ns) {
 }
 
 // Conversion + kernel execution under an already-resolved plan; fills
-// resp.result and the convert/exec sections of resp.stats.
+// resp.result and the convert/exec sections of resp.stats. The blocking
+// path: one Backend::run on the calling worker (the async path is
+// serve_window_async).
 void Server::execute_plan(Request& req, const PlanCache::PlanPtr& plan,
                           Response& resp) {
   ServeStats& s = resp.stats;
@@ -471,48 +564,127 @@ void Server::execute_plan(Request& req, const PlanCache::PlanPtr& plan,
   }
   s.convert_ns = now_ns() - t_conv;
 
+  const bool on_device =
+      device_backend_ != nullptr && plan->backend != exec::BackendKind::kCpu;
+  JobBundle jb;
+  fill_job(jb, req, *plan, rep_a.get(), rep_b.get(), rep_x.get(), on_device);
+  // The snapshot must outlive run(): SimBackend reads the config while
+  // executing, and a concurrent update_model() may swap the live one.
+  const ModelSnapshot model = model_snapshot();
+  jb.job.accel = &model.accel;
+  jb.job.energy = &model.energy;
+
   const auto t_exec = now_ns();
-  switch (req.kernel) {
-    case Kernel::kSpMV:
-      if (coalescible_spmv_format(plan->run_a) &&
-          exec::has_native(Kernel::kSpMM, plan->run_a)) {
-        // Coalescible plans serve through the SpMM twin as a width-1
-        // column stack — exactly the coalesced path with one member — so
-        // response bits never depend on batch timing, in every kernel
-        // tier. (The SIMD SpMV row kernel reduces 8 lanes in a tree and
-        // would otherwise round differently from the twin; it remains the
-        // fast path for direct exec::spmv use.) In the scalar tier the
-        // twin's column bits equal exec::spmv's, so this changes nothing
-        // with SIMD off.
-        const DenseMatrix b1 = exec::stack_columns({&req.vec}, dense_alloc());
-        resp.result = exec::column_of(exec::spmm(*rep_a, b1, &s.dispatch), 0);
-      } else {
-        resp.result = exec::spmv(*rep_a, req.vec, &s.dispatch);
-      }
-      break;
-    case Kernel::kGemm:
-    case Kernel::kSpMM:
-      if (rep_b != nullptr) {
-        resp.result = exec::spmm(*rep_a, *rep_b, &s.dispatch);
-      } else {
-        resp.result = exec::spmm(*rep_a, req.dense_b, &s.dispatch);
-      }
-      break;
-    case Kernel::kSpGEMM:
-      MT_REQUIRE(rep_b != nullptr, "SpGEMM needs two registered operands");
-      resp.result = exec::spgemm(*rep_a, *rep_b, &s.dispatch);
-      break;
-    case Kernel::kSpTTM:
-      resp.result = exec::ttm(*rep_x, req.dense_b, &s.dispatch);
-      break;
-    case Kernel::kMTTKRP:
-      resp.result = exec::mttkrp(*rep_x, req.dense_b, req.dense_c,
-                                 &s.dispatch);
-      break;
+  exec::JobResult jr =
+      on_device ? device_backend_->run(jb.job) : cpu_backend_->run(jb.job);
+  if (on_device && opts_.backend.dual_run) dual_run_check(jb.job, jr);
+  s.dispatch = jr.dispatch;
+  s.device_ns = jr.device_ns;
+  if (jb.unstack) {
+    resp.result = exec::column_of(std::get<DenseMatrix>(jr.output), 0);
+  } else {
+    resp.result = std::move(jr.output);
   }
   s.exec_ns = now_ns() - t_exec;
   if (plan->latency != nullptr) plan->latency->record(s.exec_ns);
   if (auto* h = exec_hist(s.dispatch)) h->record(s.exec_ns);
+}
+
+void Server::fill_job(JobBundle& jb, const Request& req, const Plan& plan,
+                      const AnyMatrix* rep_a, const AnyMatrix* rep_b,
+                      const AnyTensor* rep_x, bool device) const {
+  exec::Job& job = jb.job;
+  job.kernel = req.kernel;
+  job.alloc = dense_alloc();
+  job.modeled_ns = plan.modeled_device_ns;
+  switch (req.kernel) {
+    case Kernel::kSpMV:
+      if (!device && coalescible_spmv_format(plan.run_a) &&
+          exec::has_native(Kernel::kSpMM, plan.run_a)) {
+        // CPU backend only: coalescible plans serve through the SpMM twin
+        // as a width-1 column stack — exactly the coalesced path with one
+        // member — so response bits never depend on batch timing, in
+        // every kernel tier. (The SIMD SpMV row kernel reduces 8 lanes in
+        // a tree and would otherwise round differently from the twin.)
+        // Device backends take the SpMV job as-is: fusion is disabled on
+        // the device path, so there is no batch-timing bit contract to
+        // keep, and the sim lowers SpMV to a k x 1 matmul anyway.
+        jb.staged_b = exec::stack_columns({&req.vec}, job.alloc);
+        jb.unstack = true;
+        job.kernel = Kernel::kSpMM;
+        job.a = rep_a;
+        job.dense_b = &jb.staged_b;
+      } else {
+        job.a = rep_a;
+        job.vec = &req.vec;
+      }
+      break;
+    case Kernel::kGemm:
+    case Kernel::kSpMM:
+      job.a = rep_a;
+      if (rep_b != nullptr) {
+        job.b = rep_b;
+      } else {
+        job.dense_b = &req.dense_b;
+      }
+      break;
+    case Kernel::kSpGEMM:
+      MT_REQUIRE(rep_b != nullptr, "SpGEMM needs two registered operands");
+      job.a = rep_a;
+      job.b = rep_b;
+      break;
+    case Kernel::kSpTTM:
+      job.x = rep_x;
+      job.dense_b = &req.dense_b;
+      break;
+    case Kernel::kMTTKRP:
+      job.x = rep_x;
+      job.dense_b = &req.dense_b;
+      job.dense_c = &req.dense_c;
+      break;
+  }
+}
+
+void Server::dual_run_check(const exec::Job& job,
+                            const exec::JobResult& device) {
+  const exec::JobResult host = cpu_backend_->run(job);
+  const double err = exec::max_rel_error(host.output, device.output);
+  const bool ok = err <= opts_.backend.dual_run_tolerance;
+  counters_.record_dual_run(ok);
+  if (!ok) {
+    throw std::runtime_error(
+        "dual-run mismatch: device output diverges from the host kernels "
+        "(max relative error " +
+        std::to_string(err) + ")");
+  }
+}
+
+std::int64_t Server::flops_for(const Request& r) const {
+  switch (r.kernel) {
+    case Kernel::kSpMV:
+      return 2 * nnz_of(*matrix_src(r.a.id));
+    case Kernel::kGemm:
+    case Kernel::kSpMM: {
+      const auto a = matrix_src(r.a.id);
+      const auto width = static_cast<std::int64_t>(
+          r.b.valid() ? cols_of(*matrix_src(r.b.id)) : r.dense_b.cols());
+      return 2 * nnz_of(*a) * width;
+    }
+    case Kernel::kSpGEMM: {
+      const auto a = matrix_src(r.a.id);
+      const auto b = matrix_src(r.b.id);
+      // Expected MACs of the product: nnz(A) times B's average row fill.
+      const auto rows_b =
+          std::max<std::int64_t>(1, static_cast<std::int64_t>(rows_of(*b)));
+      return 2 * nnz_of(*a) *
+             std::max<std::int64_t>(1, nnz_of(*b) / rows_b);
+    }
+    case Kernel::kSpTTM:
+    case Kernel::kMTTKRP:
+      return 2 * nnz_of(*tensor_src(r.x.id)) *
+             static_cast<std::int64_t>(r.dense_b.cols());
+  }
+  return 0;
 }
 
 // --- Batched serving (runtime/batcher.hpp) ---
@@ -522,17 +694,28 @@ void Server::worker_loop() {
   while (auto item = queue_.pop()) {
     window.clear();
     window.push_back(std::move(*item));
-    if (opts_.batching == BatchPolicy::kWindow && opts_.batch_window > 1) {
+    if (opts_.batch.policy == BatchPolicy::kWindow && opts_.batch.window > 1) {
       // Extend the window with whatever is already queued — never wait
       // for more traffic; an idle queue means a window of one.
       queue_.try_pop_n(window,
-                       static_cast<std::size_t>(opts_.batch_window - 1));
+                       static_cast<std::size_t>(opts_.batch.window - 1));
     }
     serve_window(window);
   }
 }
 
 void Server::serve_window(std::vector<Item>& window) {
+  if (ring_ != nullptr) {
+    serve_window_async(window);
+    return;
+  }
+  if (device_backend_ != nullptr) {
+    // Blocking device path. Fusion's gather/scatter twin is a host-kernel
+    // bit contract, so device windows serve one request per job; the
+    // window drain itself still amortizes queue wakeups.
+    for (auto& item : window) serve_one(item);
+    return;
+  }
   if (window.size() == 1) {
     serve_one(window.front());
     return;
@@ -568,6 +751,92 @@ void Server::serve_one(Item& item) {
   }
 }
 
+void Server::serve_window_async(std::vector<Item>& window) {
+  // Submit phase: every request of the drained window enters the ring
+  // before any completion is claimed, so this one worker keeps up to
+  // window-size device jobs in flight. The ring counts only queued
+  // descriptors against its slot bound (not executing or completed jobs),
+  // so submit-all-then-claim-all can never deadlock.
+  struct Pending {
+    Item* item = nullptr;
+    ServeStats stats;
+    PlanCache::PlanPtr plan;
+    ConversionCache::MatrixPtr rep_a, rep_b;
+    ConversionCache::TensorPtr rep_x;
+    JobBundle bundle;
+    ModelSnapshot model;
+    exec::DeviceRing::Ticket ticket = exec::DeviceRing::kInvalidTicket;
+    std::int64_t start_ns = 0;
+  };
+  // deque: element addresses are stable under push_back, and the
+  // submitted job's operand/model pointers point into its Pending.
+  std::deque<Pending> pending;
+  for (auto& item : window) {
+    const auto start = now_ns();
+    Pending& p = pending.emplace_back();
+    try {
+      p.item = &item;
+      p.start_ns = start;
+      p.stats.queue_wait_ns = start - item.enqueue_ns;
+      p.stats.trace_id = item.req.trace_id;
+      p.plan = resolve_plan(item.req, p.stats);
+      const auto t_conv = now_ns();
+      if (is_tensor_kernel(item.req.kernel)) {
+        p.rep_x = tensor_rep(item.req.x, p.plan->run_a, p.stats);
+      } else {
+        p.rep_a = matrix_rep(item.req.a, p.plan->run_a, p.stats);
+        if (item.req.b.valid()) {
+          p.rep_b = matrix_rep(item.req.b, p.plan->run_b, p.stats);
+        }
+      }
+      p.stats.convert_ns = now_ns() - t_conv;
+      p.model = model_snapshot();
+      fill_job(p.bundle, item.req, *p.plan, p.rep_a.get(), p.rep_b.get(),
+               p.rep_x.get(), /*device=*/true);
+      p.bundle.job.accel = &p.model.accel;
+      p.bundle.job.energy = &p.model.energy;
+      p.ticket = ring_->submit(p.bundle.job);
+      if (p.ticket == exec::DeviceRing::kInvalidTicket) {
+        throw std::runtime_error(
+            "server is stopping; device ring rejected the job");
+      }
+    } catch (...) {
+      counters_.record_failure();
+      item.promise.set_exception(std::current_exception());
+      pending.pop_back();
+    }
+  }
+  // Claim phase, in submission order. Operands (reps, request payloads,
+  // model snapshots) stay alive in `pending`/`window` until each ticket
+  // is claimed — the ring's lifetime contract.
+  for (auto& p : pending) {
+    try {
+      const auto t_wait = now_ns();
+      exec::JobResult jr = ring_->wait(p.ticket);
+      p.stats.device_wait_ns = now_ns() - t_wait;
+      if (opts_.backend.dual_run) dual_run_check(p.bundle.job, jr);
+      Response resp;
+      resp.stats = p.stats;
+      ServeStats& s = resp.stats;
+      s.dispatch = jr.dispatch;
+      s.device_ns = jr.device_ns;
+      s.exec_ns = jr.run_ns;  // device-side wall time of this job
+      resp.result = std::move(jr.output);
+      if (p.plan->latency != nullptr) p.plan->latency->record(s.exec_ns);
+      if (auto* h = exec_hist(s.dispatch)) h->record(s.exec_ns);
+      if (queue_wait_hist_ != nullptr) {
+        queue_wait_hist_->record(s.queue_wait_ns);
+      }
+      record_trace(p.item->enqueue_ns, p.start_ns, s);
+      counters_.record(s);
+      p.item->promise.set_value(std::move(resp));
+    } catch (...) {
+      counters_.record_failure();
+      p.item->promise.set_exception(std::current_exception());
+    }
+  }
+}
+
 void Server::record_trace(std::int64_t enqueue_ns, std::int64_t start_ns,
                           const ServeStats& s) {
   if (trace_ring_.capacity() == 0 || s.trace_id == 0) return;
@@ -587,16 +856,20 @@ obs::Histogram* Server::exec_hist(const exec::Dispatch& d) {
   if (!opts_.obs.metrics) return nullptr;
   const auto k = static_cast<std::size_t>(d.kernel);
   const auto f = static_cast<std::size_t>(d.ran_a);
-  const auto t = static_cast<std::size_t>(d.simd ? 1 : 0);
-  auto& slot = exec_hists_[(k * kAllFormats.size() + f) * 2 + t];
+  const auto t = exec::tier_slot(d.backend, d.tier);
+  auto& slot =
+      exec_hists_[(k * kAllFormats.size() + f) * exec::kNumTierSlots + t];
   auto* h = slot.load(std::memory_order_acquire);
   if (h == nullptr) {
+    // CPU runs keep the historical "scalar"/"avx2" label values; device
+    // backends add "sim"/"mint" under the same label key, so existing
+    // scrapes of mt_exec_ns series stay stable.
     std::string name = "mt_exec_ns{kernel=\"";
     name += name_of(d.kernel);
     name += "\",format=\"";
     name += name_of(d.ran_a);
     name += "\",tier=\"";
-    name += exec::tier_name(d.simd);
+    name += exec::tier_label(d.backend, d.tier);
     name += "\"}";
     h = &registry_.histogram(name);
     slot.store(h, std::memory_order_release);
@@ -710,7 +983,7 @@ void Server::serve_fused(std::vector<Item>& window,
         // Followers were absorbed by the leader's resolution — a cache
         // hit when the plan cache is on, a freeride (not a hit) when it
         // is bypassed, so bypass-mode counters still read zero hits.
-        s.plan_cache_hit = opts_.use_plan_cache;
+        s.plan_cache_hit = opts_.caches.use_plan_cache;
       }
       s.queue_wait_ns = start - it.enqueue_ns;
       s.trace_id = it.req.trace_id;
@@ -826,6 +1099,18 @@ std::vector<obs::MetricSnapshot> Server::metrics_snapshot() const {
   counter("mt_trace_dropped_total", trace_ring_.dropped());
   gauge("mt_trace_buffered_spans",
         static_cast<std::int64_t>(trace_ring_.size()));
+  if (ring_ != nullptr) {
+    // Async device ring levels. mt_device_inflight_peak is the high-water
+    // mark of submitted-but-uncompleted jobs — the series the ">1 in
+    // flight per worker" acceptance reads.
+    const auto rs = ring_->stats();
+    gauge("mt_device_ring_slots", static_cast<std::int64_t>(ring_->slots()));
+    gauge("mt_device_ring_workers", ring_->workers());
+    gauge("mt_device_inflight", rs.in_flight);
+    gauge("mt_device_inflight_peak", rs.peak_in_flight);
+    counter("mt_device_jobs_submitted_total", rs.submitted);
+    counter("mt_device_jobs_completed_total", rs.completed);
+  }
   obs::merge_snapshots(snap, pulled);
   return snap;
 }

@@ -44,6 +44,8 @@
 #include "common/aligned.hpp"
 #include "common/thread_annotations.hpp"
 #include "energy/energy_model.hpp"
+#include "exec/backend.hpp"
+#include "exec/device_ring.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/arena.hpp"
@@ -85,11 +87,11 @@ struct Request {
   std::uint64_t trace_id = 0;
 };
 
-using Result =
-    std::variant<std::vector<value_t>,  // SpMV
-                 DenseMatrix,           // GEMM / SpMM / MTTKRP
-                 CsrMatrix,             // SpGEMM
-                 DenseTensor3>;         // SpTTM
+// Exactly the exec layer's job-output variant — SpMV -> vector,
+// GEMM/SpMM/MTTKRP -> DenseMatrix, SpGEMM -> CsrMatrix, SpTTM ->
+// DenseTensor3 — so a backend's JobResult::output moves into a Response
+// without repacking.
+using Result = exec::JobOutput;
 
 struct Response {
   Result result;
@@ -115,44 +117,127 @@ struct ObsOptions {
   std::size_t trace_ring_capacity = 0;  // records kept; 0 = tracing off
 };
 
+// Cache behavior: bypass switches exist for benchmarking the no-cache
+// path (bench_serve) and for debugging; serving traffic wants both on.
+// Capacity budgets (cache_policy.hpp) default unbounded; bounded caches
+// shed cost-aware-LRU victims past the budget, and a zero budget stores
+// nothing. Under a ShardedServer these bound each shard, which is what
+// keeps operand churn safe at fleet scale.
+struct CacheSettings {
+  bool use_plan_cache = true;        // off: SAGE search on every request
+  bool use_conversion_cache = true;  // off: operands re-convert per request
+  CacheOptions plan_limits;
+  CacheOptions conversion_limits;
+};
+
+// Request batching at the queue head (see runtime/batcher.hpp): kWindow
+// lets each worker drain up to `window` queued requests and coalesce
+// same-workload SpMV/SpMM/GEMM into one fused kernel; kOff is the
+// one-request-one-kernel path.
+struct BatchSettings {
+  BatchPolicy policy = BatchPolicy::kWindow;
+  int window = 8;
+};
+
+// Dense payload recycling (runtime/arena.hpp): the batcher's fused
+// factors and every per-response dense block draw their 64-byte-aligned
+// storage from a server-owned slab arena, so steady-state serving stops
+// hitting the global allocator for payload-sized buffers. Off: plain
+// aligned heap allocations — identical bytes, no recycling.
+struct ArenaSettings {
+  bool enabled = true;
+  std::size_t max_cached_bytes = std::size_t{64} << 20;
+};
+
+// Which execution substrate serves requests (exec/backend.hpp) and how.
+//
+//   backend   kCpu routes every request through the host kernel library
+//             (the default, and the only fused/coalesced path). kSim and
+//             kMint build that device backend at server start and route
+//             every request to it; plans gain the backend dimension and
+//             are priced on both substrates.
+//   async     device jobs go through a bounded submission ring
+//             (exec/device_ring.hpp): each serving worker submits its
+//             whole drained window before claiming any completion, so one
+//             worker keeps up to `window` device jobs in flight instead
+//             of blocking inside each kernel call. Requires a device
+//             backend.
+//   dual_run  every device result is cross-checked against the CPU
+//             backend on the same job; a relative error above
+//             dual_run_tolerance fails the request (and shows up in
+//             mt_serve_dual_run_mismatches_total). The tolerance covers
+//             SimBackend's fp32 K-tile reassociation (tests/test_backend
+//             documents the bound); mint results are bit-identical.
+//   simulate_latency  MintBackend only: run() occupies the modeled
+//             offload latency (bounded by max_simulated_latency_ns) so
+//             async overlap is physically observable even on one core.
+struct BackendOptions {
+  exec::BackendKind backend = exec::BackendKind::kCpu;
+  bool async = false;
+  std::size_t ring_slots = 32;  // descriptor-queue bound
+  int ring_workers = 2;         // device-side executor threads
+  bool dual_run = false;
+  double dual_run_tolerance = 5e-4;
+  bool simulate_latency = false;
+  std::int64_t max_simulated_latency_ns = 2'000'000;
+};
+
 struct ServerOptions {
   int num_workers = 2;
   std::size_t queue_capacity = 64;
-  // Cache bypass switches exist for benchmarking the no-cache path
-  // (bench_serve) and for debugging; serving traffic wants both on.
-  bool use_plan_cache = true;        // off: SAGE search on every request
-  bool use_conversion_cache = true;  // off: operands re-convert per request
-  // Capacity budgets (cache_policy.hpp): default unbounded, the PR-3
-  // behavior. Bounded caches shed cost-aware-LRU victims past the budget;
-  // a zero budget stores nothing. Under a ShardedServer these bound each
-  // shard, which is what keeps operand churn safe at fleet scale.
-  CacheOptions plan_cache_limits;
-  CacheOptions conversion_cache_limits;
+  CacheSettings caches;
+  BatchSettings batch;
+  ArenaSettings arena;
+  BackendOptions backend;
   bool cap_kernel_threads = true;    // keep workers x OpenMP width <= hw
   // Set by ShardedServer on its shards: join the process-wide kernel
   // thread budget even with a single worker, so N single-worker shards
   // count as N concurrent kernel callers (a lone 1-worker Server has
   // nothing to share with and skips the registry).
   bool shard_member = false;
-  // Request batching at the queue head (see runtime/batcher.hpp):
-  // kWindow lets each worker drain up to batch_window queued requests and
-  // coalesce same-workload SpMV/SpMM/GEMM into one fused kernel; kOff is
-  // the PR-3 one-request-one-kernel path.
-  BatchPolicy batching = BatchPolicy::kWindow;
-  int batch_window = 8;
-  // Dense payload recycling (runtime/arena.hpp): the batcher's fused
-  // factors and every per-response dense block draw their 64-byte-aligned
-  // storage from a server-owned slab arena, so steady-state serving stops
-  // hitting the global allocator for payload-sized buffers. Off: plain
-  // aligned heap allocations — identical bytes, no recycling.
-  bool use_arena = true;
-  std::size_t arena_max_cached_bytes = std::size_t{64} << 20;
   AccelConfig accel = AccelConfig::paper_default();
   EnergyParams energy;
   // Telemetry (src/obs): histograms/per-plan accumulators and request
   // tracing. Defaults keep metrics on (the ≥0.95x overhead budget is
   // checked by bench_serve) and tracing off.
   ObsOptions obs;
+
+  // --- Deprecated aliases (one release) ---
+  //
+  // The pre-grouping flat knobs. Server construction calls normalized(),
+  // which folds any alias that differs from its default into the nested
+  // group above (the alias wins over an untouched group field, so old
+  // call sites keep working verbatim). New code sets the groups directly.
+  [[deprecated("use caches.use_plan_cache")]]
+  bool use_plan_cache = true;
+  [[deprecated("use caches.use_conversion_cache")]]
+  bool use_conversion_cache = true;
+  [[deprecated("use caches.plan_limits")]]
+  CacheOptions plan_cache_limits;
+  [[deprecated("use caches.conversion_limits")]]
+  CacheOptions conversion_cache_limits;
+  [[deprecated("use batch.policy")]]
+  BatchPolicy batching = BatchPolicy::kWindow;
+  [[deprecated("use batch.window")]]
+  int batch_window = 8;
+  [[deprecated("use arena.enabled")]]
+  bool use_arena = true;
+  [[deprecated("use arena.max_cached_bytes")]]
+  std::size_t arena_max_cached_bytes = std::size_t{64} << 20;
+
+  // A copy with every set deprecated alias folded into its group.
+  ServerOptions normalized() const;
+
+  // Special members are user-declared and defaulted out of line (in
+  // server.cpp, inside a -Wdeprecated-declarations suppression): the
+  // compiler-synthesized versions would copy the deprecated aliases and
+  // trip -Werror in every TU that copies a ServerOptions.
+  ServerOptions();
+  ServerOptions(const ServerOptions&);
+  ServerOptions(ServerOptions&&);
+  ServerOptions& operator=(const ServerOptions&);
+  ServerOptions& operator=(ServerOptions&&);
+  ~ServerOptions();
 };
 
 class Server {
@@ -237,9 +322,15 @@ class Server {
   std::size_t queue_depth() const { return queue_.size(); }
   const PlanCache& plan_cache() const { return plans_; }
   const ConversionCache& conversion_cache() const { return reps_; }
+  // The options as normalized at construction (deprecated aliases folded
+  // into their groups) — read the nested groups, not the aliases.
   const ServerOptions& options() const { return opts_; }
-  // The payload arena, or null when ServerOptions::use_arena is off.
+  // The payload arena, or null when ServerOptions::arena.enabled is off.
   const std::shared_ptr<Arena>& arena() const { return arena_; }
+  // The async submission ring, or null unless a device backend with
+  // backend.async is configured. Exposed for its RingStats (the in-flight
+  // high-water mark the async acceptance gates on).
+  const exec::DeviceRing* device_ring() const { return ring_.get(); }
 
   // Full telemetry snapshot: every registry metric (counters and the
   // ObsOptions::metrics histograms) plus pull-based gauges sampled now —
@@ -279,6 +370,10 @@ class Server {
   void serve_one(Item& item);
   void serve_fused(std::vector<Item>& window,
                    const std::vector<std::size_t>& members);
+  // Async device path: submits every request of the drained window into
+  // the ring, then claims completions in submission order — the submit
+  // phase is what keeps >1 device job in flight per serving worker.
+  void serve_window_async(std::vector<Item>& window);
   // Replays a served request's stage intervals (already measured into its
   // ServeStats) as trace spans: queue -> plan -> convert -> exec laid
   // end-to-end from `start_ns`. One ring lock per request, zero extra
@@ -293,6 +388,27 @@ class Server {
   Response serve(Request& req, std::int64_t queue_wait_ns);
   void execute_plan(Request& req, const PlanCache::PlanPtr& plan,
                     Response& resp);
+  // One backend job for `req` under `plan`, operand pointers borrowed from
+  // the resolved representations and the request body. On the CPU backend
+  // a coalescible SpMV stages its vector as a width-1 SpMM factor — the
+  // bit-stable twin of the fused path — owned by `staged_b`; `unstack`
+  // marks the dense result for column-0 extraction.
+  struct JobBundle {
+    exec::Job job;
+    DenseMatrix staged_b;
+    bool unstack = false;
+  };
+  void fill_job(JobBundle& jb, const Request& req, const Plan& plan,
+                const AnyMatrix* rep_a, const AnyMatrix* rep_b,
+                const AnyTensor* rep_x, bool device) const;
+  // Dual-run cross-check: replays `job` on the CPU backend and compares
+  // outputs (exec::max_rel_error); records the check and throws when the
+  // divergence exceeds opts_.backend.dual_run_tolerance.
+  void dual_run_check(const exec::Job& job, const exec::JobResult& device);
+  // Coarse useful-MAC estimate of `r` (2 * nnz * width style) feeding
+  // exec::PricingInput — a relative scale for ranking backends, not an
+  // absolute prediction.
+  std::int64_t flops_for(const Request& r) const;
   // Allocator for dense payloads and response blocks: arena-backed when
   // the arena is on, a plain aligned allocator otherwise.
   AlignedAllocator<value_t> dense_alloc() const {
@@ -351,17 +467,27 @@ class Server {
   obs::TraceRing trace_ring_;
   // Cached registry references so the hot path never re-does a name
   // lookup: the queue-wait histogram (null = ObsOptions::metrics off) and
-  // one lazily-bound slot per (kernel, ran-format, simd-tier) exec
+  // one lazily-bound slot per (kernel, ran-format, backend x tier) exec
   // histogram. Benign create race: both racers get the same registry
   // object.
   obs::Histogram* queue_wait_hist_ = nullptr;
   std::array<std::atomic<obs::Histogram*>,
-             kAllKernels.size() * kAllFormats.size() * 2>
+             kAllKernels.size() * kAllFormats.size() * exec::kNumTierSlots>
       exec_hists_ = {};
 
   PlanCache plans_;
   ConversionCache reps_;
   ServerCounters counters_;
+
+  // Execution substrates. cpu_backend_ always exists (the host kernel
+  // library behind the exec free functions); device_backend_ only when
+  // opts_.backend.backend names a device; ring_ only when backend.async
+  // is also set. Declared before the queue/workers so serving threads
+  // never outlive them; stop() still tears down in the explicit order
+  // queue close -> join workers -> ring stop.
+  std::unique_ptr<exec::Backend> cpu_backend_;
+  std::unique_ptr<exec::Backend> device_backend_;
+  std::unique_ptr<exec::DeviceRing> ring_;
 
   MpmcQueue<Item> queue_;
   std::vector<std::thread> workers_;

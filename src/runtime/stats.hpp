@@ -35,6 +35,12 @@ struct ServeStats {
   int conversion_misses = 0;  // operand reps materialized for this request
   bool batched = false;       // served by a coalesced/fused kernel launch
   int batch_size = 1;         // requests sharing that launch (1 = alone)
+  // Device-path accounting (zero on the CPU backend):
+  std::int64_t device_ns = 0;       // modeled/simulated device time of the
+                                    // job (JobResult::device_ns)
+  std::int64_t device_wait_ns = 0;  // async ring only: time the serving
+                                    // worker blocked claiming the ticket
+                                    // (short when submits overlapped well)
   exec::Dispatch dispatch;    // how the exec engine ran the kernel
                               // (a coalesced SpMV reports the SpMM it ran)
   std::uint64_t trace_id = 0;  // key into Server::drain_trace() records
@@ -58,6 +64,11 @@ struct CountersSnapshot {
   std::int64_t conversion_misses = 0;
   std::int64_t batches = 0;           // fused launches serving >1 request
   std::int64_t batched_requests = 0;  // requests served by those launches
+  std::int64_t device_jobs = 0;       // requests executed on a device backend
+  std::int64_t device_wait_ns = 0;    // total async claim-block time
+  std::int64_t dual_run_checks = 0;      // CPU-vs-device cross-checks run
+  std::int64_t dual_run_mismatches = 0;  // checks outside tolerance (the
+                                         // request also failed)
   std::int64_t queue_wait_ns = 0;
   std::int64_t plan_ns = 0;
   std::int64_t convert_ns = 0;
@@ -96,6 +107,10 @@ struct CountersSnapshot {
     conversion_misses += o.conversion_misses;
     batches += o.batches;
     batched_requests += o.batched_requests;
+    device_jobs += o.device_jobs;
+    device_wait_ns += o.device_wait_ns;
+    dual_run_checks += o.dual_run_checks;
+    dual_run_mismatches += o.dual_run_mismatches;
     queue_wait_ns += o.queue_wait_ns;
     plan_ns += o.plan_ns;
     convert_ns += o.convert_ns;
@@ -128,6 +143,11 @@ class ServerCounters {
         conversion_misses_(&reg.counter("mt_serve_conversion_misses_total")),
         batches_(&reg.counter("mt_serve_batches_total")),
         batched_requests_(&reg.counter("mt_serve_batched_requests_total")),
+        device_jobs_(&reg.counter("mt_serve_device_jobs_total")),
+        device_wait_ns_(&reg.counter("mt_serve_device_wait_ns_total")),
+        dual_run_checks_(&reg.counter("mt_serve_dual_run_checks_total")),
+        dual_run_mismatches_(
+            &reg.counter("mt_serve_dual_run_mismatches_total")),
         queue_wait_ns_(&reg.counter("mt_serve_queue_wait_ns_total")),
         plan_ns_(&reg.counter("mt_serve_plan_ns_total")),
         convert_ns_(&reg.counter("mt_serve_convert_ns_total")),
@@ -138,6 +158,10 @@ class ServerCounters {
     (s.plan_cache_hit ? plan_hits_ : plan_misses_)->inc();
     conversion_hits_->add(s.conversion_hits);
     conversion_misses_->add(s.conversion_misses);
+    if (s.dispatch.backend != exec::BackendKind::kCpu) {
+      device_jobs_->inc();
+      device_wait_ns_->add(s.device_wait_ns);
+    }
     queue_wait_ns_->add(s.queue_wait_ns);
     plan_ns_->add(s.plan_ns);
     convert_ns_->add(s.convert_ns);
@@ -153,6 +177,13 @@ class ServerCounters {
     batched_requests_->add(n);
   }
 
+  // Called once per dual-run cross-check; a mismatched check also fails
+  // the request (record_failure), so mismatches <= failed always holds.
+  void record_dual_run(bool within_tolerance) {
+    dual_run_checks_->inc();
+    if (!within_tolerance) dual_run_mismatches_->inc();
+  }
+
   CountersSnapshot snapshot() const {
     CountersSnapshot c;
     c.completed = completed_->value();
@@ -163,6 +194,10 @@ class ServerCounters {
     c.conversion_misses = conversion_misses_->value();
     c.batches = batches_->value();
     c.batched_requests = batched_requests_->value();
+    c.device_jobs = device_jobs_->value();
+    c.device_wait_ns = device_wait_ns_->value();
+    c.dual_run_checks = dual_run_checks_->value();
+    c.dual_run_mismatches = dual_run_mismatches_->value();
     c.queue_wait_ns = queue_wait_ns_->value();
     c.plan_ns = plan_ns_->value();
     c.convert_ns = convert_ns_->value();
@@ -179,6 +214,10 @@ class ServerCounters {
   obs::Counter* conversion_misses_;
   obs::Counter* batches_;
   obs::Counter* batched_requests_;
+  obs::Counter* device_jobs_;
+  obs::Counter* device_wait_ns_;
+  obs::Counter* dual_run_checks_;
+  obs::Counter* dual_run_mismatches_;
   obs::Counter* queue_wait_ns_;
   obs::Counter* plan_ns_;
   obs::Counter* convert_ns_;

@@ -172,7 +172,7 @@ TEST(Arena, ServerRecyclesPayloadsAcrossRequests) {
 
 TEST(Arena, ServerWithArenaOffStillServes) {
   auto opts = arena_opts();
-  opts.use_arena = false;
+  opts.arena.enabled = false;
   Server srv(opts);
   EXPECT_EQ(srv.arena(), nullptr);
   const auto h = srv.register_matrix(

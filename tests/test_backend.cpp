@@ -1,0 +1,744 @@
+// Pluggable execution backends (exec/backend.hpp), the async device
+// submission ring (exec/device_ring.hpp), and their serving integration:
+// mint bit-identity with the CPU kernels, CPU-vs-sim dual-run agreement
+// on all six kernels, ring ticket/backpressure/drain semantics, the
+// server's async device path keeping >1 job in flight per worker, and
+// the grouped ServerOptions with deprecated flat aliases.
+//
+// Tolerance note (the dual-run contract): SimBackend lowers every kernel
+// to tiled fp32 A*B matmuls inside the simulator's single-tile envelope,
+// accumulating K-tile partial products in tile order. That reassociates
+// the K-reduction relative to the CPU kernels — the same few-ULP-per-term
+// divergence the SIMD tier's lane trees show in test_simd. With value_t =
+// float (eps ~ 1.2e-7) and reductions of tens-to-hundreds of terms, the
+// observed relative error is ~1e-6..1e-5; the checks (and the server's
+// default BackendOptions::dual_run_tolerance) use 5e-4 — decades above
+// any legitimate reassociation, decades below a real defect (~1e-1).
+// MintBackend runs the CPU kernels themselves, so its bound is exactly 0.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "convert/convert.hpp"
+#include "exec/backend.hpp"
+#include "exec/device_ring.hpp"
+#include "exec/exec.hpp"
+#include "runtime/server.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace mt;
+using runtime::Request;
+using runtime::Response;
+using runtime::Server;
+using runtime::ServerOptions;
+using mt::testing::random_dense;
+using mt::testing::random_tensor;
+
+constexpr double kSimTolerance = 5e-4;  // see the tolerance note above
+
+// Seeded operand set covering all six kernels, plus a Job builder wiring
+// the right fields per kernel (the borrowed-pointer convention of
+// exec::Job). Members outlive every Job built from them.
+struct Operands {
+  DenseMatrix a_dense = random_dense(40, 32, 0.3, 11);
+  DenseMatrix b_dense = random_dense(32, 40, 0.25, 12);
+  AnyMatrix a_csr = encode(a_dense, Format::kCSR);
+  AnyMatrix b_csr = encode(b_dense, Format::kCSR);
+  AnyMatrix a_plain = encode(a_dense, Format::kDense);
+  DenseMatrix factor = random_dense(32, 8, 1.0, 13);
+  std::vector<value_t> vec = std::vector<value_t>(32, 0.5f);
+  DenseTensor3 x_dense = random_tensor(9, 11, 8, 0.2, 14);
+  AnyTensor x_csf = encode(x_dense, Format::kCSF);
+  DenseMatrix u = random_dense(8, 6, 1.0, 15);      // SpTTM factor (z x r)
+  DenseMatrix kb = random_dense(11, 5, 1.0, 16);    // MTTKRP B (y x r)
+  DenseMatrix kc = random_dense(8, 5, 1.0, 17);     // MTTKRP C (z x r)
+
+  Operands() {
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      vec[i] = 0.125f * static_cast<float>(i % 7) - 0.25f;
+    }
+  }
+
+  exec::Job job(Kernel k) const {
+    exec::Job j;
+    j.kernel = k;
+    switch (k) {
+      case Kernel::kSpMV:
+        j.a = &a_csr;
+        j.vec = &vec;
+        break;
+      case Kernel::kGemm:
+        j.a = &a_plain;
+        j.dense_b = &factor;
+        break;
+      case Kernel::kSpMM:
+        // The unified entry point: a second compressed operand, the shape
+        // that used to be a separate SpMM special case.
+        j.a = &a_csr;
+        j.b = &b_csr;
+        break;
+      case Kernel::kSpGEMM:
+        j.a = &a_csr;
+        j.b = &b_csr;
+        break;
+      case Kernel::kSpTTM:
+        j.x = &x_csf;
+        j.dense_b = &u;
+        break;
+      case Kernel::kMTTKRP:
+        j.x = &x_csf;
+        j.dense_b = &kb;
+        j.dense_c = &kc;
+        break;
+    }
+    return j;
+  }
+};
+
+constexpr Kernel kSixKernels[] = {Kernel::kGemm,   Kernel::kSpMM,
+                                  Kernel::kSpGEMM, Kernel::kSpMV,
+                                  Kernel::kSpTTM,  Kernel::kMTTKRP};
+
+// --- Backend x tier labeling (the obs series contract) ---
+
+TEST(BackendTier, CpuLabelsKeepPreBackendSeriesNames) {
+  using exec::BackendKind;
+  using exec::ExecTier;
+  // The pre-backend mt_exec_ns{...,tier=...} values were "scalar"/"avx2";
+  // the backend dimension must not rename them.
+  EXPECT_EQ(exec::tier_label(BackendKind::kCpu, ExecTier::kScalar), "scalar");
+  EXPECT_EQ(exec::tier_label(BackendKind::kCpu, ExecTier::kSimd), "avx2");
+  EXPECT_EQ(exec::tier_label(BackendKind::kSim, ExecTier::kDevice), "sim");
+  EXPECT_EQ(exec::tier_label(BackendKind::kMint, ExecTier::kDevice), "mint");
+}
+
+TEST(BackendTier, SlotsAreDenseAndDistinct) {
+  using exec::BackendKind;
+  using exec::ExecTier;
+  const std::size_t slots[] = {
+      exec::tier_slot(BackendKind::kCpu, ExecTier::kScalar),
+      exec::tier_slot(BackendKind::kCpu, ExecTier::kSimd),
+      exec::tier_slot(BackendKind::kSim, ExecTier::kDevice),
+      exec::tier_slot(BackendKind::kMint, ExecTier::kDevice)};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(slots[i], exec::kNumTierSlots);
+    for (std::size_t j = i + 1; j < 4; ++j) EXPECT_NE(slots[i], slots[j]);
+  }
+}
+
+// --- Direct backend runs: mint bit-identity, sim tolerance ---
+
+TEST(BackendFactory, KindsRoundTrip) {
+  for (auto k : {exec::BackendKind::kCpu, exec::BackendKind::kSim,
+                 exec::BackendKind::kMint}) {
+    EXPECT_EQ(exec::make_backend(k)->kind(), k);
+  }
+}
+
+TEST(BackendMint, BitIdenticalToCpuOnAllSixKernels) {
+  const Operands ops;
+  const auto cpu = exec::make_backend(exec::BackendKind::kCpu);
+  const auto mint = exec::make_backend(exec::BackendKind::kMint);
+  for (Kernel k : kSixKernels) {
+    auto j = ops.job(k);
+    j.modeled_ns = 1234;
+    const auto want = cpu->run(j);
+    const auto got = mint->run(j);
+    EXPECT_EQ(exec::max_rel_error(want.output, got.output), 0.0)
+        << name_of(k);
+    EXPECT_EQ(got.dispatch.backend, exec::BackendKind::kMint) << name_of(k);
+    EXPECT_EQ(got.dispatch.tier, exec::ExecTier::kDevice) << name_of(k);
+    // Mint reports the job's modeled offload latency as its device time.
+    EXPECT_EQ(got.device_ns, 1234) << name_of(k);
+    EXPECT_EQ(want.device_ns, 0) << name_of(k);
+  }
+}
+
+TEST(BackendSim, DualRunAgreesWithCpuOnAllSixKernels) {
+  const Operands ops;
+  const auto cpu = exec::make_backend(exec::BackendKind::kCpu);
+  const auto sim = exec::make_backend(exec::BackendKind::kSim);
+  for (Kernel k : kSixKernels) {
+    const auto j = ops.job(k);
+    const auto want = cpu->run(j);
+    const auto got = sim->run(j);
+    const double err = exec::max_rel_error(want.output, got.output);
+    EXPECT_LE(err, kSimTolerance) << name_of(k);
+    EXPECT_EQ(got.dispatch.backend, exec::BackendKind::kSim) << name_of(k);
+    EXPECT_EQ(got.dispatch.tier, exec::ExecTier::kDevice) << name_of(k);
+    // The simulator's cycle count at the model clock: always > 0 for a
+    // job that did any work.
+    EXPECT_GT(got.device_ns, 0) << name_of(k);
+  }
+}
+
+TEST(BackendCompare, MaxRelErrorDetectsShapeAndTypeMismatch) {
+  const auto inf = std::numeric_limits<double>::infinity();
+  const exec::JobOutput v3 = std::vector<value_t>{1.0f, 2.0f, 3.0f};
+  const exec::JobOutput v2 = std::vector<value_t>{1.0f, 2.0f};
+  const exec::JobOutput m = DenseMatrix(2, 2);
+  EXPECT_EQ(exec::max_rel_error(v3, v3), 0.0);
+  EXPECT_EQ(exec::max_rel_error(v3, v2), inf);
+  EXPECT_EQ(exec::max_rel_error(v3, m), inf);
+  exec::JobOutput off = std::vector<value_t>{1.0f, 2.0f, 3.5f};
+  // |3.0 - 3.5| / 3.5: mixed absolute/relative with max(1,|x|,|y|) scale.
+  EXPECT_NEAR(exec::max_rel_error(v3, off), 0.5 / 3.5, 1e-9);
+}
+
+TEST(BackendPricing, CostsArePositiveAndScaleWithWork) {
+  exec::PricingInput in;
+  in.kernel = Kernel::kSpMM;
+  in.flops = 1'000'000;
+  const auto cpu = exec::make_backend(exec::BackendKind::kCpu);
+  const auto sim = exec::make_backend(exec::BackendKind::kSim);
+  const auto mint = exec::make_backend(exec::BackendKind::kMint);
+  const auto c1 = cpu->price(in);
+  EXPECT_GT(c1.ns, 0.0);
+  EXPECT_GT(c1.energy_j, 0.0);
+  EXPECT_GT(sim->price(in).ns, 0.0);
+  EXPECT_GT(mint->price(in).ns, 0.0);
+  in.flops *= 4;
+  EXPECT_GT(cpu->price(in).ns, c1.ns);
+}
+
+// --- DeviceRing unit tests ---
+
+// Gate-controlled stub: run() parks until open() so tests can hold jobs
+// "on the device" and observe queue backpressure and in-flight depth
+// deterministically.
+class GateBackend final : public exec::Backend {
+ public:
+  exec::BackendKind kind() const override { return exec::BackendKind::kMint; }
+
+  exec::JobResult run(const exec::Job& job) const override {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++started_;
+    started_cv_.notify_all();
+    open_cv_.wait(lk, [&] { return open_; });
+    exec::JobResult r;
+    r.output = std::vector<value_t>{static_cast<value_t>(job.modeled_ns)};
+    r.dispatch.backend = exec::BackendKind::kMint;
+    r.dispatch.tier = exec::ExecTier::kDevice;
+    return r;
+  }
+
+  exec::BackendCost price(const exec::PricingInput&) const override {
+    return {};
+  }
+
+  void open() {
+    std::lock_guard<std::mutex> lk(mu_);
+    open_ = true;
+    open_cv_.notify_all();
+  }
+
+  void wait_started(int n) const {
+    std::unique_lock<std::mutex> lk(mu_);
+    started_cv_.wait(lk, [&] { return started_ >= n; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable started_cv_, open_cv_;
+  mutable bool open_ = false;
+  mutable int started_ = 0;
+};
+
+class ThrowBackend final : public exec::Backend {
+ public:
+  exec::BackendKind kind() const override { return exec::BackendKind::kMint; }
+  exec::JobResult run(const exec::Job&) const override {
+    throw std::runtime_error("device fault");
+  }
+  exec::BackendCost price(const exec::PricingInput&) const override {
+    return {};
+  }
+};
+
+exec::Job tagged_job(std::int64_t tag) {
+  exec::Job j;
+  j.modeled_ns = tag;
+  return j;
+}
+
+value_t tag_of(const exec::JobResult& r) {
+  return std::get<std::vector<value_t>>(r.output).at(0);
+}
+
+TEST(DeviceRing, TicketsAreMonotonicFromOneAndClaimsMatchJobs) {
+  GateBackend dev;
+  exec::DeviceRing ring(dev, {.slots = 8, .workers = 2});
+  std::vector<exec::DeviceRing::Ticket> tickets;
+  for (int i = 0; i < 5; ++i) tickets.push_back(ring.submit(tagged_job(i)));
+  dev.open();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(tickets[static_cast<std::size_t>(i)],
+              static_cast<exec::DeviceRing::Ticket>(i + 1));
+    const auto r = ring.wait(tickets[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(tag_of(r), static_cast<value_t>(i));
+    EXPECT_GE(r.run_ns, 0);  // stamped by the ring's device-side clock
+  }
+  const auto s = ring.stats();
+  EXPECT_EQ(s.submitted, 5);
+  EXPECT_EQ(s.completed, 5);
+  EXPECT_EQ(s.in_flight, 0);
+}
+
+TEST(DeviceRing, SubmitAllThenClaimAllOutrunsTheSlotCount) {
+  // Backpressure bounds only the descriptor queue: one submitter may post
+  // far more jobs than slots before claiming any, because executing and
+  // completed-unclaimed jobs do not hold slots.
+  const auto mint = exec::make_backend(exec::BackendKind::kMint);
+  exec::DeviceRing ring(*mint, {.slots = 1, .workers = 1});
+  const Operands ops;
+  std::vector<exec::DeviceRing::Ticket> tickets;
+  for (int i = 0; i < 8; ++i) tickets.push_back(ring.submit(ops.job(Kernel::kSpMV)));
+  const auto want = mint->run(ops.job(Kernel::kSpMV));
+  for (auto t : tickets) {
+    const auto r = ring.wait(t);
+    EXPECT_EQ(exec::max_rel_error(want.output, r.output), 0.0);
+  }
+  const auto rs = ring.stats();
+  EXPECT_EQ(rs.submitted, 8);
+  // The slot bound holds: at most 1 queued + 1 executing ever coexist.
+  EXPECT_LE(rs.peak_in_flight, 2);
+}
+
+TEST(DeviceRing, BackpressureBlocksSubmitUntilASlotFrees) {
+  GateBackend dev;
+  exec::DeviceRing ring(dev, {.slots = 2, .workers = 1});
+  // First job occupies the worker (gate closed); two more fill the queue.
+  ring.submit(tagged_job(1));
+  dev.wait_started(1);
+  ring.submit(tagged_job(2));
+  ring.submit(tagged_job(3));
+  std::atomic<bool> accepted{false};
+  std::thread blocked([&] {
+    ring.submit(tagged_job(4));  // must block: both slots are held
+    accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(accepted.load());
+  EXPECT_EQ(ring.stats().in_flight, 3);  // 1 executing + 2 queued
+  dev.open();
+  blocked.join();
+  EXPECT_TRUE(accepted.load());
+  for (exec::DeviceRing::Ticket t = 1; t <= 4; ++t) (void)ring.wait(t);
+  EXPECT_GE(ring.stats().peak_in_flight, 3);
+}
+
+TEST(DeviceRing, PeakInFlightSeesConcurrentDeviceWorkers) {
+  GateBackend dev;
+  exec::DeviceRing ring(dev, {.slots = 4, .workers = 2});
+  ring.submit(tagged_job(1));
+  ring.submit(tagged_job(2));
+  dev.wait_started(2);  // both device workers hold a job simultaneously
+  EXPECT_GE(ring.stats().in_flight, 2);
+  dev.open();
+  (void)ring.wait(1);
+  (void)ring.wait(2);
+  EXPECT_GE(ring.stats().peak_in_flight, 2);
+}
+
+TEST(DeviceRing, StopDrainsAcceptedTicketsAndClosesIntake) {
+  const auto mint = exec::make_backend(exec::BackendKind::kMint);
+  exec::DeviceRing ring(*mint, {.slots = 8, .workers = 1});
+  const Operands ops;
+  std::vector<exec::DeviceRing::Ticket> tickets;
+  for (int i = 0; i < 3; ++i) tickets.push_back(ring.submit(ops.job(Kernel::kSpMV)));
+  ring.stop();
+  // Every accepted ticket still claims its result after stop().
+  for (auto t : tickets) {
+    const auto r = ring.wait(t);
+    EXPECT_TRUE(std::holds_alternative<std::vector<value_t>>(r.output));
+  }
+  // Intake is closed: the job is not accepted.
+  EXPECT_EQ(ring.submit(ops.job(Kernel::kSpMV)),
+            exec::DeviceRing::kInvalidTicket);
+  // Claims are one-shot: a drained ring reports the double claim.
+  EXPECT_THROW((void)ring.wait(tickets[0]), std::invalid_argument);
+}
+
+TEST(DeviceRing, NeverIssuedTicketsThrow) {
+  const auto mint = exec::make_backend(exec::BackendKind::kMint);
+  exec::DeviceRing ring(*mint, {.slots = 2, .workers = 1});
+  exec::JobResult out;
+  EXPECT_THROW((void)ring.try_poll(exec::DeviceRing::kInvalidTicket, &out),
+               std::invalid_argument);
+  EXPECT_THROW((void)ring.try_poll(99, &out), std::invalid_argument);
+  EXPECT_THROW((void)ring.wait(7), std::invalid_argument);
+}
+
+TEST(DeviceRing, TryPollReportsInFlightThenDelivers) {
+  GateBackend dev;
+  exec::DeviceRing ring(dev, {.slots = 2, .workers = 1});
+  const auto t = ring.submit(tagged_job(42));
+  dev.wait_started(1);
+  exec::JobResult out;
+  EXPECT_FALSE(ring.try_poll(t, &out));  // still on the device
+  dev.open();
+  while (!ring.try_poll(t, &out)) std::this_thread::yield();
+  EXPECT_EQ(tag_of(out), 42.0f);
+}
+
+TEST(DeviceRing, DeviceFaultsRethrowAtClaim) {
+  const ThrowBackend dev;
+  exec::DeviceRing ring(dev, {.slots = 2, .workers = 1});
+  const auto t = ring.submit(tagged_job(1));
+  EXPECT_THROW((void)ring.wait(t), std::runtime_error);
+  EXPECT_EQ(ring.stats().completed, 1);  // a faulted job still completes
+}
+
+// --- Grouped ServerOptions + deprecated flat aliases ---
+
+TEST(ServerOptionsGroups, DeprecatedAliasesFoldIntoGroups) {
+  ServerOptions o;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // Pre-grouping call-site style: flat knobs only.
+  o.use_plan_cache = false;
+  o.batch_window = 3;
+  o.use_arena = false;
+  o.arena_max_cached_bytes = 1024;
+#pragma GCC diagnostic pop
+  const ServerOptions n = o.normalized();
+  EXPECT_FALSE(n.caches.use_plan_cache);
+  EXPECT_EQ(n.batch.window, 3);
+  EXPECT_FALSE(n.arena.enabled);
+  EXPECT_EQ(n.arena.max_cached_bytes, 1024u);
+  // Untouched aliases leave their groups alone.
+  EXPECT_TRUE(n.caches.use_conversion_cache);
+  EXPECT_EQ(n.batch.policy, runtime::BatchPolicy::kWindow);
+}
+
+TEST(ServerOptionsGroups, GroupSettingsSurviveNormalization) {
+  ServerOptions o;
+  o.caches.use_conversion_cache = false;
+  o.batch.window = 5;
+  const ServerOptions n = o.normalized();
+  EXPECT_FALSE(n.caches.use_conversion_cache);
+  EXPECT_EQ(n.batch.window, 5);
+}
+
+TEST(ServerOptionsGroups, ServerNormalizesAtConstruction) {
+  ServerOptions o;
+  o.num_workers = 1;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  o.batch_window = 2;
+#pragma GCC diagnostic pop
+  Server srv(o);
+  EXPECT_EQ(srv.options().batch.window, 2);
+}
+
+TEST(ServerOptionsGroups, AsyncAndDualRunRequireADeviceBackend) {
+  ServerOptions o;
+  o.backend.async = true;  // backend.backend left at kCpu
+  EXPECT_THROW(Server srv(o), std::invalid_argument);
+  ServerOptions o2;
+  o2.backend.dual_run = true;
+  EXPECT_THROW(Server srv2(o2), std::invalid_argument);
+}
+
+// --- Server integration: device backends, async ring, dual-run ---
+
+ServerOptions device_opts(exec::BackendKind kind) {
+  ServerOptions o;
+  o.num_workers = 1;
+  o.queue_capacity = 32;
+  o.batch.window = 16;
+  o.accel.num_pes = 32;
+  o.accel.pe_buffer_bytes = 64 * 4;
+  o.backend.backend = kind;
+  return o;
+}
+
+Request spmv_request(runtime::MatrixHandle a, const std::vector<value_t>& x) {
+  Request r;
+  r.kernel = Kernel::kSpMV;
+  r.a = a;
+  r.vec = x;
+  return r;
+}
+
+TEST(ServerBackend, BlockingMintServesBitIdenticalResults) {
+  auto o = device_opts(exec::BackendKind::kMint);
+  Server srv(o);
+  const auto a_dense = random_dense(48, 40, 0.1, 21);
+  const auto h = srv.register_matrix(encode(a_dense, Format::kCSR));
+  std::vector<value_t> x(40, 0.25f);
+
+  const auto plan = srv.plan_for(spmv_request(h, x));
+  EXPECT_EQ(plan->backend, exec::BackendKind::kMint);
+  EXPECT_GT(plan->cpu_cost_ns, 0.0);
+  EXPECT_GT(plan->device_cost_ns, 0.0);
+  EXPECT_EQ(plan->modeled_device_ns,
+            static_cast<std::int64_t>(std::llround(plan->device_cost_ns)));
+
+  const auto resp = srv.submit(spmv_request(h, x)).get();
+  // Mint runs the CPU kernels on the plan's repaired ACF rep: bit-equal
+  // to a direct engine call on that format.
+  const auto want = exec::spmv(encode(a_dense, plan->run_a), x);
+  EXPECT_EQ(std::get<std::vector<value_t>>(resp.result), want);
+  EXPECT_EQ(resp.stats.dispatch.backend, exec::BackendKind::kMint);
+  EXPECT_EQ(resp.stats.dispatch.tier, exec::ExecTier::kDevice);
+  EXPECT_EQ(resp.stats.device_ns, plan->modeled_device_ns);
+  EXPECT_EQ(srv.device_ring(), nullptr);  // blocking path: no ring
+
+  const auto c = srv.counters();
+  EXPECT_EQ(c.device_jobs, 1);
+  EXPECT_EQ(c.dual_run_checks, 0);
+}
+
+TEST(ServerBackend, DualRunSimAgreesOnEveryKernelKind) {
+  auto o = device_opts(exec::BackendKind::kSim);
+  o.backend.dual_run = true;  // default tolerance covers sim (see header)
+  Server srv(o);
+  const auto a_dense = random_dense(40, 32, 0.15, 22);
+  const auto b_dense = random_dense(32, 40, 0.15, 23);
+  const auto ha = srv.register_matrix(encode(a_dense, Format::kCSR));
+  const auto hb = srv.register_matrix(encode(b_dense, Format::kCSR));
+  const auto hd = srv.register_matrix(encode(a_dense, Format::kDense));
+  const auto hx = srv.register_tensor(encode(random_tensor(9, 11, 8, 0.2, 24),
+                                             Format::kCSF));
+
+  std::vector<Request> reqs;
+  reqs.push_back(spmv_request(ha, std::vector<value_t>(32, 0.5f)));
+  {
+    Request r;
+    r.kernel = Kernel::kSpMM;
+    r.a = ha;
+    r.dense_b = random_dense(32, 8, 1.0, 25);
+    reqs.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.kernel = Kernel::kGemm;
+    r.a = hd;
+    r.dense_b = random_dense(32, 8, 1.0, 26);
+    reqs.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.kernel = Kernel::kSpGEMM;
+    r.a = ha;
+    r.b = hb;
+    reqs.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.kernel = Kernel::kSpTTM;
+    r.x = hx;
+    r.dense_b = random_dense(8, 6, 1.0, 27);
+    reqs.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.kernel = Kernel::kMTTKRP;
+    r.x = hx;
+    r.dense_b = random_dense(11, 5, 1.0, 28);
+    r.dense_c = random_dense(8, 5, 1.0, 29);
+    reqs.push_back(std::move(r));
+  }
+
+  for (auto& r : reqs) {
+    const auto resp = srv.submit(std::move(r)).get();  // throws on mismatch
+    EXPECT_EQ(resp.stats.dispatch.backend, exec::BackendKind::kSim);
+  }
+  const auto c = srv.counters();
+  EXPECT_EQ(c.completed, static_cast<std::int64_t>(reqs.size()));
+  EXPECT_EQ(c.dual_run_checks, static_cast<std::int64_t>(reqs.size()));
+  EXPECT_EQ(c.dual_run_mismatches, 0);
+  EXPECT_EQ(c.failed, 0);
+}
+
+TEST(ServerBackend, DualRunMismatchFailsTheRequest) {
+  auto o = device_opts(exec::BackendKind::kSim);
+  o.backend.dual_run = true;
+  // An unsatisfiable tolerance turns every check into a mismatch: the
+  // deterministic way to exercise the failure path (sim's real error may
+  // legitimately be 0 on tiny reductions).
+  o.backend.dual_run_tolerance = -1.0;
+  Server srv(o);
+  const auto h = srv.register_matrix(
+      encode(random_dense(32, 24, 0.2, 31), Format::kCSR));
+  auto fut = srv.submit(spmv_request(h, std::vector<value_t>(24, 1.0f)));
+  EXPECT_THROW((void)fut.get(), std::runtime_error);
+  const auto c = srv.counters();
+  EXPECT_EQ(c.dual_run_checks, 1);
+  EXPECT_EQ(c.dual_run_mismatches, 1);
+  EXPECT_EQ(c.failed, 1);
+}
+
+// Occupies the single serving worker with a chunky SpGEMM so everything
+// submitted next piles up in the queue and drains as one async window.
+std::future<Response> occupy_worker(Server& srv, runtime::MatrixHandle a,
+                                    runtime::MatrixHandle b) {
+  Request r;
+  r.kernel = Kernel::kSpGEMM;
+  r.a = a;
+  r.b = b;
+  auto fut = srv.submit(std::move(r));
+  while (srv.queue_depth() > 0) std::this_thread::yield();
+  return fut;
+}
+
+TEST(ServerBackend, AsyncRingKeepsManyDeviceJobsInFlightPerWorker) {
+  auto o = device_opts(exec::BackendKind::kMint);
+  o.backend.async = true;
+  o.backend.ring_slots = 32;
+  o.backend.ring_workers = 2;
+  // Occupy the modeled latency on the "device": that wall-clock is what
+  // the submit-all-then-claim-all window overlaps.
+  o.backend.simulate_latency = true;
+  Server srv(o);
+  ASSERT_NE(srv.device_ring(), nullptr);
+  EXPECT_EQ(srv.device_ring()->slots(), 32u);
+  EXPECT_EQ(srv.device_ring()->workers(), 2);
+
+  const auto a_dense = random_dense(64, 48, 0.1, 41);
+  const auto h = srv.register_matrix(encode(a_dense, Format::kCSR));
+  const auto hs_a = srv.register_matrix(
+      encode(random_dense(400, 400, 0.05, 42), Format::kCSR));
+  const auto hs_b = srv.register_matrix(
+      encode(random_dense(400, 400, 0.05, 43), Format::kCSR));
+
+  std::vector<std::vector<value_t>> xs;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<value_t> x(48);
+    for (index_t k = 0; k < 48; ++k) {
+      x[static_cast<std::size_t>(k)] =
+          0.125f * static_cast<float>((k + i) % 9) - 0.25f;
+    }
+    xs.push_back(std::move(x));
+  }
+  const auto plan = srv.plan_for(spmv_request(h, xs[0]));
+
+  // Stage the burst behind the occupied worker; the next drained window
+  // holds all eight requests, and the async path submits the whole window
+  // into the ring before claiming the first completion.
+  auto occupier = occupy_worker(srv, hs_a, hs_b);
+  std::vector<std::future<Response>> futs;
+  for (auto& x : xs) futs.push_back(srv.submit(spmv_request(h, x)));
+  (void)occupier.get();
+
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const auto resp = futs[i].get();
+    const auto want = exec::spmv(encode(a_dense, plan->run_a), xs[i]);
+    EXPECT_EQ(std::get<std::vector<value_t>>(resp.result), want) << i;
+    EXPECT_EQ(resp.stats.dispatch.backend, exec::BackendKind::kMint) << i;
+    EXPECT_GT(resp.stats.device_ns, 0) << i;
+    EXPECT_GE(resp.stats.device_wait_ns, 0) << i;
+  }
+
+  // The acceptance gate: one serving worker demonstrably held more than
+  // one device job in flight.
+  const auto rs = srv.device_ring()->stats();
+  EXPECT_GT(rs.peak_in_flight, 1);
+  EXPECT_EQ(rs.submitted, 9);  // occupier + 8 staged requests
+  EXPECT_EQ(rs.completed, 9);
+
+  const auto c = srv.counters();
+  EXPECT_EQ(c.device_jobs, 9);
+  const auto text = srv.metrics_text();
+  EXPECT_NE(text.find("mt_device_inflight_peak"), std::string::npos);
+  EXPECT_NE(text.find("mt_device_ring_slots"), std::string::npos);
+  EXPECT_NE(text.find("mt_device_jobs_submitted_total"), std::string::npos);
+  EXPECT_NE(text.find("tier=\"mint\""), std::string::npos);
+}
+
+TEST(ServerBackend, AsyncRingStopsCleanlyWithServerStop) {
+  auto o = device_opts(exec::BackendKind::kMint);
+  o.backend.async = true;
+  o.backend.ring_workers = 1;
+  Server srv(o);
+  const auto h = srv.register_matrix(
+      encode(random_dense(32, 24, 0.2, 51), Format::kCSR));
+  auto fut = srv.submit(spmv_request(h, std::vector<value_t>(24, 1.0f)));
+  (void)fut.get();
+  srv.stop();  // joins workers, then stops the ring; idempotent
+  srv.stop();
+  EXPECT_EQ(srv.device_ring()->stats().in_flight, 0);
+}
+
+// Multi-client mixed-kernel traffic through the async mint ring — the
+// TSan target (this suite carries the `concurrency` ctest label): server
+// workers, ring workers, and client threads all touch the ring, the
+// caches, and the counters concurrently.
+TEST(ServerBackendStress, AsyncMintMixedTrafficStaysCoherent) {
+  auto o = device_opts(exec::BackendKind::kMint);
+  o.num_workers = 2;
+  o.queue_capacity = 64;
+  o.batch.window = 8;
+  o.backend.async = true;
+  o.backend.ring_slots = 16;
+  o.backend.ring_workers = 2;
+  o.backend.simulate_latency = true;
+  o.backend.max_simulated_latency_ns = 200'000;  // keep the test quick
+  Server srv(o);
+
+  const auto a_dense = random_dense(48, 40, 0.1, 61);
+  const auto ha = srv.register_matrix(encode(a_dense, Format::kCSR));
+  const auto factor = random_dense(40, 6, 1.0, 62);
+  const std::vector<value_t> x(40, 0.5f);
+  const auto spmv_plan = srv.plan_for(spmv_request(ha, x));
+  const auto want_spmv = exec::spmv(encode(a_dense, spmv_plan->run_a), x);
+
+  Request mm;
+  mm.kernel = Kernel::kSpMM;
+  mm.a = ha;
+  mm.dense_b = factor;
+  const auto spmm_plan = srv.plan_for(mm);
+  const auto want_spmm =
+      exec::spmm(encode(a_dense, spmm_plan->run_a), factor);
+
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 16;
+  std::vector<std::thread> clients;
+  std::atomic<int> bad{0};
+  for (int cidx = 0; cidx < kClients; ++cidx) {
+    clients.emplace_back([&, cidx] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const bool mv = ((cidx + i) % 2) == 0;
+        Request r;
+        if (mv) {
+          r = spmv_request(ha, x);
+        } else {
+          r.kernel = Kernel::kSpMM;
+          r.a = ha;
+          r.dense_b = factor;
+        }
+        const auto resp = srv.submit(std::move(r)).get();
+        if (mv) {
+          if (std::get<std::vector<value_t>>(resp.result) != want_spmv) ++bad;
+        } else {
+          if (!(std::get<DenseMatrix>(resp.result) == want_spmm)) ++bad;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  const auto c = srv.counters();
+  EXPECT_EQ(c.completed, kClients * kPerClient);
+  EXPECT_EQ(c.device_jobs, kClients * kPerClient);
+  EXPECT_EQ(c.failed, 0);
+  const auto rs = srv.device_ring()->stats();
+  EXPECT_EQ(rs.submitted, kClients * kPerClient);
+  EXPECT_EQ(rs.completed, rs.submitted);
+  EXPECT_EQ(rs.in_flight, 0);
+}
+
+}  // namespace

@@ -411,8 +411,8 @@ std::future<Response> occupy_worker(Server& srv, MatrixHandle a,
 TEST(ServerObs, FusedGroupSpanIsPartitionedByMemberExecSlices) {
   auto o = obs_opts();
   o.num_workers = 1;  // one drain stream => deterministic window
-  o.batching = BatchPolicy::kWindow;
-  o.batch_window = 16;
+  o.batch.policy = BatchPolicy::kWindow;
+  o.batch.window = 16;
   Server srv(o);
   // Density 0.05 => SAGE plans SpMV onto CSR (a coalescible ACF).
   const auto h =

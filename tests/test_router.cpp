@@ -505,14 +505,14 @@ TEST(ShardedServer, BatchedBurstsAcrossShardsBitIdenticalToOff) {
 
   auto opts = sharded_opts(2);
   opts.shard.queue_capacity = 64;
-  opts.shard.batching = BatchPolicy::kWindow;
-  opts.shard.batch_window = 16;
+  opts.shard.batch.policy = BatchPolicy::kWindow;
+  opts.shard.batch.window = 16;
 
   // Reference: same router topology, batching off, strictly sequential.
   std::vector<std::vector<value_t>> want0, want1;
   {
     auto off = opts;
-    off.shard.batching = BatchPolicy::kOff;
+    off.shard.batch.policy = BatchPolicy::kOff;
     ShardedServer srv(off);
     const auto h0 = register_on_shard(srv, m0, 0);
     const auto h1 = register_on_shard(srv, m1, 1);

@@ -257,8 +257,8 @@ TEST(Server, CacheBypassModesProduceIdenticalResults) {
   }
   {
     auto opts = small_opts();
-    opts.use_plan_cache = false;
-    opts.use_conversion_cache = false;
+    opts.caches.use_plan_cache = false;
+    opts.caches.use_conversion_cache = false;
     Server srv(opts);
     const auto h = srv.register_matrix(a_any);
     const auto r1 = srv.submit(spmv_request(h, x)).get();
@@ -465,8 +465,8 @@ ServerOptions batched_opts(int window = 16) {
   auto o = small_opts();
   o.num_workers = 1;  // one drain stream => deterministic windows
   o.queue_capacity = 32;
-  o.batching = BatchPolicy::kWindow;
-  o.batch_window = window;
+  o.batch.policy = BatchPolicy::kWindow;
+  o.batch.window = window;
   return o;
 }
 
@@ -504,7 +504,7 @@ TEST(Server, CoalescedSpmvBitIdenticalToSingleRequests) {
   std::vector<std::vector<value_t>> want;
   {
     auto opts = batched_opts();
-    opts.batching = BatchPolicy::kOff;
+    opts.batch.policy = BatchPolicy::kOff;
     Server srv(opts);
     const auto h = srv.register_matrix(a_any);
     for (const auto& x : xs) {
@@ -618,7 +618,7 @@ TEST(Server, BatchedResultsBitIdenticalToBatchingOffForAllKernels) {
   std::vector<Result> want;
   {
     auto opts = batched_opts();
-    opts.batching = BatchPolicy::kOff;
+    opts.batch.policy = BatchPolicy::kOff;
     Server srv(opts);
     const auto s = register_all(srv);
     for (auto& r : burst(s)) {
@@ -944,8 +944,8 @@ std::vector<value_t> served_spmv_reference(const AnyMatrix& m, Format acf,
 // correctness).
 TEST(Server, BoundedCachesStayWithinBudgetAndServeCorrectly) {
   auto opts = small_opts();
-  opts.plan_cache_limits.max_entries = 2;
-  opts.conversion_cache_limits.max_entries = 3;
+  opts.caches.plan_limits.max_entries = 2;
+  opts.caches.conversion_limits.max_entries = 3;
   Server srv(opts);
 
   std::vector<AnyMatrix> mats;

@@ -292,7 +292,7 @@ void run_traffic(S& srv) {
   // than distinct workloads.
   EXPECT_GT(counters.plan_hits, counters.plan_misses);
   EXPECT_GT(counters.conversion_hits, counters.conversion_misses);
-  if (srv.options().batching == BatchPolicy::kOff) {
+  if (srv.options().batch.policy == BatchPolicy::kOff) {
     EXPECT_EQ(counters.batches, 0);
   } else {
     // Whether windows actually coalesce depends on interleaving, but the
@@ -311,8 +311,8 @@ ServerOptions stress_opts(BatchPolicy batching, int batch_window) {
   opts.queue_capacity = 16;
   opts.accel.num_pes = 32;
   opts.accel.pe_buffer_bytes = 64 * 4;
-  opts.batching = batching;
-  opts.batch_window = batch_window;
+  opts.batch.policy = batching;
+  opts.batch.window = batch_window;
   return opts;
 }
 
@@ -339,8 +339,8 @@ void run_sharded_stress(BatchPolicy batching, int batch_window) {
   // workloads stay resident (the hit-rate assertions above still hold),
   // small enough that churned private operands actually exercise the
   // eviction path under concurrency.
-  opts.shard.plan_cache_limits.max_entries = 32;
-  opts.shard.conversion_cache_limits.max_entries = 16;
+  opts.shard.caches.plan_limits.max_entries = 32;
+  opts.shard.caches.conversion_limits.max_entries = 16;
   ShardedUnderTest srv(opts);
   run_traffic(srv);
 }

@@ -7,15 +7,17 @@ namespace mt::runtime {
 namespace {
 
 // Fusion identity of one batchable request. Two requests fuse only if the
-// whole key matches: same kernel and operand (same plan-cache entry) and
-// the same payload shape (so stacking/concatenation is well-formed and a
+// whole key matches: same kernel and operand (same plan-cache entry), the
+// same payload shape (so stacking/concatenation is well-formed and a
 // malformed request fails alone with its own error, never poisoning a
-// batch).
+// batch), and the same execution backend (so a fused group launches on
+// exactly the substrate every member's plan was priced for).
 struct FuseKey {
   Kernel kernel = Kernel::kSpMV;
   std::uint64_t a = 0;
   index_t rows = 0;
   index_t width = 0;
+  exec::BackendKind backend = exec::BackendKind::kCpu;
 
   bool operator==(const FuseKey&) const = default;
 };
@@ -26,6 +28,7 @@ struct FuseKeyHash {
     h = h * 0x9e3779b97f4a7c15ull + k.a;
     h = h * 0x9e3779b97f4a7c15ull + static_cast<std::size_t>(k.rows);
     h = h * 0x9e3779b97f4a7c15ull + static_cast<std::size_t>(k.width);
+    h = h * 0x9e3779b97f4a7c15ull + static_cast<std::size_t>(k.backend);
     return h;
   }
 };
@@ -67,7 +70,7 @@ std::vector<BatchGroup> form_batches(const std::vector<BatchItem>& items) {
     const BatchItem& it = items[i];
     const std::uint64_t handles[] = {it.a, it.b, it.x};
     if (it.fusible) {
-      const FuseKey key{it.kernel, it.a, it.rows, it.width};
+      const FuseKey key{it.kernel, it.a, it.rows, it.width, it.backend};
       const auto og = open.find(key);
       if (og != open.end()) {
         bool fifo_safe = true;
@@ -86,7 +89,7 @@ std::vector<BatchGroup> form_batches(const std::vector<BatchItem>& items) {
     const std::size_t g = groups.size();
     groups.push_back({{i}, it.fusible});
     if (it.fusible) {
-      open[FuseKey{it.kernel, it.a, it.rows, it.width}] = g;
+      open[FuseKey{it.kernel, it.a, it.rows, it.width, it.backend}] = g;
     }
     for (const auto h : handles) {
       if (h != 0) last_touch[h] = g;

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "exec/exec.hpp"
 #include "formats/format.hpp"
 
 namespace mt::runtime {
@@ -58,12 +59,20 @@ struct BatchItem {
   index_t rows = 0;      // dense payload rows (vec length / factor rows)
   index_t width = 0;     // dense factor columns (1 for SpMV)
   bool fusible = false;  // dense-factor kernel, candidate for fusion
+  // Execution substrate the request's *plan* routes to. Part of the fuse
+  // key: a CPU-planned and a device-planned request are different work
+  // even on identical operands — fusing them would drag one of them onto
+  // the other's backend (wrong pricing, and for sim a different numeric
+  // contract). Callers that batch before resolving plans (the CPU-only
+  // server path, where every plan shares one substrate) may leave the
+  // default.
+  exec::BackendKind backend = exec::BackendKind::kCpu;
 };
 
 // One unit of execution: indices into the drained window, in FIFO order.
 // `fused` marks a group whose members share a fusion key (same kernel,
-// operand, payload shape — i.e. same plan-cache key); a fused group of
-// size > 1 executes as one coalesced kernel.
+// operand, payload shape, backend — i.e. same plan-cache key); a fused
+// group of size > 1 executes as one coalesced kernel on that backend.
 struct BatchGroup {
   std::vector<std::size_t> members;
   bool fused = false;

@@ -111,14 +111,17 @@ void PlanCache::evict_operand(std::uint64_t id) {
   }
 }
 
-std::size_t PlanCache::retire(std::uint64_t model) {
+RetireCounts PlanCache::retire(std::uint64_t model) {
+  RetireCounts retired;
+  // kHostModel marks model-independent (CPU-backend) plans; sweeping it
+  // would throw away plans no model swap can invalidate.
+  if (model == kHostModel) return retired;
   LockGuard lk(mu_);
-  std::size_t retired = 0;
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.model == model) {
+      ++retired.by_backend[static_cast<std::size_t>(it->first.backend)];
       index_.erase(it->first);
       it = map_.erase(it);
-      ++retired;
     } else {
       ++it;
     }

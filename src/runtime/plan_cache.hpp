@@ -22,6 +22,7 @@
 // false but scoped to the cache).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -41,6 +42,39 @@ class Histogram;
 }  // namespace mt::obs
 
 namespace mt::runtime {
+
+// Model fingerprint used for plans whose pricing never reads the device
+// model (CPU-backend plans): CpuBackend::price depends only on the
+// workload, so a device AccelConfig/EnergyParams swap cannot invalidate
+// them. Keying them on this sentinel instead of the live fingerprint is
+// what makes retire(model) backend-partitioned. (sage::plan_fingerprint
+// is FNV-1a from a nonzero offset basis; a real model hashing to exactly
+// 0 is a 2^-64 event, and even then the cost is one skipped eager sweep,
+// never a wrong plan — the fingerprint still differs from its successor.)
+inline constexpr std::uint64_t kHostModel = 0;
+
+// Per-backend breakdown of a retire(model) sweep, indexed by
+// exec::BackendKind. update_model reports this so operators can see a
+// device-model swap retiring only device-priced plans.
+struct RetireCounts {
+  std::array<std::size_t, 3> by_backend{};  // kCpu, kSim, kMint
+
+  std::size_t total() const {
+    std::size_t n = 0;
+    for (const auto c : by_backend) n += c;
+    return n;
+  }
+  std::size_t of(exec::BackendKind b) const {
+    return by_backend[static_cast<std::size_t>(b)];
+  }
+  RetireCounts& operator+=(const RetireCounts& o) {
+    for (std::size_t i = 0; i < by_backend.size(); ++i) {
+      by_backend[i] += o.by_backend[i];
+    }
+    return *this;
+  }
+  bool operator==(const RetireCounts&) const = default;
+};
 
 // Identity of one distinct serving workload.
 struct PlanKey {
@@ -111,11 +145,15 @@ class PlanCache {
   void evict_operand(std::uint64_t id) MT_EXCLUDES(mu_);
 
   // Drops every plan priced against model fingerprint `model` and returns
-  // how many were retired. Plans keyed on a superseded AccelConfig/
-  // EnergyParams already miss cleanly (the fingerprint is part of the
-  // key); this reclaims their memory eagerly instead of leaking dead
-  // entries for the server's lifetime.
-  std::size_t retire(std::uint64_t model) MT_EXCLUDES(mu_);
+  // how many were retired, broken down by backend. Plans keyed on a
+  // superseded AccelConfig/EnergyParams already miss cleanly (the
+  // fingerprint is part of the key); this reclaims their memory eagerly
+  // instead of leaking dead entries for the server's lifetime. Retirement
+  // is backend-partitioned: CPU-backend plans are keyed on kHostModel
+  // (their pricing never reads the device model), so retiring a real
+  // device fingerprint leaves them cached, and retire(kHostModel) itself
+  // is a no-op — CPU plans only leave via eviction or clear().
+  RetireCounts retire(std::uint64_t model) MT_EXCLUDES(mu_);
 
   void clear() MT_EXCLUDES(mu_);
 

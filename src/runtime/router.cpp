@@ -164,9 +164,9 @@ PlanCache::PlanPtr ShardedServer::plan_for(const Request& r) {
 
 // --- Model lifecycle ---
 
-std::size_t ShardedServer::update_model(const AccelConfig& accel,
-                                        const EnergyParams& energy) {
-  std::size_t retired = 0;
+RetireCounts ShardedServer::update_model(const AccelConfig& accel,
+                                         const EnergyParams& energy) {
+  RetireCounts retired;
   for (auto& s : shards_) retired += s->update_model(accel, energy);
   return retired;
 }

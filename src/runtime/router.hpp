@@ -95,10 +95,12 @@ class ShardedServer {
 
   // --- Model lifecycle ---
 
-  // Fans out to every shard; returns the total number of plans retired
-  // across the fleet.
-  std::size_t update_model(const AccelConfig& accel,
-                           const EnergyParams& energy);
+  // Fans out to every shard; returns the fleet-wide retired-plan counts
+  // broken down by backend (per-shard RetireCounts summed field-wise).
+  // Retirement is backend-partitioned exactly as on one Server: a
+  // device-model swap retires zero CPU-backend plans on any shard.
+  RetireCounts update_model(const AccelConfig& accel,
+                            const EnergyParams& energy);
 
   // Fingerprint of the planning model (identical on every shard).
   std::uint64_t model_fingerprint() const;

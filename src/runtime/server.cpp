@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <deque>
 #include <stdexcept>
 #include <utility>
 
@@ -182,6 +181,8 @@ Server::Server(ServerOptions opts)
   } else {
     MT_REQUIRE(!opts_.backend.async && !opts_.backend.dual_run,
                "async submission and dual-run need a device backend");
+    MT_REQUIRE(opts_.backend.policy == BackendPolicy::kForce,
+               "auto backend routing needs a device backend to route to");
   }
   if (opts_.obs.metrics) {
     queue_wait_hist_ = &registry_.histogram("mt_serve_queue_wait_ns");
@@ -326,24 +327,26 @@ ConversionCache::TensorPtr Server::tensor_rep(TensorHandle h, Format f,
 
 // --- Model lifecycle ---
 
-std::size_t Server::update_model(const AccelConfig& accel,
-                                 const EnergyParams& energy) {
+RetireCounts Server::update_model(const AccelConfig& accel,
+                                  const EnergyParams& energy) {
   std::uint64_t old = 0;
   {
     LockGuard lk(model_mu_);
     const auto next = plan_fingerprint(accel, energy);
-    if (next == fingerprint_) return 0;  // same model: nothing to retire
+    if (next == fingerprint_) return {};  // same model: nothing to retire
     old = fingerprint_;
     accel_ = accel;
     energy_ = energy;
     fingerprint_ = next;
   }
-  // Plans for the old fingerprint can never be hit again (the fingerprint
-  // is part of every key); reclaim them instead of leaking dead entries.
+  // Device-backend plans for the old fingerprint can never be hit again
+  // (the fingerprint is part of their key); reclaim them instead of
+  // leaking dead entries. CPU-backend plans are keyed on kHostModel and
+  // survive — their pricing never read the device model.
   return plans_.retire(old);
 }
 
-std::size_t Server::retire_plans(std::uint64_t model_fingerprint) {
+RetireCounts Server::retire_plans(std::uint64_t model_fingerprint) {
   return plans_.retire(model_fingerprint);
 }
 
@@ -359,11 +362,37 @@ Server::ModelSnapshot Server::model_snapshot() const {
 
 // --- Planning ---
 
-PlanKey Server::key_for(const Request& r, std::uint64_t model) const {
+exec::BackendKind Server::route_backend(const Request& r,
+                                        const ModelSnapshot& model) const {
+  if (device_backend_ == nullptr) return exec::BackendKind::kCpu;
+  if (opts_.backend.policy == BackendPolicy::kForce) {
+    return opts_.backend.backend;
+  }
+  // kAuto: the cheaper priced envelope wins. Pricing on the flops
+  // estimate alone (no SAGE CostBreakdown — none exists before the
+  // search) keeps routing O(1); the device's fixed offload overhead
+  // (e.g. MintBackend's PCIe latency floor) is what sends small
+  // workloads to the host.
+  exec::PricingInput pin;
+  pin.kernel = r.kernel;
+  pin.flops = flops_for(r);
+  pin.accel = &model.accel;
+  pin.energy = &model.energy;
+  const double host_ns = cpu_backend_->price(pin).ns;
+  const double device_ns = device_backend_->price(pin).ns;
+  return device_ns < host_ns ? opts_.backend.backend
+                             : exec::BackendKind::kCpu;
+}
+
+PlanKey Server::key_for(const Request& r, const ModelSnapshot& model) const {
   PlanKey k;
   k.kernel = r.kernel;
-  k.model = model;
-  k.backend = opts_.backend.backend;
+  k.backend = route_backend(r, model);
+  // CPU-backend plans are model-independent (CpuBackend::price never
+  // reads the device AccelConfig/EnergyParams), so they key on the
+  // kHostModel sentinel: a device-model swap retires none of them.
+  k.model = k.backend == exec::BackendKind::kCpu ? kHostModel
+                                                 : model.fingerprint;
   if (is_tensor_kernel(r.kernel)) {
     k.a = r.x.id;
     k.width = r.dense_b.cols();
@@ -386,8 +415,12 @@ PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s,
                                         const ModelSnapshot& model) {
   const AccelConfig& accel = model.accel;
   const EnergyParams& energy = model.energy;
+  // One key per computation: the routing decision, the cached entry, and
+  // the latency-accumulator label all see the same backend and model.
+  const PlanKey key = key_for(r, model);
   auto plan = std::make_shared<Plan>();
   plan->kernel = r.kernel;
+  plan->backend = key.backend;
   switch (r.kernel) {
     case Kernel::kGemm:
       // Dense x Dense is the only native GEMM; no search needed.
@@ -456,7 +489,6 @@ PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s,
     pin.energy = &energy;
     plan->cpu_cost_ns = cpu_backend_->price(pin).ns;
     if (device_backend_ != nullptr) {
-      plan->backend = opts_.backend.backend;
       plan->device_cost_ns = device_backend_->price(pin).ns;
       plan->modeled_device_ns =
           static_cast<std::int64_t>(std::llround(plan->device_cost_ns));
@@ -467,8 +499,7 @@ PlanCache::PlanPtr Server::compute_plan(const Request& r, ServeStats& s,
     // Re-deriving an evicted plan rebinds the same histogram, so a plan's
     // measured distribution survives cache churn — exactly what the
     // adaptive planner wants to learn from.
-    const auto fp = static_cast<std::uint64_t>(
-        PlanKeyHash{}(key_for(r, model.fingerprint)));
+    const auto fp = static_cast<std::uint64_t>(PlanKeyHash{}(key));
     plan->latency = &registry_.histogram("mt_plan_exec_ns{plan=\"" +
                                          hex64(fp) + "\"}");
   }
@@ -485,7 +516,7 @@ PlanCache::PlanPtr Server::resolve_plan(const Request& r, ServeStats& s) {
     s.plan_cache_hit = false;
     plan = compute_plan(r, s, model);
   } else {
-    const PlanKey key = key_for(r, model.fingerprint);
+    const PlanKey key = key_for(r, model);
     bool hit = false;
     plan = plans_.get_or_compute(
         key, [&] { return compute_plan(r, s, model); }, &hit);
@@ -502,7 +533,9 @@ PlanCache::PlanPtr Server::resolve_plan(const Request& r, ServeStats& s) {
       if (key.b != 0 && !operand_registered(key.b)) {
         plans_.evict_operand(key.b);
       }
-      if (key.model != model_fingerprint()) {
+      // kHostModel-keyed (CPU) plans are never stale: no model swap can
+      // invalidate them, so only device-fingerprint keys get the check.
+      if (key.model != kHostModel && key.model != model_fingerprint()) {
         plans_.retire(key.model);
       }
     }
@@ -705,15 +738,12 @@ void Server::worker_loop() {
 }
 
 void Server::serve_window(std::vector<Item>& window) {
-  if (ring_ != nullptr) {
-    serve_window_async(window);
-    return;
-  }
   if (device_backend_ != nullptr) {
-    // Blocking device path. Fusion's gather/scatter twin is a host-kernel
-    // bit contract, so device windows serve one request per job; the
-    // window drain itself still amortizes queue wakeups.
-    for (auto& item : window) serve_one(item);
+    // Device-capable path: plans route per request (kForce sends every
+    // request to the device, kAuto splits by priced envelope), grouping
+    // keys on the routed backend so no group crosses a substrate, and
+    // ring-routed jobs submit as one batch.
+    serve_window_device(window);
     return;
   }
   if (window.size() == 1) {
@@ -751,12 +781,10 @@ void Server::serve_one(Item& item) {
   }
 }
 
-void Server::serve_window_async(std::vector<Item>& window) {
-  // Submit phase: every request of the drained window enters the ring
-  // before any completion is claimed, so this one worker keeps up to
-  // window-size device jobs in flight. The ring counts only queued
-  // descriptors against its slot bound (not executing or completed jobs),
-  // so submit-all-then-claim-all can never deadlock.
+void Server::serve_window_device(std::vector<Item>& window) {
+  // Per-request serving state. `pending` is sized once up front, so the
+  // submitted jobs' operand/model pointers (which point into their
+  // Pending) stay stable for the whole window.
   struct Pending {
     Item* item = nullptr;
     ServeStats stats;
@@ -767,50 +795,103 @@ void Server::serve_window_async(std::vector<Item>& window) {
     ModelSnapshot model;
     exec::DeviceRing::Ticket ticket = exec::DeviceRing::kInvalidTicket;
     std::int64_t start_ns = 0;
+    bool failed = false;  // promise already completed with an exception
+    bool on_ring = false;
   };
-  // deque: element addresses are stable under push_back, and the
-  // submitted job's operand/model pointers point into its Pending.
-  std::deque<Pending> pending;
-  for (auto& item : window) {
-    const auto start = now_ns();
-    Pending& p = pending.emplace_back();
+  std::vector<Pending> pending(window.size());
+
+  const auto fail = [this](Pending& p) {
+    counters_.record_failure();
+    p.item->promise.set_exception(std::current_exception());
+    p.failed = true;
+  };
+
+  // Phase 1 — resolve every request's plan; the plan's backend is the
+  // request's route. Queue wait ends here for every member of the window.
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    Pending& p = pending[i];
+    p.item = &window[i];
+    p.start_ns = now_ns();
+    p.stats.queue_wait_ns = p.start_ns - window[i].enqueue_ns;
+    p.stats.trace_id = window[i].req.trace_id;
     try {
-      p.item = &item;
-      p.start_ns = start;
-      p.stats.queue_wait_ns = start - item.enqueue_ns;
-      p.stats.trace_id = item.req.trace_id;
-      p.plan = resolve_plan(item.req, p.stats);
-      const auto t_conv = now_ns();
-      if (is_tensor_kernel(item.req.kernel)) {
-        p.rep_x = tensor_rep(item.req.x, p.plan->run_a, p.stats);
-      } else {
-        p.rep_a = matrix_rep(item.req.a, p.plan->run_a, p.stats);
-        if (item.req.b.valid()) {
-          p.rep_b = matrix_rep(item.req.b, p.plan->run_b, p.stats);
+      p.plan = resolve_plan(window[i].req, p.stats);
+    } catch (...) {
+      fail(p);
+    }
+  }
+
+  // Phase 2 — group with the backend-aware fuse key. Device-routed
+  // requests never fuse (fusion's gather/scatter twin is a host-kernel
+  // bit contract), so they land in singleton groups; CPU-routed requests
+  // keep the full coalescing behavior of the CPU-only path. Failed
+  // requests keep their default (unfusible) meta and are skipped below.
+  std::vector<BatchItem> meta(window.size());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const Pending& p = pending[i];
+    if (p.failed) continue;
+    meta[i] = batch_item_for(window[i].req);
+    meta[i].backend = p.plan->backend;
+    if (meta[i].backend != exec::BackendKind::kCpu) meta[i].fusible = false;
+  }
+  const auto groups = form_batches(meta);
+
+  // Phase 3 — prepare every ring-routed job and submit the lot as ONE
+  // batched ring submission (the queue lock is taken per drained window,
+  // not per job). All submits happen before any claim or CPU-group
+  // execution, so one worker keeps up to window-size device jobs in
+  // flight; the ring counts only queued descriptors against its slot
+  // bound, so submit-all-then-claim-all can never deadlock.
+  if (ring_ != nullptr) {
+    std::vector<std::size_t> ring_members;
+    std::vector<exec::Job> jobs;
+    ring_members.reserve(window.size());
+    jobs.reserve(window.size());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      Pending& p = pending[i];
+      if (p.failed || p.plan->backend == exec::BackendKind::kCpu) continue;
+      try {
+        Item& item = window[i];
+        const auto t_conv = now_ns();
+        if (is_tensor_kernel(item.req.kernel)) {
+          p.rep_x = tensor_rep(item.req.x, p.plan->run_a, p.stats);
+        } else {
+          p.rep_a = matrix_rep(item.req.a, p.plan->run_a, p.stats);
+          if (item.req.b.valid()) {
+            p.rep_b = matrix_rep(item.req.b, p.plan->run_b, p.stats);
+          }
         }
+        p.stats.convert_ns = now_ns() - t_conv;
+        p.model = model_snapshot();
+        fill_job(p.bundle, item.req, *p.plan, p.rep_a.get(), p.rep_b.get(),
+                 p.rep_x.get(), /*device=*/true);
+        p.bundle.job.accel = &p.model.accel;
+        p.bundle.job.energy = &p.model.energy;
+        p.on_ring = true;
+        ring_members.push_back(i);
+        jobs.push_back(p.bundle.job);
+      } catch (...) {
+        fail(p);
       }
-      p.stats.convert_ns = now_ns() - t_conv;
-      p.model = model_snapshot();
-      fill_job(p.bundle, item.req, *p.plan, p.rep_a.get(), p.rep_b.get(),
-               p.rep_x.get(), /*device=*/true);
-      p.bundle.job.accel = &p.model.accel;
-      p.bundle.job.energy = &p.model.energy;
-      p.ticket = ring_->submit(p.bundle.job);
+    }
+    const auto tickets = ring_->submit_all(std::move(jobs));
+    for (std::size_t j = 0; j < ring_members.size(); ++j) {
+      pending[ring_members[j]].ticket = tickets[j];
+    }
+  }
+
+  // Phase 4 — complete groups in first-arrival order, which preserves
+  // per-handle FIFO completion across the CPU/device split. Ring tickets
+  // are claimed in submission order; CPU groups execute on this worker
+  // while the device side is still chewing. Operands (reps, request
+  // payloads, model snapshots) stay alive in `pending`/`window` until
+  // each ticket is claimed — the ring's lifetime contract.
+  const auto claim_ring = [&](Pending& p) {
+    try {
       if (p.ticket == exec::DeviceRing::kInvalidTicket) {
         throw std::runtime_error(
             "server is stopping; device ring rejected the job");
       }
-    } catch (...) {
-      counters_.record_failure();
-      item.promise.set_exception(std::current_exception());
-      pending.pop_back();
-    }
-  }
-  // Claim phase, in submission order. Operands (reps, request payloads,
-  // model snapshots) stay alive in `pending`/`window` until each ticket
-  // is claimed — the ring's lifetime contract.
-  for (auto& p : pending) {
-    try {
       const auto t_wait = now_ns();
       exec::JobResult jr = ring_->wait(p.ticket);
       p.stats.device_wait_ns = now_ns() - t_wait;
@@ -831,8 +912,47 @@ void Server::serve_window_async(std::vector<Item>& window) {
       counters_.record(s);
       p.item->promise.set_value(std::move(resp));
     } catch (...) {
-      counters_.record_failure();
-      p.item->promise.set_exception(std::current_exception());
+      fail(p);
+    }
+  };
+  // Blocking completion for CPU-routed singles and (no ring) device jobs:
+  // execute under the phase-1 plan on this worker, keeping the phase-1
+  // stats (queue wait, plan time).
+  const auto finish_blocking = [&](Pending& p) {
+    try {
+      Response resp;
+      resp.stats = p.stats;
+      execute_plan(p.item->req, p.plan, resp);
+      if (queue_wait_hist_ != nullptr) {
+        queue_wait_hist_->record(resp.stats.queue_wait_ns);
+      }
+      record_trace(p.item->enqueue_ns, p.start_ns, resp.stats);
+      counters_.record(resp.stats);
+      p.item->promise.set_value(std::move(resp));
+    } catch (...) {
+      fail(p);
+    }
+  };
+  for (const auto& group : groups) {
+    std::vector<std::size_t> live;
+    live.reserve(group.members.size());
+    for (const auto i : group.members) {
+      if (!pending[i].failed) live.push_back(i);
+    }
+    if (live.empty()) continue;
+    Pending& lead = pending[live.front()];
+    if (group.fused && live.size() > 1 &&
+        lead.plan->backend == exec::BackendKind::kCpu) {
+      serve_fused_exec(window, live, lead.plan, lead.stats, lead.start_ns);
+      continue;
+    }
+    for (const auto i : live) {
+      Pending& p = pending[i];
+      if (p.on_ring) {
+        claim_ring(p);
+      } else {
+        finish_blocking(p);
+      }
     }
   }
 }
@@ -914,13 +1034,35 @@ BatchItem Server::batch_item_for(const Request& r) const {
 void Server::serve_fused(std::vector<Item>& window,
                          const std::vector<std::size_t>& members) {
   Item& lead = window[members.front()];
-  const bool is_spmv = lead.req.kernel == Kernel::kSpMV;
   const auto start = now_ns();  // group start: queue wait ends here
+  ServeStats ls;  // leader stats: the group's plan/convert costs
+  ls.queue_wait_ns = start - lead.enqueue_ns;
+  ls.trace_id = lead.req.trace_id;
+  PlanCache::PlanPtr plan;
   try {
-    ServeStats ls;  // leader stats: the group's plan/convert costs
-    ls.queue_wait_ns = start - lead.enqueue_ns;
-    ls.trace_id = lead.req.trace_id;
-    const auto plan = resolve_plan(lead.req, ls);
+    plan = resolve_plan(lead.req, ls);
+  } catch (...) {
+    // Resolution failure (unknown/evicted handle): the members share one
+    // workload key, so each would have failed alone with the same error.
+    const auto e = std::current_exception();
+    for (const auto i : members) {
+      counters_.record_failure();
+      window[i].promise.set_exception(e);
+    }
+    return;
+  }
+  serve_fused_exec(window, members, plan, ls, start);
+}
+
+void Server::serve_fused_exec(std::vector<Item>& window,
+                              const std::vector<std::size_t>& members,
+                              const PlanCache::PlanPtr& plan,
+                              const ServeStats& leader_stats,
+                              std::int64_t start) {
+  Item& lead = window[members.front()];
+  const bool is_spmv = lead.req.kernel == Kernel::kSpMV;
+  try {
+    ServeStats ls = leader_stats;
     if (is_spmv && !(coalescible_spmv_format(plan->run_a) &&
                      exec::has_native(Kernel::kSpMM, plan->run_a))) {
       // No provably bit-identical SpMM twin for this plan's ACF: serve

@@ -149,13 +149,24 @@ struct ArenaSettings {
   std::size_t max_cached_bytes = std::size_t{64} << 20;
 };
 
+// How requests pick between the host kernels and the configured device
+// backend. Routing happens at plan resolution, so it is part of the plan
+// key: the same workload routed to different substrates is two plans.
+enum class BackendPolicy : std::uint8_t {
+  kForce,  // every request executes on BackendOptions::backend
+  kAuto,   // per request: the substrate with the cheaper priced envelope
+           // (exec::Backend::price on the flops estimate) wins. Requires
+           // a device backend — with none configured there is nothing to
+           // route between.
+};
+
 // Which execution substrate serves requests (exec/backend.hpp) and how.
 //
 //   backend   kCpu routes every request through the host kernel library
 //             (the default, and the only fused/coalesced path). kSim and
-//             kMint build that device backend at server start and route
-//             every request to it; plans gain the backend dimension and
-//             are priced on both substrates.
+//             kMint build that device backend at server start; `policy`
+//             decides which requests route to it; plans gain the backend
+//             dimension and are priced on both substrates.
 //   async     device jobs go through a bounded submission ring
 //             (exec/device_ring.hpp): each serving worker submits its
 //             whole drained window before claiming any completion, so one
@@ -173,6 +184,7 @@ struct ArenaSettings {
 //             async overlap is physically observable even on one core.
 struct BackendOptions {
   exec::BackendKind backend = exec::BackendKind::kCpu;
+  BackendPolicy policy = BackendPolicy::kForce;
   bool async = false;
   std::size_t ring_slots = 32;  // descriptor-queue bound
   int ring_workers = 2;         // device-side executor threads
@@ -288,17 +300,24 @@ class Server {
 
   // Swaps the accelerator/energy model future requests plan against and
   // eagerly retires the superseded fingerprint's cached plans (they could
-  // never be hit again — the fingerprint is part of every plan key).
-  // Returns the number of plans retired. Callable while serving: in-flight
+  // never be hit again — the fingerprint is part of every device-backend
+  // plan key). Returns the retired plans broken down by backend.
+  // Retirement is backend-partitioned: CPU-backend plans are keyed on
+  // kHostModel because CpuBackend pricing never reads the device model,
+  // so a device-model swap retires zero of them — they stay cached and
+  // keep hitting. (Their SAGE format choice therefore stays pinned at
+  // first resolution; re-tuning formats from measured latency is the
+  // ROADMAP's adaptive-planning item.) Callable while serving: in-flight
   // requests finish under whichever model they resolved.
-  std::size_t update_model(const AccelConfig& accel,
-                           const EnergyParams& energy);
+  RetireCounts update_model(const AccelConfig& accel,
+                            const EnergyParams& energy);
 
   // Drops every cached plan priced against `model_fingerprint`; returns
-  // how many were dropped. update_model calls this for the old model; it
-  // is public so external bookkeeping can retire fingerprints it knows
-  // are stale.
-  std::size_t retire_plans(std::uint64_t model_fingerprint);
+  // the per-backend retire counts. update_model calls this for the old
+  // model; it is public so external bookkeeping can retire fingerprints
+  // it knows are stale. retire_plans(kHostModel) is a no-op by design
+  // (see PlanCache::retire).
+  RetireCounts retire_plans(std::uint64_t model_fingerprint);
 
   // Fingerprint of the model currently used for planning.
   std::uint64_t model_fingerprint() const;
@@ -370,10 +389,23 @@ class Server {
   void serve_one(Item& item);
   void serve_fused(std::vector<Item>& window,
                    const std::vector<std::size_t>& members);
-  // Async device path: submits every request of the drained window into
-  // the ring, then claims completions in submission order — the submit
-  // phase is what keeps >1 device job in flight per serving worker.
-  void serve_window_async(std::vector<Item>& window);
+  // The fused-group body after the leader's plan is resolved: gather the
+  // members' payloads, one coalesced launch, scatter per-member column
+  // blocks. `ls` is the leader's stats (it paid the plan/convert costs),
+  // `start` the group-start timestamp. Shared by the CPU-only window path
+  // (via serve_fused) and CPU-routed groups of the device-capable path.
+  void serve_fused_exec(std::vector<Item>& window,
+                        const std::vector<std::size_t>& members,
+                        const PlanCache::PlanPtr& plan, const ServeStats& ls,
+                        std::int64_t start);
+  // Device-capable window path: resolves every request's plan (learning
+  // its backend route), groups with the backend-aware fuse key so no
+  // group crosses a substrate, submits all ring-routed jobs as ONE
+  // DeviceRing::submit_all batch before claiming any completion (>1
+  // device job in flight per serving worker), and completes groups in
+  // first-arrival order — CPU-routed groups fuse/execute on the worker
+  // while device jobs are in flight.
+  void serve_window_device(std::vector<Item>& window);
   // Replays a served request's stage intervals (already measured into its
   // ServeStats) as trace spans: queue -> plan -> convert -> exec laid
   // end-to-end from `start_ns`. One ring lock per request, zero extra
@@ -427,7 +459,15 @@ class Server {
   PlanCache::PlanPtr resolve_plan(const Request& r, ServeStats& s);
   PlanCache::PlanPtr compute_plan(const Request& r, ServeStats& s,
                                   const ModelSnapshot& model);
-  PlanKey key_for(const Request& r, std::uint64_t model) const;
+  // Which substrate serves `r`: kForce pins every request to the
+  // configured backend; kAuto compares the host and device price
+  // envelopes (flops estimate only — routing runs before any SAGE
+  // search, so it must stay O(1) per request). Both callers of one
+  // request pass the same snapshot, so routing and pricing can never
+  // straddle an update_model().
+  exec::BackendKind route_backend(const Request& r,
+                                  const ModelSnapshot& model) const;
+  PlanKey key_for(const Request& r, const ModelSnapshot& model) const;
 
   ConversionCache::MatrixPtr matrix_src(std::uint64_t id) const;
   ConversionCache::TensorPtr tensor_src(std::uint64_t id) const;

@@ -148,6 +148,8 @@ class ServerCounters {
         dual_run_checks_(&reg.counter("mt_serve_dual_run_checks_total")),
         dual_run_mismatches_(
             &reg.counter("mt_serve_dual_run_mismatches_total")),
+        dual_run_mismatch_alert_(
+            &reg.counter("mt_dual_run_mismatches_total")),
         queue_wait_ns_(&reg.counter("mt_serve_queue_wait_ns_total")),
         plan_ns_(&reg.counter("mt_serve_plan_ns_total")),
         convert_ns_(&reg.counter("mt_serve_convert_ns_total")),
@@ -179,9 +181,16 @@ class ServerCounters {
 
   // Called once per dual-run cross-check; a mismatched check also fails
   // the request (record_failure), so mismatches <= failed always holds.
+  // Mismatches feed two series: the mt_serve_-prefixed counter the
+  // snapshot reports, and the short alerting alias
+  // mt_dual_run_mismatches_total (README documents the alert rule — any
+  // increase means a device backend returned wrong numbers).
   void record_dual_run(bool within_tolerance) {
     dual_run_checks_->inc();
-    if (!within_tolerance) dual_run_mismatches_->inc();
+    if (!within_tolerance) {
+      dual_run_mismatches_->inc();
+      dual_run_mismatch_alert_->inc();
+    }
   }
 
   CountersSnapshot snapshot() const {
@@ -218,6 +227,7 @@ class ServerCounters {
   obs::Counter* device_wait_ns_;
   obs::Counter* dual_run_checks_;
   obs::Counter* dual_run_mismatches_;
+  obs::Counter* dual_run_mismatch_alert_;
   obs::Counter* queue_wait_ns_;
   obs::Counter* plan_ns_;
   obs::Counter* convert_ns_;

@@ -428,12 +428,47 @@ TEST(ShardedServer, UpdateModelFansOutToEveryShard) {
   const auto old_fp = srv.model_fingerprint();
   auto accel = srv.options().shard.accel;
   accel.num_pes /= 2;
-  // Fan-out retires every shard's plans; the total crosses shards.
-  EXPECT_EQ(srv.update_model(accel, srv.options().shard.energy), 8u);
+  // Fan-out reaches every shard: the fingerprint moves fleet-wide. These
+  // shards run no device backend, so every plan is CPU-backend (keyed on
+  // kHostModel) and the partitioned retire reports zero on every backend
+  // — the plans survive the device-model swap and keep hitting.
+  const auto retired = srv.update_model(accel, srv.options().shard.energy);
+  EXPECT_EQ(retired.total(), 0u);
+  EXPECT_EQ(retired.of(exec::BackendKind::kCpu), 0u);
   EXPECT_NE(srv.model_fingerprint(), old_fp);
+  std::size_t surviving = 0;
+  for (int s = 0; s < srv.num_shards(); ++s) {
+    surviving += srv.shard(s).plan_cache().size();
+    EXPECT_EQ(srv.shard(s).model_fingerprint(), srv.model_fingerprint());
+  }
+  EXPECT_EQ(surviving, 8u);
+  const auto resp = srv.submit(spmv_request(hs[0], x)).get();
+  EXPECT_TRUE(resp.stats.plan_cache_hit);  // survived the model swap
+}
+
+TEST(ShardedServer, UpdateModelReportsDeviceRetiresPerBackend) {
+  // Mint-backend shards: every plan is priced against the device model,
+  // so the fan-out's per-backend accounting sees exactly the device
+  // plans retired, on the device backend's slot.
+  auto opts = sharded_opts(2);
+  opts.shard.backend.backend = exec::BackendKind::kMint;
+  ShardedServer srv(opts);
+  std::vector<value_t> x(24, 1.0f);
+  std::vector<MatrixHandle> hs;
+  for (int i = 0; i < 4; ++i) {
+    hs.push_back(srv.register_matrix(
+        encode(random_dense(24, 24, 0.1, 340 + static_cast<unsigned>(i)),
+               Format::kCSR)));
+    (void)srv.submit(spmv_request(hs.back(), x)).get();
+  }
+  auto accel = srv.options().shard.accel;
+  accel.num_pes /= 2;
+  const auto retired = srv.update_model(accel, srv.options().shard.energy);
+  EXPECT_EQ(retired.total(), 4u);
+  EXPECT_EQ(retired.of(exec::BackendKind::kMint), 4u);
+  EXPECT_EQ(retired.of(exec::BackendKind::kCpu), 0u);
   for (int s = 0; s < srv.num_shards(); ++s) {
     EXPECT_EQ(srv.shard(s).plan_cache().size(), 0u);
-    EXPECT_EQ(srv.shard(s).model_fingerprint(), srv.model_fingerprint());
   }
   const auto resp = srv.submit(spmv_request(hs[0], x)).get();
   EXPECT_FALSE(resp.stats.plan_cache_hit);  // re-planned under the new model

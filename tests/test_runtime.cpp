@@ -434,6 +434,29 @@ TEST(Batcher, KernelAndShapeChangesSplitGroups) {
   EXPECT_EQ(groups[3].members, (Members{4}));
 }
 
+TEST(Batcher, BackendIsPartOfTheFuseKey) {
+  // Same-backend requests still fuse across an interleave of the other
+  // backend's traffic; the two backends' groups never merge.
+  BatchItem cpu = spmv_item(1);
+  BatchItem dev = spmv_item(2);
+  dev.backend = exec::BackendKind::kMint;
+  const auto groups = form_batches({cpu, dev, cpu, dev});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members, (Members{0, 2}));
+  EXPECT_EQ(groups[1].members, (Members{1, 3}));
+  EXPECT_TRUE(groups[0].fused);
+  EXPECT_TRUE(groups[1].fused);
+
+  // Identical workload, different backend: the backend boundary alone
+  // bars joining, and the per-handle FIFO barrier then keeps every later
+  // same-handle request in arrival order.
+  BatchItem dev1 = spmv_item(1);
+  dev1.backend = exec::BackendKind::kSim;
+  const auto split = form_batches({spmv_item(1), dev1, spmv_item(1)});
+  ASSERT_EQ(split.size(), 3u);
+  for (const auto& g : split) EXPECT_EQ(g.members.size(), 1u);
+}
+
 TEST(Batcher, UnbatchableKernelsNeverFuse) {
   BatchItem mttkrp;
   mttkrp.kernel = Kernel::kMTTKRP;
@@ -721,7 +744,7 @@ TEST(Server, BatchFailsUniformlyWhenHandleEvictedInFlight) {
 
 // --- Model lifecycle ---
 
-TEST(Server, UpdateModelRetiresStalePlansAndReplans) {
+TEST(Server, UpdateModelLeavesHostPlansCached) {
   Server srv(small_opts());
   const auto h = srv.register_matrix(
       encode(random_dense(48, 40, 0.05, 81), Format::kCSR));
@@ -732,40 +755,63 @@ TEST(Server, UpdateModelRetiresStalePlansAndReplans) {
   const auto old_fp = srv.model_fingerprint();
 
   // Same model: nothing changes, nothing is retired.
-  EXPECT_EQ(srv.update_model(srv.options().accel, srv.options().energy), 0u);
+  EXPECT_EQ(srv.update_model(srv.options().accel, srv.options().energy)
+                .total(),
+            0u);
   EXPECT_EQ(srv.model_fingerprint(), old_fp);
   EXPECT_EQ(srv.plan_cache().size(), 1u);
 
-  // New accelerator: the old fingerprint's plans are retired eagerly and
-  // the next request re-plans (a miss) under the new fingerprint.
+  // New accelerator: the planning fingerprint moves, but a CPU-only
+  // server's plans are priced independent of the device model (keyed on
+  // kHostModel), so the partitioned retire drops none of them and the
+  // next request still hits the cache.
   auto accel = srv.options().accel;
   accel.num_pes /= 2;
-  EXPECT_EQ(srv.update_model(accel, srv.options().energy), 1u);
+  const auto retired = srv.update_model(accel, srv.options().energy);
+  EXPECT_EQ(retired.total(), 0u);
+  EXPECT_EQ(retired.of(exec::BackendKind::kCpu), 0u);
   EXPECT_NE(srv.model_fingerprint(), old_fp);
-  EXPECT_EQ(srv.plan_cache().size(), 0u);
-  const auto resp = srv.submit(spmv_request(h, x)).get();
-  EXPECT_FALSE(resp.stats.plan_cache_hit);
   EXPECT_EQ(srv.plan_cache().size(), 1u);
+  const auto hits_before = srv.plan_cache().hits();
+  const auto resp = srv.submit(spmv_request(h, x)).get();
+  EXPECT_TRUE(resp.stats.plan_cache_hit);
+  EXPECT_EQ(srv.plan_cache().hits(), hits_before + 1);
 
-  // Retiring a fingerprint with no entries is a no-op.
-  EXPECT_EQ(srv.retire_plans(old_fp), 0u);
-  EXPECT_EQ(srv.retire_plans(12345), 0u);
+  // Explicit retirement: the old fingerprint owns no entries, an unknown
+  // fingerprint owns none, and kHostModel is a guarded no-op — the CPU
+  // plan survives all three.
+  EXPECT_EQ(srv.retire_plans(old_fp).total(), 0u);
+  EXPECT_EQ(srv.retire_plans(12345).total(), 0u);
+  EXPECT_EQ(srv.retire_plans(kHostModel).total(), 0u);
+  EXPECT_EQ(srv.plan_cache().size(), 1u);
 }
 
-TEST(PlanCache, RetireDropsOnlyMatchingFingerprint) {
+TEST(PlanCache, RetireDropsOnlyMatchingFingerprintPerBackend) {
   PlanCache cache;
   auto plan = std::make_shared<Plan>();
-  PlanKey k1{Kernel::kSpMV, 1, 0, /*model=*/111, 1};
+  PlanKey k1{Kernel::kSpMV, 1, 0, /*model=*/111, 1};  // backend kCpu
   PlanKey k2{Kernel::kSpMV, 1, 0, /*model=*/222, 1};
+  PlanKey k3{Kernel::kSpMV, 1, 0, /*model=*/111, 1};
+  k3.backend = exec::BackendKind::kMint;
+  PlanKey host{Kernel::kSpMV, 2, 0, kHostModel, 1};
   bool hit = false;
-  (void)cache.get_or_compute(k1, [&] { return plan; }, &hit);
-  (void)cache.get_or_compute(k2, [&] { return plan; }, &hit);
+  for (const auto& k : {k1, k2, k3, host}) {
+    (void)cache.get_or_compute(k, [&] { return plan; }, &hit);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  const auto retired = cache.retire(111);
+  EXPECT_EQ(retired.total(), 2u);
+  EXPECT_EQ(retired.of(exec::BackendKind::kCpu), 1u);
+  EXPECT_EQ(retired.of(exec::BackendKind::kMint), 1u);
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_EQ(cache.retire(111), 1u);
-  EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.retire(111), 0u);
+  EXPECT_EQ(cache.retire(111).total(), 0u);
+  // kHostModel marks model-independent plans; retiring it is a no-op.
+  EXPECT_EQ(cache.retire(kHostModel).total(), 0u);
+  EXPECT_EQ(cache.size(), 2u);
   (void)cache.get_or_compute(k2, [&] { return plan; }, &hit);
   EXPECT_TRUE(hit);  // the surviving fingerprint still serves
+  (void)cache.get_or_compute(host, [&] { return plan; }, &hit);
+  EXPECT_TRUE(hit);  // so does the host partition
 }
 
 // --- Cache eviction (cache_policy.hpp) ---
